@@ -1,0 +1,494 @@
+// Benchmarks, one per reproduction experiment (EXP-A … EXP-M; see
+// DESIGN.md §2), plus micro-benchmarks of the NS kernels. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment *tables* (ratios, crossovers, pruning counts) are
+// produced by cmd/lwcbench; the benchmarks here measure the same code
+// paths under the Go benchmark harness, reporting ns/op, MB/s-style
+// element throughput and allocations.
+package lwcomp_test
+
+import (
+	"testing"
+
+	"lwcomp"
+	"lwcomp/internal/bitpack"
+	"lwcomp/internal/core"
+	"lwcomp/internal/query"
+	"lwcomp/internal/scheme"
+	"lwcomp/internal/vec"
+	"lwcomp/internal/workload"
+)
+
+// benchN is the column length benchmarks operate on.
+const benchN = 1 << 18
+
+// reportElems reports element throughput.
+func reportElems(b *testing.B, n int) {
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Melem/s")
+}
+
+// BenchmarkEXPA_Composition measures compression of the §I dates
+// column under the single schemes and the paper's composition (table:
+// lwcbench -exp A).
+func BenchmarkEXPA_Composition(b *testing.B) {
+	dates := workload.OrderShipDates(benchN, 64, 730120, 1)
+	for _, tc := range []struct {
+		name string
+		s    lwcomp.Scheme
+	}{
+		{"ns", lwcomp.NS()},
+		{"delta+ns", scheme.DeltaNS()},
+		{"rle+ns", lwcomp.RLENS()},
+		{"rle-delta", lwcomp.RLEDeltaNS()},
+		{"rle-delta-vns", scheme.RLEDeltaVNSComposite()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var form *lwcomp.Form
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				form, err = tc.s.Compress(dates)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			sz, err := lwcomp.EncodedSize(form)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(benchN*8)/float64(sz), "ratio")
+			reportElems(b, benchN)
+		})
+	}
+}
+
+// benchDecompressRoutes benches kernel vs literal plan vs fused plan
+// decompression of one form (EXP-B for RLE, EXP-D for FOR).
+func benchDecompressRoutes(b *testing.B, form *lwcomp.Form, want []int64) {
+	b.Run("kernel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, err := lwcomp.Decompress(form)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got) != len(want) {
+				b.Fatal("length mismatch")
+			}
+		}
+		reportElems(b, len(want))
+	})
+	b.Run("plan-literal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lwcomp.DecompressViaPlan(form, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportElems(b, len(want))
+	})
+	b.Run("plan-fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lwcomp.DecompressViaPlan(form, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportElems(b, len(want))
+	})
+}
+
+// BenchmarkEXPB_RLEAlgorithm1 measures RLE decompression through the
+// fused kernel, the literal Algorithm 1 plan, and the idiom-fused
+// plan (table: lwcbench -exp B).
+func BenchmarkEXPB_RLEAlgorithm1(b *testing.B) {
+	data := workload.Runs(benchN, 64, 1<<16, 1)
+	form, err := lwcomp.RLE().Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDecompressRoutes(b, form, data)
+}
+
+// BenchmarkEXPC_RLEvsRPE measures the ratio-for-ease trade: RPE
+// decompresses without Algorithm 1's first prefix sum (table:
+// lwcbench -exp C).
+func BenchmarkEXPC_RLEvsRPE(b *testing.B) {
+	data := workload.Runs(benchN, 64, 1<<20, 1)
+	rleForm, err := lwcomp.RLENS().Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rpeForm, err := scheme.RPEComposite().Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		form *lwcomp.Form
+	}{{"rle", rleForm}, {"rpe", rpeForm}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lwcomp.Decompress(tc.form); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sz, err := lwcomp.EncodedSize(tc.form)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(benchN*8)/float64(sz), "ratio")
+			reportElems(b, benchN)
+		})
+	}
+}
+
+// BenchmarkEXPD_FORAlgorithm2 measures FOR decompression through the
+// three routes (table: lwcbench -exp D).
+func BenchmarkEXPD_FORAlgorithm2(b *testing.B) {
+	data := workload.RandomWalk(benchN, 20, 1<<30, 1)
+	form, err := lwcomp.FOR(1024).Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDecompressRoutes(b, form, data)
+}
+
+// BenchmarkEXPE_FORDecomposition measures decompression of a FOR form
+// and of its STEP+NS decomposition — the identity must also cost the
+// same (table: lwcbench -exp E).
+func BenchmarkEXPE_FORDecomposition(b *testing.B) {
+	data := workload.RandomWalk(benchN, 15, 1<<34, 1)
+	forForm, err := lwcomp.FORNS(1024).Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plusForm, err := lwcomp.DecomposeFOR(forForm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		form *lwcomp.Form
+	}{{"for", forForm}, {"step-plus-ns", plusForm}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lwcomp.Decompress(tc.form); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportElems(b, benchN)
+		})
+	}
+}
+
+// BenchmarkEXPF_Patching measures FOR vs PFOR on 1%-outlier data,
+// compress and decompress (table: lwcbench -exp F).
+func BenchmarkEXPF_Patching(b *testing.B) {
+	data := workload.OutlierWalk(benchN, 10, 0.01, 1<<38, 1)
+	for _, tc := range []struct {
+		name string
+		s    lwcomp.Scheme
+	}{{"for+ns", lwcomp.FORNS(1024)}, {"pfor", lwcomp.PFOR(1024)}} {
+		form, err := tc.s.Compress(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name+"/compress", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tc.s.Compress(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportElems(b, benchN)
+		})
+		b.Run(tc.name+"/decompress", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lwcomp.Decompress(form); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportElems(b, benchN)
+		})
+	}
+}
+
+// BenchmarkEXPG_VariableWidth measures decode throughput across the
+// width-granularity spectrum (table: lwcbench -exp G).
+func BenchmarkEXPG_VariableWidth(b *testing.B) {
+	data := workload.SkewedMagnitude(benchN, 40, 1)
+	for _, tc := range []struct {
+		name string
+		s    lwcomp.Scheme
+	}{
+		{"ns", lwcomp.NS()},
+		{"vns-128", lwcomp.VNS(128)},
+		{"varint", lwcomp.Varint()},
+		{"elias", lwcomp.Elias()},
+	} {
+		form, err := tc.s.Compress(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lwcomp.Decompress(form); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sz, err := lwcomp.EncodedSize(form)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(benchN*8)/float64(sz), "ratio")
+			reportElems(b, benchN)
+		})
+	}
+}
+
+// BenchmarkEXPH_Models measures step vs linear model fitting on a
+// trend (table: lwcbench -exp H).
+func BenchmarkEXPH_Models(b *testing.B) {
+	data := workload.TrendNoise(benchN, 8, 12, 1)
+	for _, tc := range []struct {
+		name string
+		s    lwcomp.Scheme
+	}{{"step+ns", lwcomp.StepNS(1024)}, {"linear+ns", lwcomp.LinearNS(1024)}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var form *lwcomp.Form
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				form, err = tc.s.Compress(data)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			sz, err := lwcomp.EncodedSize(form)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(benchN*8)/float64(sz), "ratio")
+			reportElems(b, benchN)
+		})
+	}
+}
+
+// BenchmarkEXPI_PrunedSelection measures the model-pruned range
+// selection against decompress-then-filter at 1% selectivity (table:
+// lwcbench -exp I).
+func BenchmarkEXPI_PrunedSelection(b *testing.B) {
+	data := workload.Sorted(benchN, 1<<40, 1)
+	form, err := lwcomp.FORNS(1024).Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo := data[benchN/2]
+	hi := data[benchN/2+benchN/100]
+	b.Run("pruned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lwcomp.SelectRange(form, lo, hi); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportElems(b, benchN)
+	})
+	b.Run("decompress-filter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			col, err := lwcomp.Decompress(form)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = vec.SelectRange(col, lo, hi)
+		}
+		reportElems(b, benchN)
+	})
+}
+
+// BenchmarkEXPJ_ApproxSum measures model-only bounds vs gradual
+// refinement vs the exact fused sum (table: lwcbench -exp J).
+func BenchmarkEXPJ_ApproxSum(b *testing.B) {
+	data := workload.RandomWalk(benchN, 12, 1<<33, 1)
+	form, err := lwcomp.FORNS(1024).Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("model-only", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lwcomp.ApproxSum(form); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportElems(b, benchN)
+	})
+	b.Run("gradual-to-exact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, err := lwcomp.NewGradualSummer(form)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for !g.Done() {
+				if _, err := g.Refine(64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportElems(b, benchN)
+	})
+	b.Run("exact-sum", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lwcomp.Sum(form); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportElems(b, benchN)
+	})
+}
+
+// BenchmarkEXPK_Analyzer measures the full scheme-space search on the
+// dates workload (table: lwcbench -exp K).
+func BenchmarkEXPK_Analyzer(b *testing.B) {
+	data := workload.OrderShipDates(benchN, 64, 730120, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lwcomp.CompressBest(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportElems(b, benchN)
+}
+
+// BenchmarkEXPL_SumOnRLE measures SUM over runs vs
+// decompress-then-scan vs plain scan (table: lwcbench -exp L).
+func BenchmarkEXPL_SumOnRLE(b *testing.B) {
+	data := workload.Runs(benchN, 256, 1<<16, 1)
+	form, err := lwcomp.RLENS().Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := query.Sum(form); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportElems(b, benchN)
+	})
+	b.Run("decompress-scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			col, err := core.Decompress(form)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = vec.Sum(col)
+		}
+		reportElems(b, benchN)
+	})
+	b.Run("plain-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = vec.Sum(data)
+		}
+		reportElems(b, benchN)
+	})
+}
+
+// BenchmarkTreePlan measures whole-tree plan decompression of the §I
+// composite (RLE over DELTA over NS) against per-node kernels — the
+// "composition happens in the plan algebra" ablation.
+func BenchmarkTreePlan(b *testing.B) {
+	dates := workload.OrderShipDates(benchN, 64, 730120, 1)
+	form, err := lwcomp.RLEDeltaNS().Compress(dates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("kernels", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lwcomp.Decompress(form); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportElems(b, benchN)
+	})
+	b.Run("tree-plan-literal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lwcomp.DecompressViaTreePlan(form, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportElems(b, benchN)
+	})
+	b.Run("tree-plan-fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lwcomp.DecompressViaTreePlan(form, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportElems(b, benchN)
+	})
+}
+
+// BenchmarkBitpack measures the generated NS kernels at
+// representative widths — the scalar stand-ins for the paper
+// lineage's SIMD kernels (DESIGN.md, hardware substitution).
+func BenchmarkBitpack(b *testing.B) {
+	for _, w := range []uint{1, 4, 8, 16, 32, 64} {
+		src := make([]uint64, benchN)
+		for i := range src {
+			src[i] = uint64(i) & bitpack.Mask(w)
+		}
+		packed, err := bitpack.Pack(src, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := make([]uint64, benchN)
+		b.Run("unpack-w"+itoa(int(w)), func(b *testing.B) {
+			b.SetBytes(int64(benchN * 8))
+			for i := 0; i < b.N; i++ {
+				if err := bitpack.UnpackInto(dst, packed, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportElems(b, benchN)
+		})
+		b.Run("pack-w"+itoa(int(w)), func(b *testing.B) {
+			b.SetBytes(int64(benchN * 8))
+			for i := 0; i < b.N; i++ {
+				if _, err := bitpack.Pack(src, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportElems(b, benchN)
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

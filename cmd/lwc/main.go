@@ -1,0 +1,383 @@
+// Command lwc is the lwcomp command-line tool: generate workloads,
+// analyze columns, compress/decompress container files, inspect
+// compressed forms and run queries on them without decompressing.
+//
+// Raw columns use a minimal binary format (magic "LWR1", varint
+// count, little-endian int64s). Compressed containers are the
+// storage-package format.
+//
+// Usage:
+//
+//	lwc gen -workload dates -n 1000000 -o dates.raw
+//	lwc stats -i dates.raw
+//	lwc compress -i dates.raw -o dates.lwc -scheme auto
+//	lwc compress -i dates.raw -o dates.lwc -scheme 'rle(lengths=ns, values=delta(deltas=vns[32]))'
+//	lwc inspect -i dates.lwc
+//	lwc decompress -i dates.lwc -o back.raw
+//	lwc query -i dates.lwc -sum
+//	lwc query -i dates.lwc -range 730200:730400
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lwcomp"
+	"lwcomp/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "decompress":
+		err = cmdDecompress(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lwc: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lwc %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `lwc <command> [flags]
+
+commands:
+  gen         generate a synthetic workload column (raw file)
+  stats       analyze a raw column
+  compress    compress a raw column into a container
+  decompress  decompress a container back to a raw column
+  inspect     show the scheme tree and sizes of a container
+  query       run sum/range queries directly on a container
+
+run 'lwc <command> -h' for flags`)
+}
+
+// Raw column file format.
+var rawMagic = [4]byte{'L', 'W', 'R', '1'}
+
+func writeRaw(path string, col []int64) error {
+	buf := make([]byte, 0, 8+len(col)*8)
+	buf = append(buf, rawMagic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(col)))
+	for _, v := range col {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+func readRaw(path string) ([]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 5 || string(data[:4]) != string(rawMagic[:]) {
+		return nil, errors.New("not a raw column file (magic LWR1)")
+	}
+	n, sz := binary.Uvarint(data[4:])
+	if sz <= 0 {
+		return nil, errors.New("corrupt raw header")
+	}
+	pos := 4 + sz
+	if uint64(len(data)-pos) != n*8 {
+		return nil, fmt.Errorf("raw payload %d bytes, want %d", len(data)-pos, n*8)
+	}
+	col := make([]int64, n)
+	for i := range col {
+		col[i] = int64(binary.LittleEndian.Uint64(data[pos:]))
+		pos += 8
+	}
+	return col, nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("workload", "dates", "dates|walk|outliers|trend|lowcard|skewed|runs|sorted|uniform")
+	n := fs.Int("n", 1<<20, "column length")
+	seed := fs.Int64("seed", 42, "generator seed")
+	out := fs.String("o", "column.raw", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var col []int64
+	switch *name {
+	case "dates":
+		col = workload.OrderShipDates(*n, 64, 730120, *seed)
+	case "walk":
+		col = workload.RandomWalk(*n, 10, 1<<33, *seed)
+	case "outliers":
+		col = workload.OutlierWalk(*n, 10, 0.01, 1<<38, *seed)
+	case "trend":
+		col = workload.TrendNoise(*n, 8, 12, *seed)
+	case "lowcard":
+		col = workload.LowCardinality(*n, 32, *seed)
+	case "skewed":
+		col = workload.SkewedMagnitude(*n, 40, *seed)
+	case "runs":
+		col = workload.Runs(*n, 64, 1<<16, *seed)
+	case "sorted":
+		col = workload.Sorted(*n, 1<<40, *seed)
+	case "uniform":
+		col = workload.UniformBits(*n, 16, *seed)
+	default:
+		return fmt.Errorf("unknown workload %q", *name)
+	}
+	if err := writeRaw(*out, col); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d values (%d bytes raw)\n", *out, len(col), len(col)*8)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("i", "", "input raw column")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	col, err := readRaw(*in)
+	if err != nil {
+		return err
+	}
+	st := lwcomp.Analyze(col)
+	fmt.Printf("n            %d\n", st.N)
+	fmt.Printf("min / max    %d / %d\n", st.Min, st.Max)
+	fmt.Printf("runs         %d (avg length %.1f)\n", st.Runs, st.AvgRunLength())
+	fmt.Printf("distinct     %d%s\n", st.Distinct, satSuffix(st))
+	fmt.Printf("monotone     non-decreasing=%v non-increasing=%v\n", st.NonDecreasing, st.NonIncreasing)
+	fmt.Printf("value width  %d bits (zigzag)\n", st.ValueWidth)
+	fmt.Printf("delta width  %d bits (zigzag)\n", st.MaxDeltaWidth)
+	fmt.Printf("range width  %d bits (max-min)\n", st.RangeWidth)
+	return nil
+}
+
+func satSuffix(st lwcomp.Stats) string {
+	if st.DistinctSaturated() {
+		return "+ (saturated)"
+	}
+	return ""
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("i", "", "input raw column")
+	out := fs.String("o", "column.lwc", "output container")
+	schemeExpr := fs.String("scheme", "auto", "scheme expression or 'auto'")
+	name := fs.String("name", "col0", "column name inside the container")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	col, err := readRaw(*in)
+	if err != nil {
+		return err
+	}
+	var form *lwcomp.Form
+	if *schemeExpr == "auto" {
+		choice, err := lwcomp.CompressBestChoice(col)
+		if err != nil {
+			return err
+		}
+		form = choice.Form
+		fmt.Printf("analyzer chose: %s\n", choice.Desc)
+	} else {
+		s, err := lwcomp.ParseScheme(*schemeExpr)
+		if err != nil {
+			return err
+		}
+		form, err = s.Compress(col)
+		if err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := lwcomp.WriteContainer(f, []lwcomp.StoredColumn{{Name: *name, Form: form}}); err != nil {
+		return err
+	}
+	sz, err := lwcomp.EncodedSize(form)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d -> %d bytes (ratio %.2f), scheme %s\n",
+		*out, len(col)*8, sz, float64(len(col)*8)/float64(sz), form.Describe())
+	return nil
+}
+
+func cmdDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	in := fs.String("i", "", "input container")
+	out := fs.String("o", "column.raw", "output raw column")
+	col := fs.String("col", "", "column name (default: first)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	form, name, err := loadColumn(*in, *col)
+	if err != nil {
+		return err
+	}
+	data, err := lwcomp.Decompress(form)
+	if err != nil {
+		return err
+	}
+	if err := writeRaw(*out, data); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: column %q, %d values\n", *out, name, len(data))
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("i", "", "input container")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cols, err := lwcomp.ReadContainer(f)
+	if err != nil {
+		return err
+	}
+	for _, c := range cols {
+		sz, err := lwcomp.EncodedSize(c.Form)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("column %q: n=%d, %d bytes, ratio %.2f\n",
+			c.Name, c.Form.N, sz, float64(c.Form.N*8)/float64(sz))
+		printTree(c.Form, "  ")
+	}
+	return nil
+}
+
+func printTree(f *lwcomp.Form, indent string) {
+	params := ""
+	for _, k := range f.Params.Keys() {
+		params += fmt.Sprintf(" %s=%d", k, f.Params[k])
+	}
+	payload := ""
+	switch {
+	case f.Leaf != nil:
+		payload = fmt.Sprintf(" leaf[%d]", len(f.Leaf))
+	case f.Packed != nil:
+		payload = fmt.Sprintf(" packed[%d words]", len(f.Packed))
+	case f.Bytes != nil:
+		payload = fmt.Sprintf(" bytes[%d]", len(f.Bytes))
+	}
+	fmt.Printf("%s%s n=%d%s%s\n", indent, f.Scheme, f.N, params, payload)
+	for _, name := range f.ChildNames() {
+		fmt.Printf("%s%s:\n", indent+"  ", name)
+		printTree(f.Children[name], indent+"    ")
+	}
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	in := fs.String("i", "", "input container")
+	col := fs.String("col", "", "column name (default: first)")
+	doSum := fs.Bool("sum", false, "compute SUM")
+	doApprox := fs.Bool("approx-sum", false, "bound SUM from the model only")
+	rangeExpr := fs.String("range", "", "count rows in lo:hi")
+	point := fs.Int64("point", -1, "look up one row")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	form, name, err := loadColumn(*in, *col)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("column %q (%s)\n", name, form.Describe())
+	if *doSum {
+		s, err := lwcomp.Sum(form)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sum = %d\n", s)
+	}
+	if *doApprox {
+		iv, err := lwcomp.ApproxSum(form)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sum ∈ [%d, %d] (width %d, midpoint %d)\n", iv.Lower, iv.Upper, iv.Width(), iv.Estimate())
+	}
+	if *rangeExpr != "" {
+		parts := strings.SplitN(*rangeExpr, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("range must be lo:hi, got %q", *rangeExpr)
+		}
+		var lo, hi int64
+		if _, err := fmt.Sscan(parts[0], &lo); err != nil {
+			return err
+		}
+		if _, err := fmt.Sscan(parts[1], &hi); err != nil {
+			return err
+		}
+		c, err := lwcomp.CountRange(form, lo, hi)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("count(%d ≤ v ≤ %d) = %d\n", lo, hi, c)
+	}
+	if *point >= 0 {
+		v, err := lwcomp.PointLookup(form, *point)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("col[%d] = %d\n", *point, v)
+	}
+	return nil
+}
+
+func loadColumn(path, name string) (*lwcomp.Form, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	cols, err := lwcomp.ReadContainer(f)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(cols) == 0 {
+		return nil, "", errors.New("container has no columns")
+	}
+	if name == "" {
+		return cols[0].Form, cols[0].Name, nil
+	}
+	for _, c := range cols {
+		if c.Name == name {
+			return c.Form, c.Name, nil
+		}
+	}
+	return nil, "", fmt.Errorf("column %q not found", name)
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lwcomp"
+)
+
+func TestRawFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "col.raw")
+	src := []int64{0, -1, 1, 1 << 40, -(1 << 40)}
+	if err := writeRaw(path, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readRaw(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(src) {
+		t.Fatalf("length %d != %d", len(got), len(src))
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("element %d: %d != %d", i, got[i], src[i])
+		}
+	}
+}
+
+func TestReadRawRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.raw")
+	if err := os.WriteFile(path, []byte("XXXX"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRaw(path); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated payload.
+	src := []int64{1, 2, 3}
+	if err := writeRaw(path, src); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRaw(path); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestCommandPipeline(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "col.raw")
+	lwc := filepath.Join(dir, "col.lwc")
+	back := filepath.Join(dir, "back.raw")
+
+	if err := cmdGen([]string{"-workload", "dates", "-n", "20000", "-o", raw}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := cmdStats([]string{"-i", raw}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if err := cmdCompress([]string{"-i", raw, "-o", lwc, "-scheme", "auto", "-name", "dates"}); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	if err := cmdInspect([]string{"-i", lwc}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := cmdQuery([]string{"-i", lwc, "-sum", "-approx-sum", "-range", "730200:730400", "-point", "3"}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if err := cmdDecompress([]string{"-i", lwc, "-o", back, "-col", "dates"}); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	orig, err := readRaw(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := readRaw(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig) != len(round) {
+		t.Fatalf("lengths differ: %d vs %d", len(orig), len(round))
+	}
+	for i := range orig {
+		if orig[i] != round[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+
+	// Explicit scheme expression path.
+	if err := cmdCompress([]string{"-i", raw, "-o", lwc, "-scheme", "rle(lengths=ns, values=delta(deltas=vns[32]))"}); err != nil {
+		t.Fatalf("compress explicit: %v", err)
+	}
+	f, err := os.Open(lwc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cols, err := lwcomp.ReadContainer(f)
+	if err != nil || len(cols) != 1 {
+		t.Fatalf("container: %v", err)
+	}
+	if cols[0].Form.Describe() != "rle(lengths=ns, values=delta(deltas=vns(widths=id)))" {
+		t.Fatalf("scheme = %q", cols[0].Form.Describe())
+	}
+
+	// Error paths.
+	if err := cmdGen([]string{"-workload", "nope", "-o", raw}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := cmdCompress([]string{"-i", raw, "-o", lwc, "-scheme", "bogus("}); err == nil {
+		t.Fatal("bad scheme expression accepted")
+	}
+	if err := cmdQuery([]string{"-i", lwc, "-col", "missing", "-sum"}); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	if err := cmdQuery([]string{"-i", lwc, "-range", "oops"}); err == nil {
+		t.Fatal("bad range accepted")
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: compress a column, inspect the chosen composite scheme,
+// decompress it, and run a query without decompressing.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lwcomp"
+	"lwcomp/internal/workload"
+)
+
+func main() {
+	// A shipped-orders date column (the paper's §I motivating
+	// example): monotone day numbers with long runs.
+	dates := workload.OrderShipDates(1_000_000, 64, 730120, 1)
+
+	// Let the analyzer search the composite-scheme space.
+	choice, err := lwcomp.CompressBestChoice(dates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	form := choice.Form
+	size, err := lwcomp.EncodedSize(form)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheme:  %s\n", form.Describe())
+	fmt.Printf("size:    %d bytes (raw %d) — ratio %.1f×\n",
+		size, len(dates)*8, float64(len(dates)*8)/float64(size))
+
+	// Lossless round trip.
+	back, err := lwcomp.Decompress(form)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range dates {
+		if back[i] != dates[i] {
+			log.Fatalf("roundtrip mismatch at %d", i)
+		}
+	}
+	fmt.Println("roundtrip: exact")
+
+	// Query the compressed form directly — no decompression.
+	total, err := lwcomp.Sum(form)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sum(dates) on compressed form = %d\n", total)
+
+	lo, hi := dates[1000], dates[2000]
+	count, err := lwcomp.CountRange(form, lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("count(%d ≤ d ≤ %d) = %d\n", lo, hi, count)
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+
+	"lwcomp/internal/core"
+	"lwcomp/internal/exec"
+	"lwcomp/internal/scheme"
+	"lwcomp/internal/vec"
+	"lwcomp/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "B",
+		Title: "Algorithm 1: RLE decompression as columnar operators",
+		Claim: `§II-A: "just very few of these [columnar operations] are already enough to express a decompression algorithm for RLE".`,
+		Run:   runExpB,
+	})
+	register(Experiment{
+		ID:    "D",
+		Title: "Algorithm 2: FOR decompression as columnar operators",
+		Claim: `§II-B: "the columnar representation allows for a columnar decompression of FOR".`,
+		Run:   runExpD,
+	})
+}
+
+// planRows times kernel vs literal plan vs fused plan for one form
+// and appends rows to t.
+func planRows(t *Table, label string, f *core.Form, want []int64, reps int) error {
+	n := len(want)
+	kernelT, err := timeBest(reps, func() error {
+		got, err := core.Decompress(f)
+		if err != nil {
+			return err
+		}
+		if !vec.Equal(got, want) {
+			return fmt.Errorf("kernel mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	plan, _, err := core.PlanOf(f)
+	if err != nil {
+		return err
+	}
+	planOps := len(plan.Nodes)
+	planT, err := timeBest(reps, func() error {
+		got, err := core.DecompressViaPlan(f, false)
+		if err != nil {
+			return err
+		}
+		if !vec.Equal(got, want) {
+			return fmt.Errorf("plan mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fusedOps := len(exec.Fuse(plan).Nodes)
+	fusedT, err := timeBest(reps, func() error {
+		got, err := core.DecompressViaPlan(f, true)
+		if err != nil {
+			return err
+		}
+		if !vec.Equal(got, want) {
+			return fmt.Errorf("fused plan mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t.AddRow(label, "kernel", "-", melems(n, kernelT), "1.00")
+	t.AddRow(label, "plan (literal Alg.)", fmt.Sprintf("%d ops", planOps),
+		melems(n, planT), f2(planT.Seconds()/kernelT.Seconds()))
+	t.AddRow(label, "plan (idioms fused)", fmt.Sprintf("%d ops", fusedOps),
+		melems(n, fusedT), f2(fusedT.Seconds()/kernelT.Seconds()))
+	return nil
+}
+
+func runExpB(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:    "B",
+		Title: "Algorithm 1: RLE decompression as columnar operators",
+		Claim: "operator plan = kernel output bit-for-bit; fusion recovers most of the kernel's speed",
+		Headers: []string{
+			"avg run", "route", "plan size", "Melem/s", "slowdown vs kernel",
+		},
+	}
+	for _, runLen := range []float64{8, 64, 512} {
+		data := workload.Runs(cfg.N, runLen, 1<<16, cfg.Seed)
+		f, err := scheme.RLE{}.Compress(data)
+		if err != nil {
+			return nil, err
+		}
+		if err := planRows(t, fmt.Sprintf("%.0f", runLen), f, data, cfg.Reps); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		"plan route executes the paper's Algorithm 1 line by line (PrefixSum, PopBack, Constant, Scatter, PrefixSum, Gather)",
+		fmt.Sprintf("n = %d", cfg.N),
+	)
+	return t, nil
+}
+
+func runExpD(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:    "D",
+		Title: "Algorithm 2: FOR decompression as columnar operators",
+		Claim: "operator plan = kernel output bit-for-bit; fusion recovers most of the kernel's speed",
+		Headers: []string{
+			"seg len", "route", "plan size", "Melem/s", "slowdown vs kernel",
+		},
+	}
+	for _, segLen := range []int{256, 1024, 4096} {
+		data := workload.RandomWalk(cfg.N, 20, 1<<30, cfg.Seed)
+		f, err := (scheme.FOR{SegLen: segLen}).Compress(data)
+		if err != nil {
+			return nil, err
+		}
+		if err := planRows(t, fmt.Sprintf("%d", segLen), f, data, cfg.Reps); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		"plan route executes the paper's Algorithm 2 line by line (Constant, PrefixSum, Elementwise ÷, Gather, Elementwise +)",
+		fmt.Sprintf("n = %d", cfg.N),
+	)
+	return t, nil
+}

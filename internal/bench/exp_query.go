@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"lwcomp/internal/core"
+	"lwcomp/internal/query"
+	"lwcomp/internal/scheme"
+	"lwcomp/internal/vec"
+	"lwcomp/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "I",
+		Title: "Model-pruned range selection on FOR",
+		Claim: `§II-B: "The rough correspondence of the column data to a simple model can be used to speed up selections (e.g. range queries)".`,
+		Run:   runExpI,
+	})
+	register(Experiment{
+		ID:    "J",
+		Title: "Approximate and gradually-refined aggregation",
+		Claim: `§II-B: the model view enables "approximate or gradual-refinement query processing".`,
+		Run:   runExpJ,
+	})
+	register(Experiment{
+		ID:    "L",
+		Title: "Aggregation directly on RLE (decompression = query execution)",
+		Claim: `Lessons 1: "There is no clear distinction between decompression and analytic query execution."`,
+		Run:   runExpL,
+	})
+}
+
+func runExpI(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:    "I",
+		Title: "Model-pruned range selection on FOR",
+		Claim: "segment pruning decodes only boundary segments; speedup grows as selectivity falls",
+		Headers: []string{
+			"selectivity", "rows", "decoded segs", "pruned Melem/s", "scan Melem/s", "speedup",
+		},
+	}
+	data := workload.Sorted(cfg.N, 1<<40, cfg.Seed)
+	forForm, err := scheme.FORComposite(1024).Compress(data)
+	if err != nil {
+		return nil, err
+	}
+	maxV := data[len(data)-1]
+	for _, sel := range []float64{0.001, 0.01, 0.1, 0.5, 1.0} {
+		lo := int64(0)
+		hi := int64(float64(maxV) * sel)
+		if sel >= 1.0 {
+			hi = maxV
+		}
+
+		var prunedRows []int64
+		var st query.SelectStats
+		prunedT, err := timeBest(cfg.Reps, func() error {
+			var err error
+			prunedRows, st, err = query.SelectRangeFORWithStats(forForm, lo, hi)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		var scanRows []int64
+		scanT, err := timeBest(cfg.Reps, func() error {
+			col, err := core.Decompress(forForm)
+			if err != nil {
+				return err
+			}
+			scanRows = vec.SelectRange(col, lo, hi)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !vec.Equal(prunedRows, scanRows) {
+			return nil, fmt.Errorf("selectivity %.3f: pruned selection differs from scan", sel)
+		}
+		t.AddRow(
+			fmt.Sprintf("%.3f", sel),
+			fmt.Sprintf("%d", len(prunedRows)),
+			fmt.Sprintf("%d/%d", st.DecodedSegments, st.Segments),
+			melems(len(data), prunedT),
+			melems(len(data), scanT),
+			f2(scanT.Seconds()/prunedT.Seconds()),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"data is sorted, so matching rows are contiguous: interior segments classify as fully inside (emitted without decoding offsets)",
+		fmt.Sprintf("FOR segment length 1024, n = %d", cfg.N),
+	)
+	return t, nil
+}
+
+func runExpJ(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:    "J",
+		Title: "Approximate and gradually-refined aggregation",
+		Claim: "model-only bounds always contain the truth; refinement tightens them monotonically to exactness",
+		Headers: []string{
+			"refined segs", "interval width", "rel. err of midpoint", "contains truth",
+		},
+	}
+	data := workload.RandomWalk(cfg.N, 12, 1<<33, cfg.Seed)
+	var truth int64
+	for _, v := range data {
+		truth += v
+	}
+	forForm, err := scheme.FORComposite(1024).Compress(data)
+	if err != nil {
+		return nil, err
+	}
+	g, err := query.NewGradualSummer(forForm)
+	if err != nil {
+		return nil, err
+	}
+	total := g.Segments()
+	report := func() {
+		iv := g.Bounds()
+		rel := math.Abs(float64(iv.Estimate())-float64(truth)) / math.Abs(float64(truth))
+		contains := "yes"
+		if !iv.Contains(truth) {
+			contains = "NO"
+		}
+		t.AddRow(
+			fmt.Sprintf("%d/%d", g.Refined(), total),
+			fmt.Sprintf("%d", iv.Width()),
+			fmt.Sprintf("%.2e", rel),
+			contains,
+		)
+	}
+	report()
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		target := int(frac * float64(total))
+		if _, err := g.Refine(target - g.Refined()); err != nil {
+			return nil, err
+		}
+		report()
+	}
+	if iv := g.Bounds(); iv.Lower != truth || iv.Width() != 0 {
+		return nil, fmt.Errorf("gradual sum did not converge: %+v vs %d", iv, truth)
+	}
+	t.Notes = append(t.Notes,
+		"row 0 is the paper's pure model estimate: no offsets decoded at all",
+		fmt.Sprintf("FOR segment length 1024, n = %d", cfg.N),
+	)
+	return t, nil
+}
+
+func runExpL(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:    "L",
+		Title: "Aggregation directly on RLE (decompression = query execution)",
+		Claim: "SUM over runs (Σ lengths·values) beats decompress-then-scan by the run-length factor",
+		Headers: []string{
+			"avg run", "fused Melem/s", "decomp+scan Melem/s", "plain scan Melem/s", "speedup vs decomp+scan",
+		},
+	}
+	for _, runLen := range []float64{4, 32, 256, 2048} {
+		data := workload.Runs(cfg.N, runLen, 1<<16, cfg.Seed)
+		var truth int64
+		for _, v := range data {
+			truth += v
+		}
+		rleForm, err := scheme.RLEComposite().Compress(data)
+		if err != nil {
+			return nil, err
+		}
+
+		fusedT, err := timeBest(cfg.Reps, func() error {
+			got, err := query.Sum(rleForm)
+			if err != nil {
+				return err
+			}
+			if got != truth {
+				return fmt.Errorf("fused sum %d != %d", got, truth)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		decompT, err := timeBest(cfg.Reps, func() error {
+			col, err := core.Decompress(rleForm)
+			if err != nil {
+				return err
+			}
+			if vec.Sum(col) != truth {
+				return fmt.Errorf("decomp sum mismatch")
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		plainT, err := timeBest(cfg.Reps, func() error {
+			if vec.Sum(data) != truth {
+				return fmt.Errorf("plain sum mismatch")
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%.0f", runLen),
+			melems(len(data), fusedT),
+			melems(len(data), decompT),
+			melems(len(data), plainT),
+			f2(decompT.Seconds()/fusedT.Seconds()),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"fused route touches only the runs columns: work is O(runs), not O(n)",
+		fmt.Sprintf("n = %d", cfg.N),
+	)
+	return t, nil
+}

@@ -1,0 +1,271 @@
+// Package bitpack is the physical null-suppression (NS) substrate of
+// lwcomp.
+//
+// In the paper's terms, NS "discards redundant bits": a column whose
+// values all fit in w bits is stored as a dense stream of w-bit
+// fields. bitpack provides:
+//
+//   - horizontal bit packing of 64-value blocks at any width 0..64,
+//     with generated, fully unrolled, branch-free kernels per width
+//     (the scalar stand-in for the SIMD kernels used by the paper's
+//     lineage — see DESIGN.md, "Hardware substitution");
+//   - a generic bit-granular fallback for partial tail blocks;
+//   - zigzag mapping between signed and unsigned domains;
+//   - LEB128 varints and Elias gamma/delta codes for the paper's
+//     bit-metric, variable-width extension.
+//
+// All whole-column packing is block-structured: ⌊n/64⌋ full blocks
+// followed by one generic tail. A 64-value block at width w occupies
+// exactly w 64-bit words, so offsets are computable without headers.
+package bitpack
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// BlockLen is the number of values per packed block. At width w a
+// block occupies exactly w 64-bit words.
+const BlockLen = 64
+
+// ErrWidth is returned when a bit width outside [0, 64] is requested.
+var ErrWidth = errors.New("bitpack: width out of range [0, 64]")
+
+// ErrOverflow is returned when a value does not fit in the requested
+// width.
+var ErrOverflow = errors.New("bitpack: value wider than requested width")
+
+// ErrCorrupt is returned when a packed payload is shorter than its
+// declared logical length requires.
+var ErrCorrupt = errors.New("bitpack: packed payload too short")
+
+// Width returns the number of bits needed to represent v: 0 for 0,
+// otherwise ⌈log2(v+1)⌉.
+func Width(v uint64) uint {
+	return uint(bits.Len64(v))
+}
+
+// MaxWidth returns the width of the widest value in src (0 for an
+// empty column).
+func MaxWidth(src []uint64) uint {
+	var m uint64
+	for _, v := range src {
+		m |= v
+	}
+	return Width(m)
+}
+
+// Mask returns a mask with the w low bits set. Mask(64) is all ones;
+// Mask(0) is zero.
+func Mask(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// PackedWords returns how many 64-bit words packing n values at width
+// w occupies.
+func PackedWords(n int, w uint) int {
+	if n <= 0 || w == 0 {
+		return 0
+	}
+	totalBits := uint64(n) * uint64(w)
+	return int((totalBits + 63) / 64)
+}
+
+// PackedBytes returns the payload size in bytes for n values at width
+// w (a whole number of 64-bit words).
+func PackedBytes(n int, w uint) int {
+	return PackedWords(n, w) * 8
+}
+
+// Pack packs src at width w into a fresh word slice. Values wider
+// than w are reported as ErrOverflow (packing never silently
+// truncates: the NS scheme chooses w from the data, and anything else
+// is a bug or corruption).
+func Pack(src []uint64, w uint) ([]uint64, error) {
+	if w > 64 {
+		return nil, fmt.Errorf("%w: %d", ErrWidth, w)
+	}
+	if w == 0 {
+		for i, v := range src {
+			if v != 0 {
+				return nil, fmt.Errorf("%w: value %d at position %d, width 0", ErrOverflow, v, i)
+			}
+		}
+		return []uint64{}, nil
+	}
+	mask := Mask(w)
+	for i, v := range src {
+		if v&^mask != 0 {
+			return nil, fmt.Errorf("%w: value %d at position %d, width %d", ErrOverflow, v, i, w)
+		}
+	}
+	dst := make([]uint64, PackedWords(len(src), w))
+	i := 0
+	out := 0
+	// Full blocks through the unrolled kernels.
+	for ; i+BlockLen <= len(src); i += BlockLen {
+		packBlock(src[i:i+BlockLen], w, dst[out:out+int(w)])
+		out += int(w)
+	}
+	// Generic bit-granular tail.
+	if i < len(src) {
+		packGeneric(src[i:], w, dst, uint64(i)*uint64(w))
+	}
+	return dst, nil
+}
+
+// Unpack expands n values of width w from packed into a fresh column.
+func Unpack(packed []uint64, n int, w uint) ([]uint64, error) {
+	dst := make([]uint64, n)
+	if err := UnpackInto(dst, packed, w); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// UnpackInto expands len(dst) values of width w from packed into dst.
+func UnpackInto(dst, packed []uint64, w uint) error {
+	if w > 64 {
+		return fmt.Errorf("%w: %d", ErrWidth, w)
+	}
+	n := len(dst)
+	if w == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	}
+	if len(packed) < PackedWords(n, w) {
+		return fmt.Errorf("%w: have %d words, need %d for %d values at width %d",
+			ErrCorrupt, len(packed), PackedWords(n, w), n, w)
+	}
+	i := 0
+	in := 0
+	for ; i+BlockLen <= n; i += BlockLen {
+		unpackBlock(packed[in:in+int(w)], w, dst[i:i+BlockLen])
+		in += int(w)
+	}
+	if i < n {
+		unpackGeneric(dst[i:], packed, w, uint64(i)*uint64(w))
+	}
+	return nil
+}
+
+// UnpackRange expands values [start, start+count) of width w from
+// packed without touching the rest of the column. Segment-pruned
+// scans use it to decode only candidate segments.
+func UnpackRange(packed []uint64, start, count int, w uint) ([]uint64, error) {
+	if w > 64 {
+		return nil, fmt.Errorf("%w: %d", ErrWidth, w)
+	}
+	if start < 0 || count < 0 {
+		return nil, fmt.Errorf("bitpack: UnpackRange: negative range [%d, +%d)", start, count)
+	}
+	dst := make([]uint64, count)
+	if w == 0 || count == 0 {
+		return dst, nil
+	}
+	if len(packed) < PackedWords(start+count, w) {
+		return nil, fmt.Errorf("%w: have %d words, need %d for range end %d at width %d",
+			ErrCorrupt, len(packed), PackedWords(start+count, w), start+count, w)
+	}
+	unpackGeneric(dst, packed, w, uint64(start)*uint64(w))
+	return dst, nil
+}
+
+// packGeneric packs src at width w into dst starting at absolute bit
+// offset bitPos. Values are assumed pre-validated against the mask.
+func packGeneric(src []uint64, w uint, dst []uint64, bitPos uint64) {
+	for _, v := range src {
+		word := bitPos >> 6
+		off := uint(bitPos & 63)
+		dst[word] |= v << off
+		if off+w > 64 {
+			dst[word+1] |= v >> (64 - off)
+		}
+		bitPos += uint64(w)
+	}
+}
+
+// unpackGeneric unpacks len(dst) values of width w from src starting
+// at absolute bit offset bitPos.
+func unpackGeneric(dst []uint64, src []uint64, w uint, bitPos uint64) {
+	mask := Mask(w)
+	for i := range dst {
+		word := bitPos >> 6
+		off := uint(bitPos & 63)
+		v := src[word] >> off
+		if off+w > 64 {
+			v |= src[word+1] << (64 - off)
+		}
+		dst[i] = v & mask
+		bitPos += uint64(w)
+	}
+}
+
+// packBlock packs exactly BlockLen values at width w (1..64) into
+// dst[0:w] using the generated kernels.
+func packBlock(src []uint64, w uint, dst []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	packFuncs[w](src, dst)
+}
+
+// unpackBlock unpacks exactly BlockLen values at width w (1..64) from
+// src[0:w] into dst using the generated kernels.
+func unpackBlock(src []uint64, w uint, dst []uint64) {
+	unpackFuncs[w](src, dst)
+}
+
+// Zigzag maps a signed value to an unsigned one with small absolute
+// values mapping to small results: 0→0, -1→1, 1→2, -2→3, …
+func Zigzag(v int64) uint64 {
+	return uint64((v << 1) ^ (v >> 63))
+}
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// ZigzagSlice maps a signed column into a fresh unsigned column.
+func ZigzagSlice(src []int64) []uint64 {
+	out := make([]uint64, len(src))
+	for i, v := range src {
+		out[i] = Zigzag(v)
+	}
+	return out
+}
+
+// UnzigzagSlice inverts ZigzagSlice into a fresh signed column.
+func UnzigzagSlice(src []uint64) []int64 {
+	out := make([]int64, len(src))
+	for i, v := range src {
+		out[i] = Unzigzag(v)
+	}
+	return out
+}
+
+// UnsignedSlice reinterprets a signed column as unsigned bit patterns
+// (no zigzag); callers use it when values are known non-negative.
+func UnsignedSlice(src []int64) []uint64 {
+	out := make([]uint64, len(src))
+	for i, v := range src {
+		out[i] = uint64(v)
+	}
+	return out
+}
+
+// SignedSlice reinterprets an unsigned column as signed bit patterns.
+func SignedSlice(src []uint64) []int64 {
+	out := make([]int64, len(src))
+	for i, v := range src {
+		out[i] = int64(v)
+	}
+	return out
+}

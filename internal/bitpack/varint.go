@@ -1,0 +1,78 @@
+package bitpack
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// VarintEncode encodes a signed column as zigzagged LEB128 varints.
+// It realizes the byte-granularity end of the paper's variable-width
+// spectrum: each element costs ⌈w/7⌉ bytes where w is its zigzagged
+// bit width.
+func VarintEncode(src []int64) []byte {
+	out := make([]byte, 0, len(src))
+	for _, v := range src {
+		out = binary.AppendUvarint(out, Zigzag(v))
+	}
+	return out
+}
+
+// VarintDecode decodes n zigzagged LEB128 varints from data.
+func VarintDecode(data []byte, n int) ([]int64, error) {
+	out := make([]int64, n)
+	pos := 0
+	for i := 0; i < n; i++ {
+		u, sz := binary.Uvarint(data[pos:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("%w: varint %d of %d at byte %d", ErrCorrupt, i, n, pos)
+		}
+		out[i] = Unzigzag(u)
+		pos += sz
+	}
+	return out, nil
+}
+
+// VarintSize returns the encoded size in bytes of src under
+// VarintEncode without materializing the encoding.
+func VarintSize(src []int64) int {
+	total := 0
+	for _, v := range src {
+		u := Zigzag(v)
+		n := 1
+		for u >= 0x80 {
+			u >>= 7
+			n++
+		}
+		total += n
+	}
+	return total
+}
+
+// VarintEncodeUnsigned encodes a non-negative column without the
+// zigzag step (for monotone position columns whose values are known
+// non-negative, the zigzag doubling would waste a bit per element).
+func VarintEncodeUnsigned(src []int64) ([]byte, error) {
+	out := make([]byte, 0, len(src))
+	for i, v := range src {
+		if v < 0 {
+			return nil, fmt.Errorf("bitpack: VarintEncodeUnsigned: negative value %d at position %d", v, i)
+		}
+		out = binary.AppendUvarint(out, uint64(v))
+	}
+	return out, nil
+}
+
+// VarintDecodeUnsigned decodes n unsigned varints from data.
+func VarintDecodeUnsigned(data []byte, n int) ([]int64, error) {
+	out := make([]int64, n)
+	pos := 0
+	for i := 0; i < n; i++ {
+		u, sz := binary.Uvarint(data[pos:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("%w: varint %d of %d at byte %d", ErrCorrupt, i, n, pos)
+		}
+		out[i] = int64(u)
+		pos += sz
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+// Package column provides column statistics for the lwcomp framework.
+//
+// The paper's "richer view of the space of lightweight compression
+// schemes" requires deciding, per column, which (composite) scheme
+// fits: run structure favours RLE/RPE, bounded local variation favours
+// FOR, monotone data favours DELTA, low cardinality favours DICT,
+// linear trends favour the piecewise-linear model. Stats gathers the
+// features those decisions need in a single pass (plus a bounded-size
+// distinct sample).
+package column
+
+import (
+	"math/bits"
+
+	"lwcomp/internal/bitpack"
+)
+
+// distinctCap bounds the exact distinct-counting work; beyond it the
+// count is reported as saturated (Distinct == distinctCap+1).
+const distinctCap = 1 << 16
+
+// Stats summarizes a logical column for scheme selection and cost
+// estimation.
+type Stats struct {
+	// N is the number of elements.
+	N int
+	// Min and Max are the extreme values (zero for empty columns).
+	Min, Max int64
+	// Runs is the number of maximal runs of equal values.
+	Runs int
+	// MaxRunValueWidth is the bit width needed for zigzagged run
+	// values.
+	MaxRunValueWidth uint
+	// NonDecreasing and NonIncreasing report monotonicity.
+	NonDecreasing, NonIncreasing bool
+	// MaxDeltaWidth is the bit width needed for zigzagged
+	// consecutive differences (first delta taken from 0, as DELTA
+	// stores it).
+	MaxDeltaWidth uint
+	// ValueWidth is the bit width needed for zigzagged values.
+	ValueWidth uint
+	// RangeWidth is the bit width of (Max - Min), i.e. the offset
+	// width a global frame of reference would need.
+	RangeWidth uint
+	// Distinct is the exact distinct count up to distinctCap,
+	// saturating at distinctCap+1.
+	Distinct int
+	// SumAbsDelta accumulates |delta| between consecutive elements;
+	// SumAbsDelta/N estimates local variation for FOR suitability.
+	SumAbsDelta uint64
+}
+
+// Analyze computes Stats over src in one pass.
+func Analyze(src []int64) Stats {
+	var s Stats
+	s.N = len(src)
+	if len(src) == 0 {
+		s.NonDecreasing = true
+		s.NonIncreasing = true
+		return s
+	}
+	s.Min, s.Max = src[0], src[0]
+	s.Runs = 1
+	s.NonDecreasing = true
+	s.NonIncreasing = true
+
+	var valueOr, deltaOr, runValueOr uint64
+	valueOr = bitpack.Zigzag(src[0])
+	deltaOr = bitpack.Zigzag(src[0]) // DELTA stores src[0] as first delta from 0
+	runValueOr = bitpack.Zigzag(src[0])
+
+	distinct := make(map[int64]struct{}, 256)
+	distinct[src[0]] = struct{}{}
+
+	prev := src[0]
+	for _, v := range src[1:] {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		if v != prev {
+			s.Runs++
+			runValueOr |= bitpack.Zigzag(v)
+		}
+		if v < prev {
+			s.NonDecreasing = false
+		}
+		if v > prev {
+			s.NonIncreasing = false
+		}
+		d := v - prev
+		deltaOr |= bitpack.Zigzag(d)
+		if d < 0 {
+			s.SumAbsDelta += uint64(-d)
+		} else {
+			s.SumAbsDelta += uint64(d)
+		}
+		valueOr |= bitpack.Zigzag(v)
+		if len(distinct) <= distinctCap {
+			distinct[v] = struct{}{}
+		}
+		prev = v
+	}
+	s.ValueWidth = uint(bits.Len64(valueOr))
+	s.MaxDeltaWidth = uint(bits.Len64(deltaOr))
+	s.MaxRunValueWidth = uint(bits.Len64(runValueOr))
+	s.RangeWidth = uint(bits.Len64(uint64(s.Max - s.Min)))
+	s.Distinct = len(distinct)
+	if s.Distinct > distinctCap {
+		s.Distinct = distinctCap + 1
+	}
+	return s
+}
+
+// AvgRunLength returns N/Runs, the mean run length (0 for empty
+// columns).
+func (s Stats) AvgRunLength() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.N) / float64(s.Runs)
+}
+
+// DistinctSaturated reports whether the distinct count hit its cap.
+func (s Stats) DistinctSaturated() bool { return s.Distinct > distinctCap }
+
+// Monotone reports whether the column is non-decreasing or
+// non-increasing.
+func (s Stats) Monotone() bool { return s.NonDecreasing || s.NonIncreasing }

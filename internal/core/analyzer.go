@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The analyzer realizes the paper's argument that a "richer view of
+// the space of lightweight compression schemes" matters operationally:
+// once schemes decompose into constituents, the scheme space becomes a
+// grammar of compositions, and choosing a scheme becomes a search over
+// that grammar rather than a pick from a flat menu.
+
+// Candidate is one point in the composite-scheme space: a description
+// and a compressor.
+type Candidate struct {
+	// Desc is a human-readable scheme expression, e.g.
+	// "rle(lengths=ns, values=delta(deltas=ns))".
+	Desc string
+	// Compress encodes a column under this candidate.
+	Compress func(src []int64) (*Form, error)
+}
+
+// FromScheme adapts a Scheme (or Composite) into a Candidate.
+func FromScheme(s Scheme) Candidate {
+	return Candidate{Desc: s.Name(), Compress: s.Compress}
+}
+
+// Choice reports the analyzer's winner and the full ranking.
+type Choice struct {
+	// Desc is the winning candidate's description.
+	Desc string
+	// Form is the winning compressed form of the full input.
+	Form *Form
+	// Eval holds the winning size/cost evaluation (of the full
+	// input).
+	Eval CostedSize
+	// Ranking holds per-candidate sample evaluations, in input
+	// order, for reporting. Failed candidates carry Err.
+	Ranking []RankEntry
+}
+
+// RankEntry is one candidate's sample evaluation.
+type RankEntry struct {
+	Desc string
+	Eval CostedSize
+	// Err is non-nil when the candidate could not compress the
+	// sample (e.g. a model scheme outside its domain).
+	Err error
+}
+
+// Analyzer searches a candidate list for the best compression of a
+// column.
+type Analyzer struct {
+	// Candidates is the scheme space to search.
+	Candidates []Candidate
+	// CostBudget, when positive, disqualifies candidates whose
+	// abstract decompression cost per element exceeds it — the
+	// paper's bandwidth argument: "overly-demanding decompression
+	// would slow down the speed of processing data below what the
+	// incoming bandwidth allows".
+	CostBudget float64
+	// SampleSize, when positive, evaluates candidates on a prefix
+	// sample of at most this many elements before compressing the
+	// full column with the winner.
+	SampleSize int
+}
+
+// ErrNoCandidate is returned when every candidate fails or is over
+// budget.
+var ErrNoCandidate = errors.New("core: no admissible candidate scheme")
+
+// Best evaluates all candidates and returns the winner: the smallest
+// sample encoding within the cost budget, recompressed over the full
+// column.
+func (a *Analyzer) Best(src []int64) (*Choice, error) {
+	if len(a.Candidates) == 0 {
+		return nil, ErrNoCandidate
+	}
+	sample := src
+	if a.SampleSize > 0 && len(src) > a.SampleSize {
+		sample = src[:a.SampleSize]
+	}
+
+	choice := &Choice{}
+	bestBits := uint64(math.MaxUint64)
+	bestIdx := -1
+	for _, cand := range a.Candidates {
+		entry := RankEntry{Desc: cand.Desc}
+		f, err := cand.Compress(sample)
+		if err != nil {
+			entry.Err = err
+			choice.Ranking = append(choice.Ranking, entry)
+			continue
+		}
+		ev, err := Evaluate(f)
+		if err != nil {
+			entry.Err = err
+			choice.Ranking = append(choice.Ranking, entry)
+			continue
+		}
+		entry.Eval = ev
+		choice.Ranking = append(choice.Ranking, entry)
+		if a.CostBudget > 0 && len(sample) > 0 && ev.Cost/float64(len(sample)) > a.CostBudget {
+			continue
+		}
+		if ev.Bits < bestBits {
+			bestBits = ev.Bits
+			bestIdx = len(choice.Ranking) - 1
+		}
+	}
+	if bestIdx < 0 {
+		return nil, ErrNoCandidate
+	}
+
+	winner := a.Candidates[bestIdx]
+	full, err := winner.Compress(src)
+	if err != nil {
+		// The winner fit the sample but not the full column (e.g. an
+		// exact-domain scheme); fall back to the next-best candidate
+		// by re-running without it.
+		rest := &Analyzer{CostBudget: a.CostBudget, SampleSize: a.SampleSize}
+		for i, c := range a.Candidates {
+			if i != bestIdx {
+				rest.Candidates = append(rest.Candidates, c)
+			}
+		}
+		if len(rest.Candidates) == 0 {
+			return nil, fmt.Errorf("core: winning candidate %q failed on full column: %w", winner.Desc, err)
+		}
+		return rest.Best(src)
+	}
+	ev, err := Evaluate(full)
+	if err != nil {
+		return nil, err
+	}
+	choice.Desc = winner.Desc
+	choice.Form = full
+	choice.Eval = ev
+	return choice, nil
+}

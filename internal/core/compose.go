@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Composite is the paper's composition operator "∘": compress with an
+// outer scheme, then compress named constituent columns of the result
+// with further (possibly themselves composite) schemes. The §I
+// example — "applying an RLE scheme to the dates, then applying DELTA
+// to the run values" — is Compose(RLE, map{"values": DELTA}).
+//
+// Composition is purely structural: the resulting Form tree needs no
+// registration of its own, because decompression dispatches on each
+// node's scheme name independently.
+type Composite struct {
+	outer Scheme
+	inner map[string]Scheme
+}
+
+// Compose builds the composite scheme outer ∘ inner. Keys of inner
+// name constituent columns of outer's forms; an unknown key surfaces
+// at Compress time so that misconfigured pipelines fail loudly.
+func Compose(outer Scheme, inner map[string]Scheme) *Composite {
+	cp := make(map[string]Scheme, len(inner))
+	for k, v := range inner {
+		cp[k] = v
+	}
+	return &Composite{outer: outer, inner: cp}
+}
+
+// Name renders the composition, e.g. "rle(values=delta(deltas=ns))".
+// Composite names are descriptive and are not registry keys.
+func (c *Composite) Name() string {
+	keys := make([]string, 0, len(c.inner))
+	for k := range c.inner {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := c.outer.Name() + "("
+	for i, k := range keys {
+		if i > 0 {
+			out += ", "
+		}
+		out += k + "=" + c.inner[k].Name()
+	}
+	return out + ")"
+}
+
+// Compress applies the outer scheme, then rewrites each named child by
+// compressing its pure column with the inner scheme.
+func (c *Composite) Compress(src []int64) (*Form, error) {
+	f, err := c.outer.Compress(src)
+	if err != nil {
+		return nil, fmt.Errorf("composite outer %q: %w", c.outer.Name(), err)
+	}
+	for name, inner := range c.inner {
+		child, err := f.Child(name)
+		if err != nil {
+			return nil, fmt.Errorf("composite %q: %w", c.Name(), err)
+		}
+		pure, err := Decompress(child)
+		if err != nil {
+			return nil, fmt.Errorf("composite %q: resolving child %q: %w", c.Name(), name, err)
+		}
+		cf, err := inner.Compress(pure)
+		if err != nil {
+			return nil, fmt.Errorf("composite %q: inner %q on child %q: %w", c.Name(), inner.Name(), name, err)
+		}
+		f.Children[name] = cf
+	}
+	return f, nil
+}
+
+// Decompress delegates to the registry-driven driver; composite forms
+// decompress like any other because composition is structural.
+func (c *Composite) Decompress(f *Form) ([]int64, error) {
+	return Decompress(f)
+}
+
+// Compile-time check: a Composite is itself a Scheme, so compositions
+// nest arbitrarily deep.
+var _ Scheme = (*Composite)(nil)

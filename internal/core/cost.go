@@ -1,0 +1,72 @@
+package core
+
+import "fmt"
+
+// The cost model quantifies the paper's trade-off axis: partial
+// decompression "trades away some of the potential compression ratio
+// of the composite scheme for ease of decompression". Size alone
+// would always prefer the deepest composition; decompression cost is
+// what makes shallower forms (like RPE instead of RLE) rational
+// choices.
+
+// Coster is optionally implemented by schemes to report the abstract
+// per-output-element cost of their decompression kernel (excluding
+// the recursive cost of resolving children). The unit is "simple
+// column operations per element": a copy costs about 1, a
+// gather about 2, bit unpacking about 1.5.
+type Coster interface {
+	Scheme
+	// DecompressCostPerElement estimates per-element kernel cost for
+	// the given form.
+	DecompressCostPerElement(f *Form) float64
+}
+
+// defaultCostPerElement is assumed for schemes that do not implement
+// Coster.
+const defaultCostPerElement = 2.0
+
+// DecompressionCost estimates the total abstract cost of fully
+// decompressing a form tree.
+func DecompressionCost(f *Form) (float64, error) {
+	var total float64
+	err := f.Walk(func(node *Form) error {
+		s, ok := Lookup(node.Scheme)
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownScheme, node.Scheme)
+		}
+		per := defaultCostPerElement
+		if c, ok := s.(Coster); ok {
+			per = c.DecompressCostPerElement(node)
+		}
+		total += per * float64(node.N)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// CostedSize bundles the two objectives the analyzer trades off.
+type CostedSize struct {
+	// Bits is the physical size of the form tree.
+	Bits uint64
+	// Cost is the abstract decompression cost.
+	Cost float64
+	// Ratio is uncompressed bits over compressed bits.
+	Ratio float64
+}
+
+// Evaluate computes both objectives for a form.
+func Evaluate(f *Form) (CostedSize, error) {
+	cost, err := DecompressionCost(f)
+	if err != nil {
+		return CostedSize{}, err
+	}
+	bits := f.PayloadBits()
+	var ratio float64
+	if bits > 0 {
+		ratio = float64(uint64(f.N)*64) / float64(bits)
+	}
+	return CostedSize{Bits: bits, Cost: cost, Ratio: ratio}, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"lwcomp/internal/exec"
+)
+
+// PlanTree builds one flat operator plan for an entire form tree:
+// plannable children are inlined into their parent's plan (their
+// Input nodes renamed to "child.grandchild" paths), and only
+// non-plannable leaves (physical codecs like NS, or raw ID columns)
+// remain as plan inputs, pre-decompressed into the returned
+// environment.
+//
+// For the paper's §I composition — RLE over DELTA-compressed run
+// values — the tree plan is Algorithm 1 with a prefix sum grafted
+// where the values input was: decompression of the *composite* scheme
+// is still a single columnar program. Composition happens in the
+// plan algebra, not just in the data format.
+func PlanTree(f *Form) (*exec.Plan, map[string][]int64, error) {
+	plan, err := planTreeRec(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := make(map[string][]int64)
+	for _, path := range plan.Inputs() {
+		col, err := resolvePath(f, path)
+		if err != nil {
+			return nil, nil, err
+		}
+		env[path] = col
+	}
+	return plan, env, nil
+}
+
+// planTreeRec builds the inlined plan without resolving leaf inputs.
+func planTreeRec(f *Form) (*exec.Plan, error) {
+	s, ok := Lookup(f.Scheme)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, f.Scheme)
+	}
+	p, ok := s.(Planner)
+	if !ok {
+		return nil, fmt.Errorf("core: scheme %q does not support plan decompression", f.Scheme)
+	}
+	plan, err := p.Plan(f)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range plan.Inputs() {
+		child, err := f.Child(name)
+		if err != nil {
+			return nil, err
+		}
+		cs, ok := Lookup(child.Scheme)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, child.Scheme)
+		}
+		if _, plannable := cs.(Planner); !plannable {
+			continue // stays an input; resolved from the environment
+		}
+		childPlan, err := planTreeRec(child)
+		if err != nil {
+			return nil, err
+		}
+		plan, err = exec.Inline(plan, name, childPlan, name+".")
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// resolvePath decompresses the constituent column at a dotted path
+// like "values.deltas".
+func resolvePath(f *Form, path string) ([]int64, error) {
+	node := f
+	for len(path) > 0 {
+		name := path
+		if i := indexByte(path, '.'); i >= 0 {
+			name = path[:i]
+			path = path[i+1:]
+		} else {
+			path = ""
+		}
+		child, err := node.Child(name)
+		if err != nil {
+			return nil, err
+		}
+		node = child
+	}
+	return Decompress(node)
+}
+
+// indexByte avoids importing strings for one call.
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// DecompressViaTreePlan reconstructs f's column by building and
+// executing the whole-tree plan. fuse selects idiom fusion.
+func DecompressViaTreePlan(f *Form, fuse bool) ([]int64, error) {
+	plan, env, err := PlanTree(f)
+	if err != nil {
+		return nil, err
+	}
+	if fuse {
+		plan = exec.Fuse(plan)
+	}
+	out, err := exec.Run(plan, env)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != f.N {
+		return nil, fmt.Errorf("%w: tree plan produced %d values, form declares %d", ErrCorruptForm, len(out), f.N)
+	}
+	return out, nil
+}

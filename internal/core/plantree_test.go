@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestPlanTreeWithMockSchemes exercises PlanTree inside the core
+// package using the registered mocks: a double-mock over a
+// double-mock inlines into one plan that multiplies by four.
+func TestPlanTreeWithMockSchemes(t *testing.T) {
+	inner := mockDouble{"double-mock"}
+	comp := Compose(inner, map[string]Scheme{"halves": inner})
+	src := []int64{4, 8, 12}
+	f, err := comp.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, env, err := PlanTree(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := plan.Inputs()
+	if len(inputs) != 1 || inputs[0] != "halves.halves" {
+		t.Fatalf("tree inputs = %v", inputs)
+	}
+	if got := env["halves.halves"]; len(got) != 3 || got[0] != 1 {
+		t.Fatalf("env = %v", env)
+	}
+	out, err := DecompressViaTreePlan(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if out[i] != src[i] {
+			t.Fatalf("tree plan output %v != %v", out, src)
+		}
+	}
+	// Fused variant is a no-op here but must still be correct.
+	out, err = DecompressViaTreePlan(f, true)
+	if err != nil || out[2] != 12 {
+		t.Fatalf("fused tree plan: %v", err)
+	}
+}
+
+func TestPlanTreePlanlessRootAndChild(t *testing.T) {
+	// Root without a planner.
+	rf, err := Compress("raw-mock", []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := PlanTree(rf); err == nil {
+		t.Fatal("planless root accepted")
+	}
+	// Planner root with a planless child stops inlining there and
+	// resolves the child from the environment.
+	df, err := Compress("double-mock", []int64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, env, err := PlanTree(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Inputs()) != 1 || plan.Inputs()[0] != "halves" {
+		t.Fatalf("inputs = %v", plan.Inputs())
+	}
+	if len(env["halves"]) != 2 {
+		t.Fatalf("env = %v", env)
+	}
+}
+
+func TestResolvePath(t *testing.T) {
+	comp := Compose(mockDouble{"double-mock"}, map[string]Scheme{"halves": mockDouble{"double-mock"}})
+	f, err := comp.Compress([]int64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := resolvePath(f, "halves.halves")
+	if err != nil || len(col) != 1 || col[0] != 2 {
+		t.Fatalf("resolvePath = %v, %v", col, err)
+	}
+	if _, err := resolvePath(f, "halves.nope"); err == nil {
+		t.Fatal("bad path accepted")
+	}
+	if _, err := resolvePath(f, "nope"); err == nil {
+		t.Fatal("bad root path accepted")
+	}
+}

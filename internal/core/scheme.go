@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lwcomp/internal/exec"
+)
+
+// ErrUnknownScheme is returned when a form names a scheme that has not
+// been registered.
+var ErrUnknownScheme = errors.New("core: unknown scheme")
+
+// ErrNotRepresentable is returned by a scheme's Compress when the
+// input column is outside the scheme's domain (for example, STEP can
+// only represent exact fixed-segment step functions — the paper notes
+// it "captures a tiny fragment of potential columns").
+var ErrNotRepresentable = errors.New("core: column not representable by scheme")
+
+// ErrCorruptForm is returned when a form's payload or children are
+// inconsistent with its parameters.
+var ErrCorruptForm = errors.New("core: corrupt form")
+
+// Scheme is a lightweight compression scheme under the paper's
+// columnar view: Compress splits a logical column into constituent
+// columns (children of the returned Form) plus scalar parameters;
+// Decompress reverses it.
+//
+// Compress must produce children that are ID forms (raw pure columns)
+// or physical leaf forms; making children *themselves* compressed is
+// the job of the Composite combinator — keeping the two concerns
+// separate is exactly the paper's decomposition discipline.
+//
+// Decompress must handle children compressed by arbitrary schemes by
+// resolving them through core.Decompress.
+type Scheme interface {
+	// Name returns the registry key, a short lowercase identifier.
+	Name() string
+	// Compress encodes src into a form.
+	Compress(src []int64) (*Form, error)
+	// Decompress reconstructs the column encoded by f.
+	Decompress(f *Form) ([]int64, error)
+}
+
+// Planner is implemented by schemes whose decompression can be
+// expressed as an operator plan over their immediate constituent
+// columns — the paper's Algorithms 1 and 2. The returned plan's
+// Input nodes name the form's children.
+type Planner interface {
+	Scheme
+	// Plan returns the decompression plan for f.
+	Plan(f *Form) (*exec.Plan, error)
+}
+
+// Validator is implemented by schemes that can structurally check
+// their own forms (payload lengths against parameters and so on).
+type Validator interface {
+	// ValidateForm reports structural problems in a form of this
+	// scheme.
+	ValidateForm(f *Form) error
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Scheme{}
+)
+
+// Register adds s to the global scheme registry. Registering two
+// schemes with the same name is a programming error and panics, per
+// the database/sql driver-registration convention.
+func Register(s Scheme) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	name := s.Name()
+	if name == "" {
+		panic("core: Register with empty scheme name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: Register called twice for scheme %q", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the registered scheme with the given name.
+func Lookup(name string) (Scheme, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Schemes returns the names of all registered schemes, sorted.
+func Schemes() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Decompress reconstructs the logical column of a form tree by
+// dispatching on the form's scheme name. It is the single entry point
+// schemes use to resolve their (possibly recursively compressed)
+// constituent columns.
+func Decompress(f *Form) ([]int64, error) {
+	if f == nil {
+		return nil, errors.New("core: Decompress(nil)")
+	}
+	s, ok := Lookup(f.Scheme)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, f.Scheme)
+	}
+	out, err := s.Decompress(f)
+	if err != nil {
+		return nil, fmt.Errorf("scheme %q: %w", f.Scheme, err)
+	}
+	if len(out) != f.N {
+		return nil, fmt.Errorf("%w: scheme %q decompressed %d values, form declares %d",
+			ErrCorruptForm, f.Scheme, len(out), f.N)
+	}
+	return out, nil
+}
+
+// DecompressChild resolves the named constituent column of f.
+func DecompressChild(f *Form, name string) ([]int64, error) {
+	c, err := f.Child(name)
+	if err != nil {
+		return nil, err
+	}
+	return Decompress(c)
+}
+
+// Compress encodes src with the named registered scheme.
+func Compress(schemeName string, src []int64) (*Form, error) {
+	s, ok := Lookup(schemeName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, schemeName)
+	}
+	return s.Compress(src)
+}
+
+// PlanOf returns the operator-plan decompression of f if its scheme
+// supports planning, along with the environment of decompressed
+// constituent columns the plan's Input nodes expect.
+func PlanOf(f *Form) (*exec.Plan, map[string][]int64, error) {
+	s, ok := Lookup(f.Scheme)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownScheme, f.Scheme)
+	}
+	p, ok := s.(Planner)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: scheme %q does not support plan decompression", f.Scheme)
+	}
+	plan, err := p.Plan(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := make(map[string][]int64, len(f.Children))
+	for _, name := range plan.Inputs() {
+		col, err := DecompressChild(f, name)
+		if err != nil {
+			return nil, nil, err
+		}
+		env[name] = col
+	}
+	return plan, env, nil
+}
+
+// DecompressViaPlan reconstructs f's column by building and executing
+// its scheme's operator plan — the paper's route — rather than the
+// fused kernel. fuse selects whether the engine may substitute
+// recognized idioms.
+func DecompressViaPlan(f *Form, fuse bool) ([]int64, error) {
+	plan, env, err := PlanOf(f)
+	if err != nil {
+		return nil, err
+	}
+	if fuse {
+		plan = exec.Fuse(plan)
+	}
+	out, err := exec.Run(plan, env)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != f.N {
+		return nil, fmt.Errorf("%w: plan produced %d values, form declares %d", ErrCorruptForm, len(out), f.N)
+	}
+	return out, nil
+}

@@ -1,0 +1,304 @@
+package exec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lwcomp/internal/vec"
+)
+
+// buildRLEPlan constructs Algorithm 1 of the paper by hand, the way
+// the RLE scheme does.
+func buildRLEPlan(t *testing.T) *Plan {
+	t.Helper()
+	b := NewBuilder()
+	lengths := b.Input("lengths")
+	values := b.Input("values")
+	ps := b.PrefixSumInc(lengths)
+	n := b.Last(ps)
+	popped := b.PopBack(ps)
+	one := b.ConstScalar(1)
+	onesLen := b.Len(popped)
+	ones := b.ConstantCol(one, onesLen)
+	posDelta := b.Scatter(ones, popped, n)
+	positions := b.PrefixSumInc(posDelta)
+	b.Gather(values, positions)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return plan
+}
+
+func rleEnv() map[string][]int64 {
+	return map[string][]int64{
+		"lengths": {3, 1, 2},
+		"values":  {7, 9, 7},
+	}
+}
+
+func TestAlgorithm1Plan(t *testing.T) {
+	plan := buildRLEPlan(t)
+	got, err := Run(plan, rleEnv())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []int64{7, 7, 7, 9, 7, 7}
+	if !vec.Equal(got, want) {
+		t.Fatalf("Algorithm 1 = %v, want %v", got, want)
+	}
+}
+
+func TestAlgorithm1Fusion(t *testing.T) {
+	plan := buildRLEPlan(t)
+	fused := Fuse(plan)
+	if len(fused.Nodes) >= len(plan.Nodes) {
+		t.Fatalf("fusion did not shrink plan: %d -> %d nodes", len(plan.Nodes), len(fused.Nodes))
+	}
+	found := false
+	for _, n := range fused.Nodes {
+		if n.Op == OpFusedRunExpand {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fused plan lacks RunExpand")
+	}
+	got, err := Run(fused, rleEnv())
+	if err != nil {
+		t.Fatalf("run fused: %v", err)
+	}
+	if !vec.Equal(got, []int64{7, 7, 7, 9, 7, 7}) {
+		t.Fatalf("fused result = %v", got)
+	}
+}
+
+// buildFORPlan constructs Algorithm 2 of the paper by hand.
+func buildFORPlan(t *testing.T, segLen int64) *Plan {
+	t.Helper()
+	b := NewBuilder()
+	offsets := b.Input("offsets")
+	refs := b.Input("refs")
+	one := b.ConstScalar(1)
+	n := b.Len(offsets)
+	ones := b.ConstantCol(one, n)
+	id := b.PrefixSumExc(ones)
+	ell := b.ConstScalar(segLen)
+	ells := b.ConstantCol(ell, n)
+	refIdx := b.Elementwise(vec.Div, id, ells)
+	repl := b.Gather(refs, refIdx)
+	b.Elementwise(vec.Add, repl, offsets)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return plan
+}
+
+func forEnv() map[string][]int64 {
+	return map[string][]int64{
+		"refs":    {100, 200},
+		"offsets": {1, 2, 3, 4, 5},
+	}
+}
+
+func TestAlgorithm2Plan(t *testing.T) {
+	plan := buildFORPlan(t, 3)
+	got, err := Run(plan, forEnv())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []int64{101, 102, 103, 204, 205}
+	if !vec.Equal(got, want) {
+		t.Fatalf("Algorithm 2 = %v, want %v", got, want)
+	}
+}
+
+func TestAlgorithm2Fusion(t *testing.T) {
+	plan := buildFORPlan(t, 3)
+	fused := Fuse(plan)
+	if len(fused.Nodes) >= len(plan.Nodes) {
+		t.Fatalf("fusion did not shrink plan: %d -> %d", len(plan.Nodes), len(fused.Nodes))
+	}
+	found := false
+	for _, n := range fused.Nodes {
+		if n.Op == OpFusedReplicateSegments {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fused plan lacks ReplicateSegments:\n%s", fused)
+	}
+	got, err := Run(fused, forEnv())
+	if err != nil {
+		t.Fatalf("run fused: %v", err)
+	}
+	if !vec.Equal(got, []int64{101, 102, 103, 204, 205}) {
+		t.Fatalf("fused result = %v", got)
+	}
+}
+
+func TestFuseLeavesUnrelatedPlansAlone(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x")
+	b.PrefixSumInc(x)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := Fuse(plan)
+	if len(fused.Nodes) != len(plan.Nodes) {
+		t.Fatal("fusion altered a plan with no idiom")
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	// Empty plan.
+	if err := (&Plan{}).Validate(); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+	// Forward reference.
+	p := &Plan{Nodes: []Node{{Op: OpPrefixSumInc, Args: []int{0}}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("self reference accepted")
+	}
+	// Wrong arity.
+	p = &Plan{Nodes: []Node{{Op: OpInput, Name: "x"}, {Op: OpGather, Args: []int{0}}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	// Invalid binary op immediate.
+	p = &Plan{Nodes: []Node{
+		{Op: OpInput, Name: "x"},
+		{Op: OpInput, Name: "y"},
+		{Op: OpElementwise, Args: []int{0, 1}, Imm: 99},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("invalid op code accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	// Unbound input.
+	b := NewBuilder()
+	x := b.Input("missing")
+	b.PrefixSumInc(x)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(plan, nil); !errors.Is(err, ErrUnboundInput) {
+		t.Fatalf("unbound input err = %v", err)
+	}
+
+	// Scalar output rejected.
+	b = NewBuilder()
+	x = b.Input("x")
+	b.Len(x)
+	plan, err = b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(plan, map[string][]int64{"x": {1}}); err == nil {
+		t.Fatal("scalar output accepted")
+	}
+
+	// Scalar/column confusion.
+	p := &Plan{Nodes: []Node{
+		{Op: OpConstScalar, Imm: 3},
+		{Op: OpPrefixSumInc, Args: []int{0}},
+	}}
+	if _, err := Run(p, nil); err == nil {
+		t.Fatal("scalar used as column accepted")
+	}
+
+	// Gather out of range surfaces as an error, not a panic.
+	b = NewBuilder()
+	d := b.Input("data")
+	i := b.Input("idx")
+	b.Gather(d, i)
+	plan, err = b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(plan, map[string][]int64{"data": {1}, "idx": {5}}); err == nil {
+		t.Fatal("gather out of range accepted")
+	}
+}
+
+func TestRunWithStats(t *testing.T) {
+	plan := buildRLEPlan(t)
+	_, st, err := RunWithStats(plan, rleEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OpsExecuted != len(plan.Nodes) {
+		t.Fatalf("ops = %d, want %d", st.OpsExecuted, len(plan.Nodes))
+	}
+	if st.ElementsProduced == 0 {
+		t.Fatal("no elements recorded")
+	}
+}
+
+func TestPlanStringAndInputs(t *testing.T) {
+	plan := buildRLEPlan(t)
+	s := plan.String()
+	for _, want := range []string{"Input", "PrefixSum", "Scatter", "Gather"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("plan string missing %q:\n%s", want, s)
+		}
+	}
+	in := plan.Inputs()
+	if len(in) != 2 || in[0] != "lengths" || in[1] != "values" {
+		t.Fatalf("Inputs = %v", in)
+	}
+}
+
+func TestIotaAndElementwiseScalarOps(t *testing.T) {
+	b := NewBuilder()
+	start := b.ConstScalar(10)
+	n := b.ConstScalar(4)
+	io := b.Iota(start, n)
+	two := b.ConstScalar(2)
+	b.ElementwiseScalar(vec.Mul, io, two)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.Equal(got, []int64{20, 22, 24, 26}) {
+		t.Fatalf("iota*2 = %v", got)
+	}
+}
+
+func TestDeltaOp(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x")
+	b.Delta(x)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(plan, map[string][]int64{"x": {3, 5, 5, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.Equal(got, []int64{3, 2, 0, -3}) {
+		t.Fatalf("delta = %v", got)
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for k := OpInput; k <= OpFusedReplicateSegments; k++ {
+		if s := k.String(); strings.HasPrefix(s, "OpKind(") {
+			t.Fatalf("missing mnemonic for op %d", k)
+		}
+	}
+	if s := OpKind(250).String(); !strings.HasPrefix(s, "OpKind(") {
+		t.Fatalf("unknown op string = %q", s)
+	}
+}

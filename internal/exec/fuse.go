@@ -1,0 +1,187 @@
+package exec
+
+import "lwcomp/internal/vec"
+
+// Fuse rewrites a plan by recognizing the two decompression idioms of
+// the paper and substituting fused operators:
+//
+//   - Algorithm 1's run-expansion tail —
+//     Gather(values, PrefixSum(Scatter(ones, PopBack(PrefixSum(lengths)), n)))
+//     becomes RunExpand(values, lengths);
+//   - Algorithm 2's step-function evaluation —
+//     Gather(refs, Elementwise(÷, id, Constant(ℓ, n)))
+//     becomes ReplicateSegments(refs, ℓ, n).
+//
+// Fusion never changes results; it exists so the benchmarks can
+// quantify the gap between executing the paper's literal operator
+// plans and executing recognized idioms (EXP-B, EXP-D). If no idiom
+// matches, the original plan is returned unchanged.
+func Fuse(p *Plan) *Plan {
+	out := fuseRunExpand(p)
+	out = fuseReplicateSegments(out)
+	return out
+}
+
+// fuseRunExpand detects Algorithm 1's Scatter/PrefixSum/Gather idiom.
+// It restarts the scan after every rewrite, since dead-node
+// elimination renumbers the plan.
+func fuseRunExpand(p *Plan) *Plan {
+	for {
+		rewritten, ok := fuseRunExpandOnce(p)
+		if !ok {
+			return p
+		}
+		p = rewritten
+	}
+}
+
+func fuseRunExpandOnce(p *Plan) (*Plan, bool) {
+	nodes := p.Nodes
+	for i, n := range nodes {
+		// Gather(values, idx)
+		if n.Op != OpGather {
+			continue
+		}
+		idx := nodes[n.Args[1]]
+		// idx = PrefixSumInc(delta)
+		if idx.Op != OpPrefixSumInc {
+			continue
+		}
+		sc := nodes[idx.Args[0]]
+		// delta = Scatter(ones, positions, total)
+		if sc.Op != OpScatter {
+			continue
+		}
+		ones := nodes[sc.Args[0]]
+		if ones.Op != OpConstantCol {
+			continue
+		}
+		onesVal := nodes[ones.Args[0]]
+		if onesVal.Op != OpConstScalar || onesVal.Imm != 1 {
+			continue
+		}
+		pb := nodes[sc.Args[1]]
+		// positions = PopBack(ps)
+		if pb.Op != OpPopBack {
+			continue
+		}
+		ps := nodes[pb.Args[0]]
+		// ps = PrefixSumInc(lengths)
+		if ps.Op != OpPrefixSumInc {
+			continue
+		}
+		total := nodes[sc.Args[2]]
+		// total = Last(ps) over the same prefix sum
+		if total.Op != OpLast || total.Args[0] != pb.Args[0] {
+			continue
+		}
+		lengths := ps.Args[0]
+		values := n.Args[0]
+		fused := append([]Node{}, nodes...)
+		fused[i] = Node{Op: OpFusedRunExpand, Args: []int{values, lengths}}
+		return eliminateDead(&Plan{Nodes: fused}), true
+	}
+	return p, false
+}
+
+// fuseReplicateSegments detects Algorithm 2's step-function idiom. It
+// restarts the scan after every rewrite.
+func fuseReplicateSegments(p *Plan) *Plan {
+	for {
+		rewritten, ok := fuseReplicateSegmentsOnce(p)
+		if !ok {
+			return p
+		}
+		p = rewritten
+	}
+}
+
+func fuseReplicateSegmentsOnce(p *Plan) (*Plan, bool) {
+	nodes := p.Nodes
+	for i, n := range nodes {
+		// Gather(refs, segIdx)
+		if n.Op != OpGather {
+			continue
+		}
+		div := nodes[n.Args[1]]
+		// segIdx = Elementwise(÷, id, ells)
+		if div.Op != OpElementwise || vec.BinaryOp(div.Imm) != vec.Div {
+			continue
+		}
+		id := nodes[div.Args[0]]
+		ells := nodes[div.Args[1]]
+		// ells = Constant(ℓ, n) with ℓ a literal scalar
+		if ells.Op != OpConstantCol {
+			continue
+		}
+		ellVal := nodes[ells.Args[0]]
+		if ellVal.Op != OpConstScalar {
+			continue
+		}
+		nScalar := -1
+		switch id.Op {
+		case OpIota:
+			// id = Iota(0, n)
+			start := nodes[id.Args[0]]
+			if start.Op != OpConstScalar || start.Imm != 0 {
+				continue
+			}
+			nScalar = id.Args[1]
+		case OpPrefixSumExc:
+			// id = PrefixSumExc(Constant(1, n))
+			onesCol := nodes[id.Args[0]]
+			if onesCol.Op != OpConstantCol {
+				continue
+			}
+			onesVal := nodes[onesCol.Args[0]]
+			if onesVal.Op != OpConstScalar || onesVal.Imm != 1 {
+				continue
+			}
+			nScalar = onesCol.Args[1]
+		default:
+			continue
+		}
+		refs := n.Args[0]
+		fused := append([]Node{}, nodes...)
+		fused[i] = Node{Op: OpFusedReplicateSegments, Args: []int{refs, ells.Args[0], nScalar}}
+		return eliminateDead(&Plan{Nodes: fused}), true
+	}
+	return p, false
+}
+
+// eliminateDead removes nodes unreachable from the output and
+// renumbers arguments.
+func eliminateDead(p *Plan) *Plan {
+	n := len(p.Nodes)
+	if n == 0 {
+		return p
+	}
+	live := make([]bool, n)
+	var mark func(int)
+	mark = func(i int) {
+		if live[i] {
+			return
+		}
+		live[i] = true
+		for _, a := range p.Nodes[i].Args {
+			mark(a)
+		}
+	}
+	mark(n - 1)
+
+	remap := make([]int, n)
+	var out []Node
+	for i, nd := range p.Nodes {
+		if !live[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(out)
+		args := make([]int, len(nd.Args))
+		for j, a := range nd.Args {
+			args[j] = remap[a]
+		}
+		out = append(out, Node{Op: nd.Op, Args: args, Imm: nd.Imm, Name: nd.Name})
+	}
+	return &Plan{Nodes: out}
+}

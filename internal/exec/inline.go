@@ -1,0 +1,67 @@
+package exec
+
+import "fmt"
+
+// Inline grafts an inner plan into an outer plan: every outer
+// Input(inputName) node is replaced by the inner plan's output, and
+// the inner plan's own Input nodes are renamed to prefix + their
+// name. The result is a single flat plan.
+//
+// Inlining is what lets composite compressed forms decompress as one
+// operator program: RLE over DELTA-compressed run values becomes
+// "prefix-sum the deltas, then run-expand" — one plan, no
+// materialization boundary between schemes. This is the paper's "no
+// clear distinction between decompression and analytic query
+// execution" carried across composition levels.
+func Inline(outer *Plan, inputName string, inner *Plan, prefix string) (*Plan, error) {
+	if err := outer.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: Inline outer: %w", err)
+	}
+	if err := inner.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: Inline inner: %w", err)
+	}
+	found := false
+	for _, n := range outer.Nodes {
+		if n.Op == OpInput && n.Name == inputName {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("exec: Inline: outer plan has no input %q", inputName)
+	}
+
+	var nodes []Node
+	// Inner nodes first, inputs renamed.
+	for _, n := range inner.Nodes {
+		nn := Node{Op: n.Op, Imm: n.Imm, Name: n.Name}
+		nn.Args = append([]int{}, n.Args...)
+		if n.Op == OpInput {
+			nn.Name = prefix + n.Name
+		}
+		nodes = append(nodes, nn)
+	}
+	innerOut := len(inner.Nodes) - 1
+
+	// Outer nodes follow, renumbered; Input(inputName) collapses to
+	// the inner output.
+	remap := make([]int, len(outer.Nodes))
+	for i, n := range outer.Nodes {
+		if n.Op == OpInput && n.Name == inputName {
+			remap[i] = innerOut
+			continue
+		}
+		nn := Node{Op: n.Op, Imm: n.Imm, Name: n.Name}
+		nn.Args = make([]int, len(n.Args))
+		for j, a := range n.Args {
+			nn.Args[j] = remap[a]
+		}
+		remap[i] = len(nodes)
+		nodes = append(nodes, nn)
+	}
+	out := eliminateDead(&Plan{Nodes: nodes})
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: Inline produced invalid plan: %w", err)
+	}
+	return out, nil
+}

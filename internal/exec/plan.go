@@ -1,0 +1,303 @@
+// Package exec is a miniature columnar execution engine.
+//
+// Its operator vocabulary is exactly the one the paper uses to express
+// decompression (Algorithms 1 and 2): prefix sums, constants, pop-back,
+// scatter, gather and element-wise arithmetic — "the same columnar
+// operations which show up in query execution plans". Compression
+// schemes emit their decompression as a Plan over their constituent
+// columns; the engine evaluates it, optionally after recognizing and
+// fusing well-known idioms (run expansion, segment replication).
+//
+// Plans are straight-line dataflow programs: a slice of nodes in
+// topological order, each producing either a column or a scalar, with
+// the final node designated as the output.
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"lwcomp/internal/vec"
+)
+
+// OpKind enumerates plan operators.
+type OpKind uint8
+
+// Plan operators. The first group is the paper's primitive vocabulary;
+// the Fused* group contains engine-recognized idioms substituted by
+// Fuse.
+const (
+	// OpInput binds the named constituent column Name.
+	OpInput OpKind = iota
+	// OpConstScalar produces the scalar Imm.
+	OpConstScalar
+	// OpLen produces the length of column Args[0] as a scalar.
+	OpLen
+	// OpLast produces the final element of column Args[0] as a
+	// scalar (Algorithm 1 reads n this way).
+	OpLast
+	// OpConstantCol produces a column holding scalar Args[0]
+	// repeated scalar Args[1] times (the paper's Constant(v, n)).
+	OpConstantCol
+	// OpIota produces the column [0..n) + start for scalars
+	// Args[0]=start, Args[1]=n.
+	OpIota
+	// OpPrefixSumInc produces the inclusive prefix sum of Args[0].
+	OpPrefixSumInc
+	// OpPrefixSumExc produces the exclusive prefix sum of Args[0].
+	OpPrefixSumExc
+	// OpPopBack produces Args[0] without its final element.
+	OpPopBack
+	// OpScatter scatters values Args[0] to positions Args[1] over a
+	// fresh zero column of scalar length Args[2].
+	OpScatter
+	// OpGather produces data(Args[0]) gathered at indices Args[1].
+	OpGather
+	// OpElementwise applies vec.BinaryOp(Imm) pairwise to columns
+	// Args[0] and Args[1].
+	OpElementwise
+	// OpElementwiseScalar applies vec.BinaryOp(Imm) to column
+	// Args[0] and scalar Args[1].
+	OpElementwiseScalar
+	// OpDelta produces consecutive differences of Args[0].
+	OpDelta
+
+	// OpFusedRunExpand expands values Args[0] by lengths Args[1]
+	// (replaces the Scatter/PrefixSum/Gather idiom of Algorithm 1).
+	OpFusedRunExpand
+	// OpFusedReplicateSegments replicates refs Args[0] with segment
+	// length scalar Args[1] to total length scalar Args[2] (replaces
+	// the Iota/Div/Gather idiom of Algorithm 2).
+	OpFusedReplicateSegments
+)
+
+// String returns the operator mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case OpInput:
+		return "Input"
+	case OpConstScalar:
+		return "ConstScalar"
+	case OpLen:
+		return "Len"
+	case OpLast:
+		return "Last"
+	case OpConstantCol:
+		return "Constant"
+	case OpIota:
+		return "Iota"
+	case OpPrefixSumInc:
+		return "PrefixSum"
+	case OpPrefixSumExc:
+		return "PrefixSumExc"
+	case OpPopBack:
+		return "PopBack"
+	case OpScatter:
+		return "Scatter"
+	case OpGather:
+		return "Gather"
+	case OpElementwise:
+		return "Elementwise"
+	case OpElementwiseScalar:
+		return "ElementwiseScalar"
+	case OpDelta:
+		return "Delta"
+	case OpFusedRunExpand:
+		return "RunExpand"
+	case OpFusedReplicateSegments:
+		return "ReplicateSegments"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Node is one plan operator application.
+type Node struct {
+	Op OpKind
+	// Args are indices of earlier nodes supplying operands.
+	Args []int
+	// Imm is the operator immediate: the constant for OpConstScalar,
+	// or the vec.BinaryOp code for element-wise operators.
+	Imm int64
+	// Name is the bound column name for OpInput.
+	Name string
+}
+
+// Plan is a straight-line dataflow program whose final node is the
+// output column.
+type Plan struct {
+	Nodes []Node
+}
+
+// Validate checks structural well-formedness: argument indices must
+// reference earlier nodes and operators must have the right arity.
+func (p *Plan) Validate() error {
+	if len(p.Nodes) == 0 {
+		return errors.New("exec: empty plan")
+	}
+	arity := map[OpKind]int{
+		OpInput: 0, OpConstScalar: 0,
+		OpLen: 1, OpLast: 1, OpPrefixSumInc: 1, OpPrefixSumExc: 1,
+		OpPopBack: 1, OpDelta: 1,
+		OpConstantCol: 2, OpIota: 2, OpGather: 2, OpElementwise: 2,
+		OpElementwiseScalar: 2, OpFusedRunExpand: 2,
+		OpScatter: 3, OpFusedReplicateSegments: 3,
+	}
+	for i, n := range p.Nodes {
+		want, ok := arity[n.Op]
+		if !ok {
+			return fmt.Errorf("exec: node %d: unknown op %d", i, n.Op)
+		}
+		if len(n.Args) != want {
+			return fmt.Errorf("exec: node %d (%s): want %d args, have %d", i, n.Op, want, len(n.Args))
+		}
+		for _, a := range n.Args {
+			if a < 0 || a >= i {
+				return fmt.Errorf("exec: node %d (%s): arg %d does not reference an earlier node", i, n.Op, a)
+			}
+		}
+		if (n.Op == OpElementwise || n.Op == OpElementwiseScalar) && !vec.BinaryOp(n.Imm).Valid() {
+			return fmt.Errorf("exec: node %d (%s): invalid binary op code %d", i, n.Op, n.Imm)
+		}
+	}
+	return nil
+}
+
+// String renders the plan one node per line for debugging and docs.
+func (p *Plan) String() string {
+	out := ""
+	for i, n := range p.Nodes {
+		out += fmt.Sprintf("%%%d = %s", i, n.Op)
+		if n.Op == OpInput {
+			out += fmt.Sprintf("(%q)", n.Name)
+		} else {
+			out += "("
+			for j, a := range n.Args {
+				if j > 0 {
+					out += ", "
+				}
+				out += fmt.Sprintf("%%%d", a)
+			}
+			switch n.Op {
+			case OpConstScalar:
+				out += fmt.Sprintf("%d", n.Imm)
+			case OpElementwise, OpElementwiseScalar:
+				out += fmt.Sprintf("; %s", vec.BinaryOp(n.Imm))
+			}
+			out += ")"
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Inputs returns the distinct input column names referenced by the
+// plan, in first-use order.
+func (p *Plan) Inputs() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, n := range p.Nodes {
+		if n.Op == OpInput && !seen[n.Name] {
+			seen[n.Name] = true
+			names = append(names, n.Name)
+		}
+	}
+	return names
+}
+
+// Builder assembles plans with value-typed handles.
+type Builder struct {
+	plan Plan
+}
+
+// NewBuilder returns an empty plan builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Ref is a handle to a plan node produced by a Builder.
+type Ref int
+
+func (b *Builder) add(n Node) Ref {
+	b.plan.Nodes = append(b.plan.Nodes, n)
+	return Ref(len(b.plan.Nodes) - 1)
+}
+
+// Input binds the named constituent column.
+func (b *Builder) Input(name string) Ref {
+	return b.add(Node{Op: OpInput, Name: name})
+}
+
+// ConstScalar produces the scalar v.
+func (b *Builder) ConstScalar(v int64) Ref {
+	return b.add(Node{Op: OpConstScalar, Imm: v})
+}
+
+// Len produces the length of col as a scalar.
+func (b *Builder) Len(col Ref) Ref {
+	return b.add(Node{Op: OpLen, Args: []int{int(col)}})
+}
+
+// Last produces the final element of col as a scalar.
+func (b *Builder) Last(col Ref) Ref {
+	return b.add(Node{Op: OpLast, Args: []int{int(col)}})
+}
+
+// ConstantCol produces a column of scalar v repeated scalar n times.
+func (b *Builder) ConstantCol(v, n Ref) Ref {
+	return b.add(Node{Op: OpConstantCol, Args: []int{int(v), int(n)}})
+}
+
+// Iota produces [0..n) + start.
+func (b *Builder) Iota(start, n Ref) Ref {
+	return b.add(Node{Op: OpIota, Args: []int{int(start), int(n)}})
+}
+
+// PrefixSumInc produces the inclusive prefix sum of col.
+func (b *Builder) PrefixSumInc(col Ref) Ref {
+	return b.add(Node{Op: OpPrefixSumInc, Args: []int{int(col)}})
+}
+
+// PrefixSumExc produces the exclusive prefix sum of col.
+func (b *Builder) PrefixSumExc(col Ref) Ref {
+	return b.add(Node{Op: OpPrefixSumExc, Args: []int{int(col)}})
+}
+
+// PopBack produces col without its final element.
+func (b *Builder) PopBack(col Ref) Ref {
+	return b.add(Node{Op: OpPopBack, Args: []int{int(col)}})
+}
+
+// Scatter scatters values to positions over a zero column of scalar
+// length n.
+func (b *Builder) Scatter(values, positions, n Ref) Ref {
+	return b.add(Node{Op: OpScatter, Args: []int{int(values), int(positions), int(n)}})
+}
+
+// Gather produces data gathered at indices.
+func (b *Builder) Gather(data, indices Ref) Ref {
+	return b.add(Node{Op: OpGather, Args: []int{int(data), int(indices)}})
+}
+
+// Elementwise applies op pairwise to a and b.
+func (b *Builder) Elementwise(op vec.BinaryOp, x, y Ref) Ref {
+	return b.add(Node{Op: OpElementwise, Args: []int{int(x), int(y)}, Imm: int64(op)})
+}
+
+// ElementwiseScalar applies op to column x and scalar s.
+func (b *Builder) ElementwiseScalar(op vec.BinaryOp, x, s Ref) Ref {
+	return b.add(Node{Op: OpElementwiseScalar, Args: []int{int(x), int(s)}, Imm: int64(op)})
+}
+
+// Delta produces consecutive differences of col.
+func (b *Builder) Delta(col Ref) Ref {
+	return b.add(Node{Op: OpDelta, Args: []int{int(col)}})
+}
+
+// Build finalizes and validates the plan; the last added node is the
+// output.
+func (b *Builder) Build() (*Plan, error) {
+	p := &Plan{Nodes: b.plan.Nodes}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

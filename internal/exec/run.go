@@ -1,0 +1,230 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"lwcomp/internal/vec"
+)
+
+// Value is the result of one plan node: a column or a scalar.
+type Value struct {
+	Col    []int64
+	Scalar int64
+	// IsScalar distinguishes the two arms.
+	IsScalar bool
+}
+
+// ErrUnboundInput is returned when a plan references a column name
+// absent from the environment.
+var ErrUnboundInput = errors.New("exec: unbound input column")
+
+// Stats reports what an execution did; benchmarks use it to compare
+// the operator-plan route against fused kernels.
+type Stats struct {
+	// OpsExecuted counts evaluated nodes.
+	OpsExecuted int
+	// ElementsProduced sums the lengths of all produced columns.
+	ElementsProduced int64
+}
+
+// Run evaluates the plan against env (constituent column name → data)
+// and returns the output column.
+func Run(p *Plan, env map[string][]int64) ([]int64, error) {
+	out, _, err := RunWithStats(p, env)
+	return out, err
+}
+
+// RunWithStats evaluates the plan and also returns execution
+// statistics.
+func RunWithStats(p *Plan, env map[string][]int64) ([]int64, Stats, error) {
+	var st Stats
+	if err := p.Validate(); err != nil {
+		return nil, st, err
+	}
+	vals := make([]Value, len(p.Nodes))
+	col := func(i int) ([]int64, error) {
+		if vals[i].IsScalar {
+			return nil, fmt.Errorf("exec: node %d used as column but is scalar", i)
+		}
+		return vals[i].Col, nil
+	}
+	scalar := func(i int) (int64, error) {
+		if !vals[i].IsScalar {
+			return 0, fmt.Errorf("exec: node %d used as scalar but is column", i)
+		}
+		return vals[i].Scalar, nil
+	}
+
+	for i, n := range p.Nodes {
+		var v Value
+		var err error
+		switch n.Op {
+		case OpInput:
+			data, ok := env[n.Name]
+			if !ok {
+				err = fmt.Errorf("%w: %q", ErrUnboundInput, n.Name)
+				break
+			}
+			v = Value{Col: data}
+		case OpConstScalar:
+			v = Value{Scalar: n.Imm, IsScalar: true}
+		case OpLen:
+			var c []int64
+			if c, err = col(n.Args[0]); err == nil {
+				v = Value{Scalar: int64(len(c)), IsScalar: true}
+			}
+		case OpLast:
+			var c []int64
+			if c, err = col(n.Args[0]); err == nil {
+				var last int64
+				if last, err = vec.Last(c); err == nil {
+					v = Value{Scalar: last, IsScalar: true}
+				}
+			}
+		case OpConstantCol:
+			var cv, cn int64
+			if cv, err = scalar(n.Args[0]); err != nil {
+				break
+			}
+			if cn, err = scalar(n.Args[1]); err != nil {
+				break
+			}
+			var c []int64
+			if c, err = vec.Constant(cv, int(cn)); err == nil {
+				v = Value{Col: c}
+			}
+		case OpIota:
+			var start, cn int64
+			if start, err = scalar(n.Args[0]); err != nil {
+				break
+			}
+			if cn, err = scalar(n.Args[1]); err != nil {
+				break
+			}
+			var c []int64
+			if c, err = vec.Iota(start, int(cn)); err == nil {
+				v = Value{Col: c}
+			}
+		case OpPrefixSumInc:
+			var c []int64
+			if c, err = col(n.Args[0]); err == nil {
+				v = Value{Col: vec.PrefixSumInclusive(c)}
+			}
+		case OpPrefixSumExc:
+			var c []int64
+			if c, err = col(n.Args[0]); err == nil {
+				v = Value{Col: vec.PrefixSumExclusive(c)}
+			}
+		case OpPopBack:
+			var c []int64
+			if c, err = col(n.Args[0]); err == nil {
+				var popped []int64
+				if popped, err = vec.PopBack(c); err == nil {
+					v = Value{Col: popped}
+				}
+			}
+		case OpDelta:
+			var c []int64
+			if c, err = col(n.Args[0]); err == nil {
+				v = Value{Col: vec.Delta(c)}
+			}
+		case OpScatter:
+			var values, positions []int64
+			var cn int64
+			if values, err = col(n.Args[0]); err != nil {
+				break
+			}
+			if positions, err = col(n.Args[1]); err != nil {
+				break
+			}
+			if cn, err = scalar(n.Args[2]); err != nil {
+				break
+			}
+			var c []int64
+			if c, err = vec.Scatter(values, positions, int(cn)); err == nil {
+				v = Value{Col: c}
+			}
+		case OpGather:
+			var data, indices []int64
+			if data, err = col(n.Args[0]); err != nil {
+				break
+			}
+			if indices, err = col(n.Args[1]); err != nil {
+				break
+			}
+			var c []int64
+			if c, err = vec.Gather(data, indices); err == nil {
+				v = Value{Col: c}
+			}
+		case OpElementwise:
+			var a, bb []int64
+			if a, err = col(n.Args[0]); err != nil {
+				break
+			}
+			if bb, err = col(n.Args[1]); err != nil {
+				break
+			}
+			var c []int64
+			if c, err = vec.Elementwise(vec.BinaryOp(n.Imm), a, bb); err == nil {
+				v = Value{Col: c}
+			}
+		case OpElementwiseScalar:
+			var a []int64
+			var s int64
+			if a, err = col(n.Args[0]); err != nil {
+				break
+			}
+			if s, err = scalar(n.Args[1]); err != nil {
+				break
+			}
+			var c []int64
+			if c, err = vec.ElementwiseScalar(vec.BinaryOp(n.Imm), a, s); err == nil {
+				v = Value{Col: c}
+			}
+		case OpFusedRunExpand:
+			var values, lengths []int64
+			if values, err = col(n.Args[0]); err != nil {
+				break
+			}
+			if lengths, err = col(n.Args[1]); err != nil {
+				break
+			}
+			var c []int64
+			if c, err = vec.RunExpand(values, lengths); err == nil {
+				v = Value{Col: c}
+			}
+		case OpFusedReplicateSegments:
+			var refs []int64
+			var segLen, cn int64
+			if refs, err = col(n.Args[0]); err != nil {
+				break
+			}
+			if segLen, err = scalar(n.Args[1]); err != nil {
+				break
+			}
+			if cn, err = scalar(n.Args[2]); err != nil {
+				break
+			}
+			var c []int64
+			if c, err = vec.ReplicateSegments(refs, int(segLen), int(cn)); err == nil {
+				v = Value{Col: c}
+			}
+		default:
+			err = fmt.Errorf("exec: node %d: unknown op %d", i, n.Op)
+		}
+		if err != nil {
+			return nil, st, fmt.Errorf("exec: node %d (%s): %w", i, n.Op, err)
+		}
+		vals[i] = v
+		st.OpsExecuted++
+		if !v.IsScalar {
+			st.ElementsProduced += int64(len(v.Col))
+		}
+	}
+	last := vals[len(vals)-1]
+	if last.IsScalar {
+		return nil, st, errors.New("exec: plan output is a scalar, expected a column")
+	}
+	return last.Col, st, nil
+}

@@ -1,0 +1,221 @@
+package query
+
+import (
+	"fmt"
+
+	"lwcomp/internal/bitpack"
+	"lwcomp/internal/core"
+	"lwcomp/internal/scheme"
+	"lwcomp/internal/vec"
+)
+
+// Min returns the exact minimum of the column represented by f,
+// exploiting form structure: FOR's minimum is the minimum of its refs
+// (offsets are non-negative by construction), DICT's is its first
+// dictionary entry, RLE/RPE scan run values only.
+func Min(f *core.Form) (int64, error) {
+	if f.N == 0 {
+		return 0, fmt.Errorf("query: Min of empty column")
+	}
+	switch f.Scheme {
+	case scheme.ConstName:
+		return f.Params["value"], nil
+
+	case scheme.RLEName, scheme.RPEName:
+		values, err := core.DecompressChild(f, "values")
+		if err != nil {
+			return 0, err
+		}
+		m, _, err := vec.MinMax(values)
+		return m, err
+
+	case scheme.DictName:
+		dict, err := core.DecompressChild(f, "dict")
+		if err != nil {
+			return 0, err
+		}
+		if len(dict) == 0 {
+			return 0, fmt.Errorf("%w: dict form with empty dictionary", core.ErrCorruptForm)
+		}
+		// The dictionary is sorted but may contain entries unused by
+		// the codes; dictionaries built by Dict.Compress use all
+		// entries, so the first is the minimum.
+		return dict[0], nil
+
+	case scheme.FORName:
+		// Offsets are ≥ 0 against per-segment minima, so the column
+		// minimum is the refs minimum — when the offsets child is an
+		// unsigned NS/VNS payload. Foreign offsets fall through.
+		offsets, err := f.Child("offsets")
+		if err != nil {
+			return 0, err
+		}
+		if isUnsignedPacked(offsets) {
+			refs, err := core.DecompressChild(f, "refs")
+			if err != nil {
+				return 0, err
+			}
+			m, _, err := vec.MinMax(refs)
+			return m, err
+		}
+
+	case scheme.StepName:
+		refs, err := core.DecompressChild(f, "refs")
+		if err != nil {
+			return 0, err
+		}
+		m, _, err := vec.MinMax(refs)
+		return m, err
+	}
+	col, err := core.Decompress(f)
+	if err != nil {
+		return 0, err
+	}
+	m, _, err := vec.MinMax(col)
+	return m, err
+}
+
+// Max returns the exact maximum of the column represented by f, with
+// the same structural shortcuts as Min where they are exact and a
+// decompression fallback otherwise.
+func Max(f *core.Form) (int64, error) {
+	if f.N == 0 {
+		return 0, fmt.Errorf("query: Max of empty column")
+	}
+	switch f.Scheme {
+	case scheme.ConstName:
+		return f.Params["value"], nil
+
+	case scheme.RLEName, scheme.RPEName:
+		values, err := core.DecompressChild(f, "values")
+		if err != nil {
+			return 0, err
+		}
+		_, m, err := vec.MinMax(values)
+		return m, err
+
+	case scheme.DictName:
+		dict, err := core.DecompressChild(f, "dict")
+		if err != nil {
+			return 0, err
+		}
+		if len(dict) == 0 {
+			return 0, fmt.Errorf("%w: dict form with empty dictionary", core.ErrCorruptForm)
+		}
+		return dict[len(dict)-1], nil
+
+	case scheme.StepName:
+		refs, err := core.DecompressChild(f, "refs")
+		if err != nil {
+			return 0, err
+		}
+		_, m, err := vec.MinMax(refs)
+		return m, err
+	}
+	col, err := core.Decompress(f)
+	if err != nil {
+		return 0, err
+	}
+	_, m, err := vec.MinMax(col)
+	return m, err
+}
+
+// MaxBound returns an upper bound on the column maximum without
+// decompressing element payloads, using the model + residual-width
+// structure (the same machinery as ApproxSum). The bound is certain
+// but not necessarily tight.
+func MaxBound(f *core.Form) (int64, error) {
+	if f.N == 0 {
+		return 0, fmt.Errorf("query: MaxBound of empty column")
+	}
+	switch f.Scheme {
+	case scheme.ConstName:
+		return f.Params["value"], nil
+	case scheme.FORName:
+		offsets, err := f.Child("offsets")
+		if err != nil {
+			return 0, err
+		}
+		if isUnsignedPacked(offsets) {
+			refs, err := core.DecompressChild(f, "refs")
+			if err != nil {
+				return 0, err
+			}
+			_, m, err := vec.MinMax(refs)
+			if err != nil {
+				return 0, err
+			}
+			return m + perElementBound(offsets), nil
+		}
+	}
+	return Max(f)
+}
+
+// isUnsignedPacked reports whether a form is an NS or VNS payload
+// without zigzag (values known non-negative).
+func isUnsignedPacked(f *core.Form) bool {
+	return (f.Scheme == scheme.NSName || f.Scheme == scheme.VNSName) && f.Params["zigzag"] == 0
+}
+
+// perElementBound returns the largest value representable by an
+// unsigned packed form's widths.
+func perElementBound(f *core.Form) int64 {
+	switch f.Scheme {
+	case scheme.NSName:
+		return int64(bitpack.Mask(uint(f.Params["width"])))
+	case scheme.VNSName:
+		widths, err := core.DecompressChild(f, "widths")
+		if err != nil {
+			return 0
+		}
+		var m int64
+		for _, w := range widths {
+			if b := int64(bitpack.Mask(uint(w))); b > m {
+				m = b
+			}
+		}
+		return m
+	}
+	return 0
+}
+
+// DistinctCount returns the number of distinct values, shortcut for
+// the forms that carry it structurally: DICT's dictionary length and
+// CONST's single value are exact without touching the data; RLE/RPE
+// bound work by the run count.
+func DistinctCount(f *core.Form) (int64, error) {
+	switch f.Scheme {
+	case scheme.ConstName:
+		if f.N == 0 {
+			return 0, nil
+		}
+		return 1, nil
+
+	case scheme.DictName:
+		dict, err := f.Child("dict")
+		if err != nil {
+			return 0, err
+		}
+		return int64(dict.N), nil
+
+	case scheme.RLEName, scheme.RPEName:
+		values, err := core.DecompressChild(f, "values")
+		if err != nil {
+			return 0, err
+		}
+		return countDistinct(values), nil
+	}
+	col, err := core.Decompress(f)
+	if err != nil {
+		return 0, err
+	}
+	return countDistinct(col), nil
+}
+
+func countDistinct(col []int64) int64 {
+	seen := make(map[int64]struct{}, 256)
+	for _, v := range col {
+		seen[v] = struct{}{}
+	}
+	return int64(len(seen))
+}

@@ -1,0 +1,217 @@
+package query
+
+import (
+	"fmt"
+
+	"lwcomp/internal/bitpack"
+	"lwcomp/internal/core"
+	"lwcomp/internal/scheme"
+)
+
+// Interval is a closed interval certain to contain an exact query
+// result.
+type Interval struct {
+	Lower, Upper int64
+}
+
+// Estimate returns the interval midpoint.
+func (iv Interval) Estimate() int64 {
+	return iv.Lower + (iv.Upper-iv.Lower)/2
+}
+
+// Width returns Upper − Lower, the residual uncertainty.
+func (iv Interval) Width() int64 { return iv.Upper - iv.Lower }
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v int64) bool { return v >= iv.Lower && v <= iv.Upper }
+
+// ApproxSum bounds the column sum using only the model part of a
+// form — the paper's "approximate … query processing" over the
+// "rough correspondence of the column data to a simple model". For a
+// FOR form the model sum (Σ refs·|segment|) is exact and each
+// element's offset lies in [0, 2^w−1], so the sum is bracketed
+// without touching the offsets payload at all.
+func ApproxSum(f *core.Form) (Interval, error) {
+	switch f.Scheme {
+	case scheme.ConstName:
+		s := f.Params["value"] * int64(f.N)
+		return Interval{s, s}, nil
+
+	case scheme.StepName:
+		refs, err := core.DecompressChild(f, "refs")
+		if err != nil {
+			return Interval{}, err
+		}
+		s := sumStep(refs, int(f.Params["seglen"]), f.N)
+		return Interval{s, s}, nil
+
+	case scheme.FORName:
+		refs, err := core.DecompressChild(f, "refs")
+		if err != nil {
+			return Interval{}, err
+		}
+		base := sumStep(refs, int(f.Params["seglen"]), f.N)
+		offsets, err := f.Child("offsets")
+		if err != nil {
+			return Interval{}, err
+		}
+		slack, err := residualSlack(offsets)
+		if err != nil {
+			return Interval{}, err
+		}
+		return Interval{base, base + slack}, nil
+
+	case scheme.PlusName:
+		model, err := f.Child("model")
+		if err != nil {
+			return Interval{}, err
+		}
+		residual, err := f.Child("residual")
+		if err != nil {
+			return Interval{}, err
+		}
+		mi, err := ApproxSum(model)
+		if err != nil {
+			return Interval{}, err
+		}
+		slack, err := residualSlack(residual)
+		if err != nil {
+			return Interval{}, err
+		}
+		return Interval{mi.Lower, mi.Upper + slack}, nil
+	}
+
+	// No model structure: the exact sum is its own interval.
+	s, err := Sum(f)
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{s, s}, nil
+}
+
+// residualSlack bounds the total contribution of a non-negative
+// residual form from its width parameters alone.
+func residualSlack(f *core.Form) (int64, error) {
+	switch f.Scheme {
+	case scheme.NSName:
+		if f.Params["zigzag"] == 1 {
+			// Not guaranteed non-negative: fall back to exact.
+			s, err := Sum(f)
+			if err != nil {
+				return 0, err
+			}
+			return s, nil
+		}
+		return int64(f.N) * int64(bitpack.Mask(uint(f.Params["width"]))), nil
+
+	case scheme.VNSName:
+		if f.Params["zigzag"] == 1 {
+			s, err := Sum(f)
+			if err != nil {
+				return 0, err
+			}
+			return s, nil
+		}
+		widths, err := core.DecompressChild(f, "widths")
+		if err != nil {
+			return 0, err
+		}
+		block := int(f.Params["block"])
+		var slack int64
+		for b, w := range widths {
+			lo := b * block
+			hi := lo + block
+			if hi > f.N {
+				hi = f.N
+			}
+			slack += int64(hi-lo) * int64(bitpack.Mask(uint(w)))
+		}
+		return slack, nil
+	}
+	// Unknown residual: exact sum (slack is then exact too).
+	s, err := Sum(f)
+	if err != nil {
+		return 0, err
+	}
+	return s, nil
+}
+
+// GradualSummer implements the paper's "gradual-refinement query
+// processing" for FOR forms: it starts from the model-only interval
+// of ApproxSum and tightens it segment by segment, decoding each
+// segment's offsets exactly once. After all segments are refined the
+// interval collapses to the exact sum.
+type GradualSummer struct {
+	pruner  *forPruner
+	refined int
+	// exact accumulates the exact sums of refined segments.
+	exact int64
+	// remainingSlack is the summed slack of unrefined segments.
+	remainingSlack int64
+	// modelSum is the exact Σ refs·|segment|.
+	modelSum int64
+}
+
+// NewGradualSummer prepares gradual summation over a FOR form.
+func NewGradualSummer(f *core.Form) (*GradualSummer, error) {
+	if f.Scheme != scheme.FORName {
+		return nil, fmt.Errorf("query: NewGradualSummer on scheme %q (want %q)", f.Scheme, scheme.FORName)
+	}
+	p, err := newFORPruner(f)
+	if err != nil {
+		return nil, err
+	}
+	g := &GradualSummer{pruner: p}
+	for s := 0; s*p.segLen < p.n; s++ {
+		segLo := s * p.segLen
+		segHi := segLo + p.segLen
+		if segHi > p.n {
+			segHi = p.n
+		}
+		g.modelSum += p.refs[s] * int64(segHi-segLo)
+		g.remainingSlack += int64(segHi-segLo) * p.bounds[s]
+	}
+	return g, nil
+}
+
+// Segments returns the total number of segments.
+func (g *GradualSummer) Segments() int { return len(g.pruner.refs) }
+
+// Refined returns how many segments have been refined so far.
+func (g *GradualSummer) Refined() int { return g.refined }
+
+// Done reports whether the interval is exact.
+func (g *GradualSummer) Done() bool { return g.refined >= g.Segments() }
+
+// Bounds returns the current certain interval for the sum.
+func (g *GradualSummer) Bounds() Interval {
+	base := g.modelSum + g.exact
+	return Interval{base, base + g.remainingSlack}
+}
+
+// Refine decodes up to k more segments exactly and tightens the
+// interval; it returns the number of segments actually refined.
+func (g *GradualSummer) Refine(k int) (int, error) {
+	p := g.pruner
+	done := 0
+	for ; done < k && g.refined < g.Segments(); g.refined++ {
+		s := g.refined
+		segLo := s * p.segLen
+		segHi := segLo + p.segLen
+		if segHi > p.n {
+			segHi = p.n
+		}
+		offs, err := p.segmentOffsets(s)
+		if err != nil {
+			return done, err
+		}
+		var segExact int64
+		for _, o := range offs {
+			segExact += o
+		}
+		g.exact += segExact
+		g.remainingSlack -= int64(segHi-segLo) * p.bounds[s]
+		done++
+	}
+	return done, nil
+}

@@ -1,0 +1,316 @@
+// Package query evaluates analytic operations directly on compressed
+// forms.
+//
+// It operationalizes the paper's Lessons 1: "there is no clear
+// distinction between decompression and analytic query execution".
+// Because a compressed form is just a set of pure constituent columns,
+// aggregates and selections can often be answered from the
+// constituents without materializing the column:
+//
+//   - SUM over RLE is Σ lengths·values — a dot product over the runs;
+//   - range selections over FOR prune whole segments using the refs
+//     column and the offsets' width bound, the paper's "rough
+//     correspondence of the column data to a simple model can be used
+//     to speed up selections";
+//   - SUM over FOR-like forms splits into an exact model part and a
+//     bounded residual part, enabling the paper's "approximate or
+//     gradual-refinement query processing" (package approx side).
+//
+// Every operation falls back to full decompression for forms it has
+// no shortcut for, so results are always exact and always available.
+package query
+
+import (
+	"fmt"
+
+	"lwcomp/internal/bitpack"
+	"lwcomp/internal/core"
+	"lwcomp/internal/scheme"
+	"lwcomp/internal/vec"
+)
+
+// Sum returns the exact sum of the column represented by f, computed
+// without full materialization where the form's structure allows.
+func Sum(f *core.Form) (int64, error) {
+	switch f.Scheme {
+	case scheme.ConstName:
+		return f.Params["value"] * int64(f.N), nil
+
+	case scheme.RLEName:
+		lengths, err := core.DecompressChild(f, "lengths")
+		if err != nil {
+			return 0, err
+		}
+		values, err := core.DecompressChild(f, "values")
+		if err != nil {
+			return 0, err
+		}
+		return vec.DotProduct(lengths, values)
+
+	case scheme.RPEName:
+		positions, err := core.DecompressChild(f, "positions")
+		if err != nil {
+			return 0, err
+		}
+		values, err := core.DecompressChild(f, "values")
+		if err != nil {
+			return 0, err
+		}
+		lengths := vec.Delta(positions)
+		return vec.DotProduct(lengths, values)
+
+	case scheme.FORName:
+		refs, err := core.DecompressChild(f, "refs")
+		if err != nil {
+			return 0, err
+		}
+		offsets, err := core.DecompressChild(f, "offsets")
+		if err != nil {
+			return 0, err
+		}
+		segLen := int(f.Params["seglen"])
+		return sumStep(refs, segLen, f.N) + vec.Sum(offsets), nil
+
+	case scheme.StepName:
+		refs, err := core.DecompressChild(f, "refs")
+		if err != nil {
+			return 0, err
+		}
+		return sumStep(refs, int(f.Params["seglen"]), f.N), nil
+
+	case scheme.PlusName:
+		model, err := f.Child("model")
+		if err != nil {
+			return 0, err
+		}
+		residual, err := f.Child("residual")
+		if err != nil {
+			return 0, err
+		}
+		ms, err := Sum(model)
+		if err != nil {
+			return 0, err
+		}
+		rs, err := Sum(residual)
+		if err != nil {
+			return 0, err
+		}
+		return ms + rs, nil
+
+	case scheme.PatchName:
+		base, err := f.Child("base")
+		if err != nil {
+			return 0, err
+		}
+		// Sum of the base plus the per-exception corrections. The
+		// corrections need the base's values at the patched
+		// positions, which PointLookup provides without full
+		// decompression.
+		bs, err := Sum(base)
+		if err != nil {
+			return 0, err
+		}
+		positions, err := core.DecompressChild(f, "positions")
+		if err != nil {
+			return 0, err
+		}
+		values, err := core.DecompressChild(f, "values")
+		if err != nil {
+			return 0, err
+		}
+		for i, p := range positions {
+			bv, err := PointLookup(base, p)
+			if err != nil {
+				return 0, err
+			}
+			bs += values[i] - bv
+		}
+		return bs, nil
+
+	case scheme.DeltaName:
+		// Σ prefixsum(d) = Σ (n−i)·d[i]: one pass over the deltas.
+		deltas, err := core.DecompressChild(f, "deltas")
+		if err != nil {
+			return 0, err
+		}
+		var acc int64
+		n := int64(len(deltas))
+		for i, d := range deltas {
+			acc += (n - int64(i)) * d
+		}
+		return acc, nil
+
+	case scheme.DictName:
+		codes, err := core.DecompressChild(f, "codes")
+		if err != nil {
+			return 0, err
+		}
+		dict, err := core.DecompressChild(f, "dict")
+		if err != nil {
+			return 0, err
+		}
+		// Histogram the codes, then one multiply per distinct value.
+		counts := make([]int64, len(dict))
+		for _, c := range codes {
+			if c < 0 || c >= int64(len(dict)) {
+				return 0, fmt.Errorf("%w: dict code %d out of range", core.ErrCorruptForm, c)
+			}
+			counts[c]++
+		}
+		return vec.DotProduct(counts, dict)
+	}
+
+	// Fallback: materialize.
+	col, err := core.Decompress(f)
+	if err != nil {
+		return 0, err
+	}
+	return vec.Sum(col), nil
+}
+
+// sumStep sums a step function: Σ refs[s] · |segment s|.
+func sumStep(refs []int64, segLen, n int) int64 {
+	var acc int64
+	for s := 0; s*segLen < n; s++ {
+		size := segLen
+		if (s+1)*segLen > n {
+			size = n - s*segLen
+		}
+		acc += refs[s] * int64(size)
+	}
+	return acc
+}
+
+// PointLookup returns element row of the column represented by f,
+// using random-access paths where the form allows (RPE's binary
+// search, FOR's direct indexing, DICT's gather) and falling back to
+// full decompression otherwise.
+func PointLookup(f *core.Form, row int64) (int64, error) {
+	if row < 0 || row >= int64(f.N) {
+		return 0, fmt.Errorf("query: row %d out of range [0, %d)", row, f.N)
+	}
+	switch f.Scheme {
+	case scheme.ConstName:
+		return f.Params["value"], nil
+
+	case scheme.IDName:
+		return f.Leaf[row], nil
+
+	case scheme.NSName:
+		w := uint(f.Params["width"])
+		u, err := bitpack.UnpackRange(f.Packed, int(row), 1, w)
+		if err != nil {
+			return 0, err
+		}
+		if f.Params["zigzag"] == 1 {
+			return bitpack.Unzigzag(u[0]), nil
+		}
+		return int64(u[0]), nil
+
+	case scheme.RLEName:
+		// O(runs) instead of O(n): integrate the lengths, then binary
+		// search — the lookup RPE gets for free, recovered for RLE by
+		// performing Algorithm 1's first operation only (the paper's
+		// partial-decompression reading).
+		lengths, err := core.DecompressChild(f, "lengths")
+		if err != nil {
+			return 0, err
+		}
+		values, err := core.DecompressChild(f, "values")
+		if err != nil {
+			return 0, err
+		}
+		positions := vec.PrefixSumInclusive(lengths)
+		run := vec.UpperBound(positions, row)
+		if run >= len(values) {
+			return 0, fmt.Errorf("%w: rle runs do not cover row %d", core.ErrCorruptForm, row)
+		}
+		return values[run], nil
+
+	case scheme.RPEName:
+		positions, err := core.DecompressChild(f, "positions")
+		if err != nil {
+			return 0, err
+		}
+		values, err := core.DecompressChild(f, "values")
+		if err != nil {
+			return 0, err
+		}
+		run := vec.UpperBound(positions, row)
+		if run >= len(values) {
+			return 0, fmt.Errorf("%w: rpe positions do not cover row %d", core.ErrCorruptForm, row)
+		}
+		return values[run], nil
+
+	case scheme.StepName:
+		refs, err := core.DecompressChild(f, "refs")
+		if err != nil {
+			return 0, err
+		}
+		return refs[row/f.Params["seglen"]], nil
+
+	case scheme.FORName:
+		refs, err := core.DecompressChild(f, "refs")
+		if err != nil {
+			return 0, err
+		}
+		off, err := childPoint(f, "offsets", row)
+		if err != nil {
+			return 0, err
+		}
+		return refs[row/f.Params["seglen"]] + off, nil
+
+	case scheme.PlusName:
+		a, err := f.Child("model")
+		if err != nil {
+			return 0, err
+		}
+		b, err := f.Child("residual")
+		if err != nil {
+			return 0, err
+		}
+		av, err := PointLookup(a, row)
+		if err != nil {
+			return 0, err
+		}
+		bv, err := PointLookup(b, row)
+		if err != nil {
+			return 0, err
+		}
+		return av + bv, nil
+
+	case scheme.PatchName:
+		positions, err := core.DecompressChild(f, "positions")
+		if err != nil {
+			return 0, err
+		}
+		idx := vec.LowerBound(positions, row)
+		if idx < len(positions) && positions[idx] == row {
+			values, err := core.DecompressChild(f, "values")
+			if err != nil {
+				return 0, err
+			}
+			return values[idx], nil
+		}
+		base, err := f.Child("base")
+		if err != nil {
+			return 0, err
+		}
+		return PointLookup(base, row)
+	}
+
+	col, err := core.Decompress(f)
+	if err != nil {
+		return 0, err
+	}
+	return col[row], nil
+}
+
+// childPoint point-looks-up into a named child form.
+func childPoint(f *core.Form, name string, row int64) (int64, error) {
+	c, err := f.Child(name)
+	if err != nil {
+		return 0, err
+	}
+	return PointLookup(c, row)
+}

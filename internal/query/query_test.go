@@ -1,0 +1,293 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lwcomp/internal/core"
+	"lwcomp/internal/scheme"
+	"lwcomp/internal/vec"
+)
+
+// compressors returns the forms Sum/CountRange must shortcut, all
+// losslessly representing the same data.
+func compressors() map[string]core.Scheme {
+	return map[string]core.Scheme{
+		"id":        scheme.ID{},
+		"ns":        scheme.NS{},
+		"rle+ns":    scheme.RLEComposite(),
+		"rpe+ns":    scheme.RPEComposite(),
+		"rle+delta": scheme.RLEDeltaComposite(),
+		"delta+ns":  scheme.DeltaNS(),
+		"for+ns":    scheme.FORComposite(64),
+		"for+vns":   scheme.FORVNSComposite(64, 64),
+		"dict+ns":   scheme.DictComposite(),
+		"pfor":      scheme.PFOR{SegLen: 64},
+		"mres-step": scheme.ModelResidual{Fitter: scheme.StepFitter{SegLen: 64}},
+		"varint":    scheme.Varint{},
+	}
+}
+
+func workload(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	v := int64(5000)
+	for i := range out {
+		if rng.Intn(4) == 0 {
+			v += rng.Int63n(31) - 15
+		}
+		out[i] = v
+	}
+	// A few outliers so PFOR has patches.
+	for i := 50; i < n; i += 997 {
+		out[i] += 1 << 20
+	}
+	return out
+}
+
+func TestSumMatchesPlainScan(t *testing.T) {
+	src := workload(1, 3000)
+	want := vec.Sum(src)
+	for name, s := range compressors() {
+		f, err := s.Compress(src)
+		if err != nil {
+			t.Fatalf("%s: compress: %v", name, err)
+		}
+		got, err := Sum(f)
+		if err != nil {
+			t.Fatalf("%s: sum: %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s: Sum = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestSumConst(t *testing.T) {
+	f, err := scheme.Const{}.Compress([]int64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Sum(f)
+	if err != nil || got != 21 {
+		t.Fatalf("const sum = %d, %v", got, err)
+	}
+}
+
+func TestCountAndSelectRangeMatchPlainScan(t *testing.T) {
+	src := workload(2, 2500)
+	lo, hi := int64(4990), int64(5015)
+	wantRows := vec.SelectRange(src, lo, hi)
+	wantCount := int64(len(wantRows))
+	for name, s := range compressors() {
+		f, err := s.Compress(src)
+		if err != nil {
+			t.Fatalf("%s: compress: %v", name, err)
+		}
+		count, err := CountRange(f, lo, hi)
+		if err != nil {
+			t.Fatalf("%s: count: %v", name, err)
+		}
+		if count != wantCount {
+			t.Errorf("%s: CountRange = %d, want %d", name, count, wantCount)
+		}
+		rows, err := SelectRange(f, lo, hi)
+		if err != nil {
+			t.Fatalf("%s: select: %v", name, err)
+		}
+		if !vec.Equal(rows, wantRows) {
+			t.Errorf("%s: SelectRange differs (%d rows vs %d)", name, len(rows), len(wantRows))
+		}
+	}
+}
+
+func TestSelectRangeEmptyAndInverted(t *testing.T) {
+	src := workload(3, 500)
+	f, err := scheme.FORComposite(64).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := SelectRange(f, 10, 5)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("inverted range = %v, %v", rows, err)
+	}
+	count, err := CountRange(f, -100, -50)
+	if err != nil || count != 0 {
+		t.Fatalf("empty range count = %d, %v", count, err)
+	}
+}
+
+func TestSelectRangePropertyAgainstScan(t *testing.T) {
+	check := func(raw []uint16, rawLo, rawHi uint16) bool {
+		src := make([]int64, len(raw))
+		for i, r := range raw {
+			src[i] = int64(r % 512)
+		}
+		lo, hi := int64(rawLo%512), int64(rawHi%512)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := vec.SelectRange(src, lo, hi)
+		for _, s := range []core.Scheme{scheme.FORComposite(16), scheme.RLEComposite(), scheme.DictComposite()} {
+			f, err := s.Compress(src)
+			if err != nil {
+				return false
+			}
+			got, err := SelectRange(f, lo, hi)
+			if err != nil || !vec.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFORPruningStats(t *testing.T) {
+	// A sorted column: almost all segments should classify as inside
+	// or outside; only the two boundary segments decode.
+	src := make([]int64, 64*100)
+	for i := range src {
+		src[i] = int64(i)
+	}
+	f, err := scheme.FORComposite(64).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forForm := f // FORComposite returns the FOR form directly
+	rows, st, err := SelectRangeFORWithStats(forForm, 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(rows)) != 1001 {
+		t.Fatalf("rows = %d, want 1001", len(rows))
+	}
+	if st.DecodedSegments > 2 {
+		t.Fatalf("decoded %d segments, want ≤ 2 (pruning broken)", st.DecodedSegments)
+	}
+	if st.Segments != 100 {
+		t.Fatalf("segments = %d", st.Segments)
+	}
+}
+
+func TestPointLookup(t *testing.T) {
+	src := workload(4, 1200)
+	for name, s := range compressors() {
+		f, err := s.Compress(src)
+		if err != nil {
+			t.Fatalf("%s: compress: %v", name, err)
+		}
+		for _, row := range []int64{0, 1, 599, int64(len(src) - 1)} {
+			got, err := PointLookup(f, row)
+			if err != nil {
+				t.Fatalf("%s: lookup %d: %v", name, row, err)
+			}
+			if got != src[row] {
+				t.Errorf("%s: PointLookup(%d) = %d, want %d", name, row, got, src[row])
+			}
+		}
+		if _, err := PointLookup(f, int64(len(src))); err == nil {
+			t.Errorf("%s: out-of-range lookup accepted", name)
+		}
+		if _, err := PointLookup(f, -1); err == nil {
+			t.Errorf("%s: negative lookup accepted", name)
+		}
+	}
+}
+
+func TestApproxSumBoundsContainTruth(t *testing.T) {
+	src := workload(5, 4096)
+	want := vec.Sum(src)
+	for _, s := range []core.Scheme{
+		scheme.FORComposite(128),
+		scheme.FORVNSComposite(128, 128),
+		scheme.ModelResidual{Fitter: scheme.StepFitter{SegLen: 128}},
+	} {
+		f, err := s.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv, err := ApproxSum(f)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if !iv.Contains(want) {
+			t.Fatalf("%s: interval [%d, %d] misses true sum %d", s.Name(), iv.Lower, iv.Upper, want)
+		}
+		if iv.Width() == 0 {
+			t.Fatalf("%s: interval should be approximate, not exact", s.Name())
+		}
+	}
+	// Exact fallbacks collapse.
+	f, err := scheme.NS{}.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := ApproxSum(f)
+	if err != nil || iv.Width() != 0 || iv.Lower != want {
+		t.Fatalf("ns approx = %+v, %v", iv, err)
+	}
+}
+
+func TestGradualSummerConvergence(t *testing.T) {
+	src := workload(6, 64*64)
+	want := vec.Sum(src)
+	f, err := scheme.FORComposite(64).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGradualSummer(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Segments() != 64 {
+		t.Fatalf("segments = %d", g.Segments())
+	}
+	prevWidth := g.Bounds().Width()
+	if !g.Bounds().Contains(want) {
+		t.Fatal("initial bounds miss truth")
+	}
+	for !g.Done() {
+		if _, err := g.Refine(8); err != nil {
+			t.Fatal(err)
+		}
+		iv := g.Bounds()
+		if !iv.Contains(want) {
+			t.Fatalf("bounds [%d,%d] miss truth %d after %d refinements",
+				iv.Lower, iv.Upper, want, g.Refined())
+		}
+		if iv.Width() > prevWidth {
+			t.Fatal("refinement widened the interval")
+		}
+		prevWidth = iv.Width()
+	}
+	iv := g.Bounds()
+	if iv.Width() != 0 || iv.Lower != want {
+		t.Fatalf("final interval [%d,%d], want exactly %d", iv.Lower, iv.Upper, want)
+	}
+	// Refining past the end is a no-op.
+	n, err := g.Refine(3)
+	if err != nil || n != 0 {
+		t.Fatalf("over-refine = %d, %v", n, err)
+	}
+}
+
+func TestGradualSummerWrongScheme(t *testing.T) {
+	f, err := scheme.NS{}.Compress([]int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGradualSummer(f); err == nil {
+		t.Fatal("gradual summer accepted NS form")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{10, 20}
+	if iv.Estimate() != 15 || iv.Width() != 10 || !iv.Contains(10) || !iv.Contains(20) || iv.Contains(21) {
+		t.Fatalf("interval helpers wrong: %+v", iv)
+	}
+}

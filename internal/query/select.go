@@ -1,0 +1,448 @@
+package query
+
+import (
+	"fmt"
+
+	"lwcomp/internal/bitpack"
+	"lwcomp/internal/core"
+	"lwcomp/internal/scheme"
+	"lwcomp/internal/vec"
+)
+
+// SelectRange returns the row positions whose values fall in
+// [lo, hi], exploiting the form's structure:
+//
+//   - RLE/RPE test one value per run and emit whole runs;
+//   - FOR classifies each segment against [refs[s], refs[s]+bound]
+//     (the paper's model-based selection speed-up): segments entirely
+//     outside the range are skipped without decoding their offsets,
+//     segments entirely inside are emitted without decoding, and only
+//     straddling segments decode offsets;
+//   - DICT maps the value range to a code range and scans codes.
+//
+// The result is always exact.
+func SelectRange(f *core.Form, lo, hi int64) ([]int64, error) {
+	if lo > hi {
+		return []int64{}, nil
+	}
+	switch f.Scheme {
+	case scheme.ConstName:
+		v := f.Params["value"]
+		if v < lo || v > hi {
+			return []int64{}, nil
+		}
+		return allRows(f.N), nil
+
+	case scheme.RLEName, scheme.RPEName:
+		bounds, values, err := runBoundaries(f)
+		if err != nil {
+			return nil, err
+		}
+		var out []int64
+		var start int64
+		for i, end := range bounds {
+			if values[i] >= lo && values[i] <= hi {
+				for r := start; r < end; r++ {
+					out = append(out, r)
+				}
+			}
+			start = end
+		}
+		if out == nil {
+			out = []int64{}
+		}
+		return out, nil
+
+	case scheme.FORName:
+		return selectRangeFOR(f, lo, hi)
+
+	case scheme.DictName:
+		codes, err := core.DecompressChild(f, "codes")
+		if err != nil {
+			return nil, err
+		}
+		dict, err := core.DecompressChild(f, "dict")
+		if err != nil {
+			return nil, err
+		}
+		cLo := int64(vec.LowerBound(dict, lo))
+		cHi := int64(vec.UpperBound(dict, hi)) - 1
+		if cLo > cHi {
+			return []int64{}, nil
+		}
+		return vec.SelectRange(codes, cLo, cHi), nil
+	}
+
+	col, err := core.Decompress(f)
+	if err != nil {
+		return nil, err
+	}
+	return vec.SelectRange(col, lo, hi), nil
+}
+
+// CountRange returns |{i : lo ≤ col[i] ≤ hi}| with the same
+// structure-exploiting shortcuts as SelectRange, but without
+// materializing row ids — fully-inside FOR segments contribute their
+// size in O(1).
+func CountRange(f *core.Form, lo, hi int64) (int64, error) {
+	if lo > hi {
+		return 0, nil
+	}
+	switch f.Scheme {
+	case scheme.ConstName:
+		v := f.Params["value"]
+		if v < lo || v > hi {
+			return 0, nil
+		}
+		return int64(f.N), nil
+
+	case scheme.RLEName, scheme.RPEName:
+		bounds, values, err := runBoundaries(f)
+		if err != nil {
+			return 0, err
+		}
+		var count int64
+		var start int64
+		for i, end := range bounds {
+			if values[i] >= lo && values[i] <= hi {
+				count += end - start
+			}
+			start = end
+		}
+		return count, nil
+
+	case scheme.FORName:
+		return countRangeFOR(f, lo, hi)
+
+	case scheme.DictName:
+		codes, err := core.DecompressChild(f, "codes")
+		if err != nil {
+			return 0, err
+		}
+		dict, err := core.DecompressChild(f, "dict")
+		if err != nil {
+			return 0, err
+		}
+		cLo := int64(vec.LowerBound(dict, lo))
+		cHi := int64(vec.UpperBound(dict, hi)) - 1
+		if cLo > cHi {
+			return 0, nil
+		}
+		return vec.CountRange(codes, cLo, cHi), nil
+	}
+
+	col, err := core.Decompress(f)
+	if err != nil {
+		return 0, err
+	}
+	return vec.CountRange(col, lo, hi), nil
+}
+
+// runBoundaries returns (exclusive run end positions, run values) for
+// RLE and RPE forms.
+func runBoundaries(f *core.Form) ([]int64, []int64, error) {
+	values, err := core.DecompressChild(f, "values")
+	if err != nil {
+		return nil, nil, err
+	}
+	switch f.Scheme {
+	case scheme.RLEName:
+		lengths, err := core.DecompressChild(f, "lengths")
+		if err != nil {
+			return nil, nil, err
+		}
+		return vec.PrefixSumInclusive(lengths), values, nil
+	case scheme.RPEName:
+		positions, err := core.DecompressChild(f, "positions")
+		if err != nil {
+			return nil, nil, err
+		}
+		return positions, values, nil
+	}
+	return nil, nil, fmt.Errorf("query: runBoundaries on scheme %q", f.Scheme)
+}
+
+// segmentClass is the trichotomy of the FOR pruning walk.
+type segmentClass uint8
+
+const (
+	segOutside segmentClass = iota
+	segInside
+	segStraddle
+)
+
+// forPruner precomputes what the FOR segment walk needs: refs, the
+// per-segment offset upper bounds, and an offsets accessor that can
+// decode a single segment.
+type forPruner struct {
+	refs    []int64
+	segLen  int
+	n       int
+	bounds  []int64 // per-segment max offset (inclusive upper bound)
+	offsets *core.Form
+	// decoded caches the fully decompressed offsets when the child
+	// supports no partial decoding.
+	decoded []int64
+	// VNS partial-decode state: per-block widths, block length and
+	// each block's starting word within the packed payload.
+	vnsWidths   []int64
+	vnsBlock    int
+	vnsWordOffs []int
+}
+
+// SegmentsDecoded counts segments whose offsets were actually
+// decoded; benchmarks report it to show pruning at work.
+type SelectStats struct {
+	Segments        int
+	DecodedSegments int
+}
+
+func newFORPruner(f *core.Form) (*forPruner, error) {
+	refs, err := core.DecompressChild(f, "refs")
+	if err != nil {
+		return nil, err
+	}
+	offsets, err := f.Child("offsets")
+	if err != nil {
+		return nil, err
+	}
+	p := &forPruner{
+		refs:    refs,
+		segLen:  int(f.Params["seglen"]),
+		n:       f.N,
+		offsets: offsets,
+	}
+	nseg := len(refs)
+	p.bounds = make([]int64, nseg)
+	switch offsets.Scheme {
+	case scheme.NSName:
+		if offsets.Params["zigzag"] == 1 {
+			// FOR offsets are non-negative by construction; a zigzag
+			// flag means a foreign form — fall back to decoding.
+			if err := p.materialize(); err != nil {
+				return nil, err
+			}
+		} else {
+			bound := int64(bitpack.Mask(uint(offsets.Params["width"])))
+			for s := range p.bounds {
+				p.bounds[s] = bound
+			}
+		}
+	case scheme.VNSName:
+		if offsets.Params["zigzag"] == 1 {
+			if err := p.materialize(); err != nil {
+				return nil, err
+			}
+			break
+		}
+		widths, err := core.DecompressChild(offsets, "widths")
+		if err != nil {
+			return nil, err
+		}
+		block := int(offsets.Params["block"])
+		p.vnsWidths = widths
+		p.vnsBlock = block
+		// Per-block starting words, for partial decode.
+		p.vnsWordOffs = make([]int, len(widths)+1)
+		for b, w := range widths {
+			blockLen := block
+			if (b+1)*block > p.n {
+				blockLen = p.n - b*block
+			}
+			p.vnsWordOffs[b+1] = p.vnsWordOffs[b] + bitpack.PackedWords(blockLen, uint(w))
+		}
+		for s := range p.bounds {
+			segLo := s * p.segLen
+			segHi := segLo + p.segLen
+			if segHi > p.n {
+				segHi = p.n
+			}
+			var maxW int64
+			for b := segLo / block; b*block < segHi && b < len(widths); b++ {
+				if widths[b] > maxW {
+					maxW = widths[b]
+				}
+			}
+			p.bounds[s] = int64(bitpack.Mask(uint(maxW)))
+		}
+	default:
+		if err := p.materialize(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// materialize decompresses the offsets and computes exact per-segment
+// bounds from the data.
+func (p *forPruner) materialize() error {
+	col, err := core.Decompress(p.offsets)
+	if err != nil {
+		return err
+	}
+	p.decoded = col
+	for s := range p.bounds {
+		lo := s * p.segLen
+		hi := lo + p.segLen
+		if hi > p.n {
+			hi = p.n
+		}
+		var m int64
+		for _, v := range col[lo:hi] {
+			if v > m {
+				m = v
+			}
+		}
+		p.bounds[s] = m
+	}
+	return nil
+}
+
+// classify places segment s relative to the value range [lo, hi].
+func (p *forPruner) classify(s int, lo, hi int64) segmentClass {
+	segMin := p.refs[s]
+	segMax := p.refs[s] + p.bounds[s]
+	if segMax < lo || segMin > hi {
+		return segOutside
+	}
+	if segMin >= lo && segMax <= hi {
+		return segInside
+	}
+	return segStraddle
+}
+
+// segmentOffsets decodes the offsets of segment s only.
+func (p *forPruner) segmentOffsets(s int) ([]int64, error) {
+	segLo := s * p.segLen
+	segHi := segLo + p.segLen
+	if segHi > p.n {
+		segHi = p.n
+	}
+	if p.decoded != nil {
+		return p.decoded[segLo:segHi], nil
+	}
+	if p.vnsWidths != nil {
+		out := make([]int64, 0, segHi-segLo)
+		for b := segLo / p.vnsBlock; b*p.vnsBlock < segHi; b++ {
+			blockLo := b * p.vnsBlock
+			blockHi := blockLo + p.vnsBlock
+			if blockHi > p.n {
+				blockHi = p.n
+			}
+			lo := segLo
+			if blockLo > lo {
+				lo = blockLo
+			}
+			hi := segHi
+			if blockHi < hi {
+				hi = blockHi
+			}
+			words := p.offsets.Packed[p.vnsWordOffs[b]:p.vnsWordOffs[b+1]]
+			u, err := bitpack.UnpackRange(words, lo-blockLo, hi-lo, uint(p.vnsWidths[b]))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bitpack.SignedSlice(u)...)
+		}
+		return out, nil
+	}
+	u, err := bitpack.UnpackRange(p.offsets.Packed, segLo, segHi-segLo, uint(p.offsets.Params["width"]))
+	if err != nil {
+		return nil, err
+	}
+	return bitpack.SignedSlice(u), nil
+}
+
+func selectRangeFOR(f *core.Form, lo, hi int64) ([]int64, error) {
+	rows, _, err := selectRangeFORWithStats(f, lo, hi)
+	return rows, err
+}
+
+// SelectRangeFORWithStats is the instrumented variant benchmarks use
+// to report how many segments escaped decoding.
+func SelectRangeFORWithStats(f *core.Form, lo, hi int64) ([]int64, SelectStats, error) {
+	if f.Scheme != scheme.FORName {
+		return nil, SelectStats{}, fmt.Errorf("query: SelectRangeFORWithStats on scheme %q", f.Scheme)
+	}
+	return selectRangeFORWithStats(f, lo, hi)
+}
+
+func selectRangeFORWithStats(f *core.Form, lo, hi int64) ([]int64, SelectStats, error) {
+	p, err := newFORPruner(f)
+	if err != nil {
+		return nil, SelectStats{}, err
+	}
+	var st SelectStats
+	st.Segments = len(p.refs)
+	out := []int64{}
+	for s := 0; s*p.segLen < p.n; s++ {
+		segLo := s * p.segLen
+		segHi := segLo + p.segLen
+		if segHi > p.n {
+			segHi = p.n
+		}
+		switch p.classify(s, lo, hi) {
+		case segOutside:
+		case segInside:
+			for r := segLo; r < segHi; r++ {
+				out = append(out, int64(r))
+			}
+		case segStraddle:
+			st.DecodedSegments++
+			offs, err := p.segmentOffsets(s)
+			if err != nil {
+				return nil, st, err
+			}
+			ref := p.refs[s]
+			for j, o := range offs {
+				v := ref + o
+				if v >= lo && v <= hi {
+					out = append(out, int64(segLo+j))
+				}
+			}
+		}
+	}
+	return out, st, nil
+}
+
+func countRangeFOR(f *core.Form, lo, hi int64) (int64, error) {
+	p, err := newFORPruner(f)
+	if err != nil {
+		return 0, err
+	}
+	var count int64
+	for s := 0; s*p.segLen < p.n; s++ {
+		segLo := s * p.segLen
+		segHi := segLo + p.segLen
+		if segHi > p.n {
+			segHi = p.n
+		}
+		switch p.classify(s, lo, hi) {
+		case segOutside:
+		case segInside:
+			count += int64(segHi - segLo)
+		case segStraddle:
+			offs, err := p.segmentOffsets(s)
+			if err != nil {
+				return 0, err
+			}
+			ref := p.refs[s]
+			for _, o := range offs {
+				v := ref + o
+				if v >= lo && v <= hi {
+					count++
+				}
+			}
+		}
+	}
+	return count, nil
+}
+
+// allRows returns [0..n).
+func allRows(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}

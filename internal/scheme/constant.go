@@ -1,0 +1,70 @@
+package scheme
+
+import (
+	"fmt"
+
+	"lwcomp/internal/core"
+)
+
+// ConstName is the registry name of the constant scheme.
+const ConstName = "const"
+
+// Const represents columns holding a single repeated value — the
+// degenerate end of the paper's model spectrum (a step function with
+// one step, or RLE with one run). It exists because the analyzer
+// should never spend bits on a column with no information.
+//
+// Form layout: Params{"value"}; no children, no payload.
+type Const struct{}
+
+// Name implements core.Scheme.
+func (Const) Name() string { return ConstName }
+
+// Compress encodes src if all of its elements are equal, and reports
+// core.ErrNotRepresentable otherwise. Empty columns encode with value
+// zero.
+func (Const) Compress(src []int64) (*core.Form, error) {
+	var v int64
+	if len(src) > 0 {
+		v = src[0]
+		for i, x := range src {
+			if x != v {
+				return nil, fmt.Errorf("%w: const scheme at position %d: %d != %d",
+					core.ErrNotRepresentable, i, x, v)
+			}
+		}
+	}
+	return &core.Form{Scheme: ConstName, N: len(src), Params: core.Params{"value": v}}, nil
+}
+
+// Decompress materializes the repeated value.
+func (Const) Decompress(f *core.Form) ([]int64, error) {
+	if err := checkConst(f); err != nil {
+		return nil, err
+	}
+	v := f.Params["value"]
+	out := make([]int64, f.N)
+	for i := range out {
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ValidateForm implements core.Validator.
+func (Const) ValidateForm(f *core.Form) error { return checkConst(f) }
+
+// DecompressCostPerElement implements core.Coster: a fill.
+func (Const) DecompressCostPerElement(*core.Form) float64 { return 0.5 }
+
+func checkConst(f *core.Form) error {
+	if f.Scheme != ConstName {
+		return fmt.Errorf("%w: const scheme given form %q", core.ErrCorruptForm, f.Scheme)
+	}
+	if _, err := f.Params.Get(ConstName, "value"); err != nil {
+		return err
+	}
+	if len(f.Children) != 0 || f.Leaf != nil || f.Packed != nil || f.Bytes != nil {
+		return fmt.Errorf("%w: const form carries payload", core.ErrCorruptForm)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package scheme
+
+import (
+	"fmt"
+
+	"lwcomp/internal/core"
+	"lwcomp/internal/exec"
+	"lwcomp/internal/vec"
+)
+
+// DeltaName is the registry name of the DELTA scheme.
+const DeltaName = "delta"
+
+// Delta stores "the difference between elements rather than the
+// actual values" (§I). The first element is stored as its difference
+// from zero, so the deltas column alone reconstructs the input by an
+// inclusive prefix sum — which is also precisely the operation that
+// turns RPE's run positions back into RLE's run lengths' integral,
+// making DELTA the pivot of the paper's RLE decomposition.
+//
+// Form layout: Children{"deltas"}; deltas has the same length as the
+// input.
+type Delta struct{}
+
+// Name implements core.Scheme.
+func (Delta) Name() string { return DeltaName }
+
+// Compress stores consecutive differences.
+func (Delta) Compress(src []int64) (*core.Form, error) {
+	return &core.Form{
+		Scheme:   DeltaName,
+		N:        len(src),
+		Children: map[string]*core.Form{"deltas": NewIDForm(vec.Delta(src))},
+	}, nil
+}
+
+// Decompress integrates the deltas.
+func (Delta) Decompress(f *core.Form) ([]int64, error) {
+	if err := checkDelta(f); err != nil {
+		return nil, err
+	}
+	deltas, err := core.DecompressChild(f, "deltas")
+	if err != nil {
+		return nil, err
+	}
+	if len(deltas) != f.N {
+		return nil, fmt.Errorf("%w: delta form declares %d values, deltas child has %d",
+			core.ErrCorruptForm, f.N, len(deltas))
+	}
+	return vec.PrefixSumInclusive(deltas), nil
+}
+
+// Plan implements core.Planner: decompression is a single PrefixSum —
+// the fragment of Algorithm 1 the paper isolates when moving from RLE
+// to RPE.
+func (Delta) Plan(f *core.Form) (*exec.Plan, error) {
+	if err := checkDelta(f); err != nil {
+		return nil, err
+	}
+	b := exec.NewBuilder()
+	d := b.Input("deltas")
+	b.PrefixSumInc(d)
+	return b.Build()
+}
+
+// ValidateForm implements core.Validator.
+func (Delta) ValidateForm(f *core.Form) error { return checkDelta(f) }
+
+// DecompressCostPerElement implements core.Coster: one addition per
+// element, sequentially dependent.
+func (Delta) DecompressCostPerElement(*core.Form) float64 { return 1.2 }
+
+func checkDelta(f *core.Form) error {
+	if f.Scheme != DeltaName {
+		return fmt.Errorf("%w: delta scheme given form %q", core.ErrCorruptForm, f.Scheme)
+	}
+	c, err := f.Child("deltas")
+	if err != nil {
+		return err
+	}
+	if c.N != f.N {
+		return fmt.Errorf("%w: delta form declares %d values, deltas child declares %d",
+			core.ErrCorruptForm, f.N, c.N)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package scheme
+
+import (
+	"fmt"
+	"sort"
+
+	"lwcomp/internal/core"
+	"lwcomp/internal/exec"
+	"lwcomp/internal/vec"
+)
+
+// DictName is the registry name of the dictionary scheme.
+const DictName = "dict"
+
+// Dict is dictionary encoding — "using small dictionaries" (§I). The
+// distinct values are stored sorted in a dictionary column; the data
+// column stores indices into it. Keeping the dictionary sorted makes
+// codes order-preserving, so range predicates can be evaluated on
+// codes directly (the query package exploits this).
+//
+// Form layout: Children{"codes"} of length N and Children{"dict"} of
+// length equal to the number of distinct values.
+type Dict struct{}
+
+// Name implements core.Scheme.
+func (Dict) Name() string { return DictName }
+
+// Compress builds the sorted dictionary and code column.
+func (Dict) Compress(src []int64) (*core.Form, error) {
+	seen := make(map[int64]struct{}, 256)
+	for _, v := range src {
+		seen[v] = struct{}{}
+	}
+	dict := make([]int64, 0, len(seen))
+	for v := range seen {
+		dict = append(dict, v)
+	}
+	sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+	index := make(map[int64]int64, len(dict))
+	for i, v := range dict {
+		index[v] = int64(i)
+	}
+	codes := make([]int64, len(src))
+	for i, v := range src {
+		codes[i] = index[v]
+	}
+	return &core.Form{
+		Scheme: DictName,
+		N:      len(src),
+		Children: map[string]*core.Form{
+			"codes": NewIDForm(codes),
+			"dict":  NewIDForm(dict),
+		},
+	}, nil
+}
+
+// Decompress gathers dictionary entries by code.
+func (Dict) Decompress(f *core.Form) ([]int64, error) {
+	if err := checkDict(f); err != nil {
+		return nil, err
+	}
+	codes, err := core.DecompressChild(f, "codes")
+	if err != nil {
+		return nil, err
+	}
+	dict, err := core.DecompressChild(f, "dict")
+	if err != nil {
+		return nil, err
+	}
+	out, err := vec.Gather(dict, codes)
+	if err != nil {
+		return nil, fmt.Errorf("dict: %w", err)
+	}
+	return out, nil
+}
+
+// Plan implements core.Planner: dictionary decompression is a single
+// Gather — the simplest instance of the paper's observation that
+// decompression operators are query-plan operators.
+func (Dict) Plan(f *core.Form) (*exec.Plan, error) {
+	if err := checkDict(f); err != nil {
+		return nil, err
+	}
+	b := exec.NewBuilder()
+	dict := b.Input("dict")
+	codes := b.Input("codes")
+	b.Gather(dict, codes)
+	return b.Build()
+}
+
+// ValidateForm implements core.Validator.
+func (Dict) ValidateForm(f *core.Form) error { return checkDict(f) }
+
+// DecompressCostPerElement implements core.Coster: one random-access
+// gather per element.
+func (Dict) DecompressCostPerElement(*core.Form) float64 { return 2.0 }
+
+func checkDict(f *core.Form) error {
+	if f.Scheme != DictName {
+		return fmt.Errorf("%w: dict scheme given form %q", core.ErrCorruptForm, f.Scheme)
+	}
+	codes, err := f.Child("codes")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Child("dict"); err != nil {
+		return err
+	}
+	if codes.N != f.N {
+		return fmt.Errorf("%w: dict codes child declares %d values, form declares %d",
+			core.ErrCorruptForm, codes.N, f.N)
+	}
+	return nil
+}

@@ -1,0 +1,444 @@
+package scheme
+
+import (
+	"fmt"
+
+	"lwcomp/internal/bitpack"
+	"lwcomp/internal/core"
+)
+
+// This file holds the compressor-side combinators of the paper's
+// model view (§II-B, Lessons 2): schemes that "separate a simpler,
+// coarser, inaccurate representation of the data from finer, local,
+// noise-like complementary features". A ModelFitter produces the
+// coarse representation; ModelResidual pairs it with a residual
+// scheme into a PLUS form; NewPatched handles the L0 variant where
+// the complementary features are sparse exceptions.
+
+// ModelFitter fits a coarse model to a column, returning the model's
+// form and its predicted values (whose element-wise difference from
+// the input becomes the residual column).
+type ModelFitter interface {
+	// FitName describes the fitter for composite naming.
+	FitName() string
+	// Fit returns the model form and the model's predictions.
+	Fit(src []int64) (*core.Form, []int64, error)
+}
+
+// StepFitter fits a fixed-segment step function by taking each
+// segment's minimum, making residuals non-negative — fitting under
+// the L∞ metric of §II-B ("FOR captures all columns which are
+// L∞-metric-close to the evaluation of a step function").
+type StepFitter struct {
+	// SegLen is the segment length; zero means
+	// DefaultSegmentLength.
+	SegLen int
+}
+
+// FitName implements ModelFitter.
+func (sf StepFitter) FitName() string { return fmt.Sprintf("step[%d]", sf.segLen()) }
+
+func (sf StepFitter) segLen() int {
+	if sf.SegLen == 0 {
+		return DefaultSegmentLength
+	}
+	return sf.SegLen
+}
+
+// Fit implements ModelFitter.
+func (sf StepFitter) Fit(src []int64) (*core.Form, []int64, error) {
+	segLen := sf.segLen()
+	if segLen < 1 {
+		return nil, nil, fmt.Errorf("step fitter: invalid segment length %d", segLen)
+	}
+	nseg := (len(src) + segLen - 1) / segLen
+	refs := make([]int64, nseg)
+	pred := make([]int64, len(src))
+	for seg := 0; seg < nseg; seg++ {
+		lo := seg * segLen
+		hi := lo + segLen
+		if hi > len(src) {
+			hi = len(src)
+		}
+		ref := src[lo]
+		for _, v := range src[lo+1 : hi] {
+			if v < ref {
+				ref = v
+			}
+		}
+		refs[seg] = ref
+		for i := lo; i < hi; i++ {
+			pred[i] = ref
+		}
+	}
+	return NewStepForm(refs, segLen, len(src)), pred, nil
+}
+
+// LinearFitter fits a fixed-segment piecewise-linear function by
+// least squares, then shifts each segment's base so residuals are
+// non-negative (narrowest unsigned NS width).
+type LinearFitter struct {
+	// SegLen is the segment length; zero means
+	// DefaultSegmentLength.
+	SegLen int
+	// Frac is the slope fixed-point fraction width; zero means
+	// DefaultFracBits.
+	Frac uint
+}
+
+// FitName implements ModelFitter.
+func (lf LinearFitter) FitName() string { return fmt.Sprintf("linear[%d]", lf.segLen()) }
+
+func (lf LinearFitter) segLen() int {
+	if lf.SegLen == 0 {
+		return DefaultSegmentLength
+	}
+	return lf.SegLen
+}
+
+func (lf LinearFitter) frac() uint {
+	if lf.Frac == 0 {
+		return DefaultFracBits
+	}
+	return lf.Frac
+}
+
+// Fit implements ModelFitter.
+func (lf LinearFitter) Fit(src []int64) (*core.Form, []int64, error) {
+	segLen := lf.segLen()
+	frac := lf.frac()
+	if segLen < 1 {
+		return nil, nil, fmt.Errorf("linear fitter: invalid segment length %d", segLen)
+	}
+	if frac > 30 {
+		return nil, nil, fmt.Errorf("linear fitter: fraction width %d too large (max 30)", frac)
+	}
+	nseg := (len(src) + segLen - 1) / segLen
+	bases := make([]int64, nseg)
+	slopes := make([]int64, nseg)
+	pred := make([]int64, len(src))
+	for seg := 0; seg < nseg; seg++ {
+		lo := seg * segLen
+		hi := lo + segLen
+		if hi > len(src) {
+			hi = len(src)
+		}
+		base, slope := fitLineLeastSquares(src[lo:hi], frac)
+		// Shift the base down so that every residual is ≥ 0.
+		minResid := int64(0)
+		first := true
+		for i := lo; i < hi; i++ {
+			r := src[i] - LinearPredict(base, slope, i-lo, frac)
+			if first || r < minResid {
+				minResid = r
+				first = false
+			}
+		}
+		base += minResid
+		bases[seg] = base
+		slopes[seg] = slope
+		for i := lo; i < hi; i++ {
+			pred[i] = LinearPredict(base, slope, i-lo, frac)
+		}
+	}
+	return NewLinearForm(bases, slopes, segLen, frac, len(src)), pred, nil
+}
+
+// fitLineLeastSquares computes the ordinary-least-squares line of a
+// segment in fixed point: slope = cov(j, v)/var(j).
+func fitLineLeastSquares(seg []int64, frac uint) (base, slope int64) {
+	n := len(seg)
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 {
+		return seg[0], 0
+	}
+	var sumJ, sumV, sumJJ, sumJV float64
+	for j, v := range seg {
+		fj := float64(j)
+		fv := float64(v)
+		sumJ += fj
+		sumV += fv
+		sumJJ += fj * fj
+		sumJV += fj * fv
+	}
+	fn := float64(n)
+	den := fn*sumJJ - sumJ*sumJ
+	var slopeF float64
+	if den != 0 {
+		slopeF = (fn*sumJV - sumJ*sumV) / den
+	}
+	interceptF := (sumV - slopeF*sumJ) / fn
+	scale := float64(int64(1) << frac)
+	slope = int64(slopeF*scale + 0.5)
+	if slopeF < 0 {
+		slope = int64(slopeF*scale - 0.5)
+	}
+	return int64(interceptF + 0.5), slope
+}
+
+// ModelResidual is the generic model-plus-residual compressor: fit
+// the model, compress the residual with the configured scheme, emit a
+// PLUS form. FOR is recovered exactly as
+// ModelResidual{StepFitter{ℓ}, NS{}} — the compressor-side reading of
+// the identity FOR ≡ (STEPFUNCTION + NS).
+type ModelResidual struct {
+	// Fitter produces the coarse model.
+	Fitter ModelFitter
+	// Residual compresses the residual column; nil means NS.
+	Residual core.Scheme
+}
+
+// Name implements core.Scheme.
+func (mr ModelResidual) Name() string {
+	res := mr.Residual
+	if res == nil {
+		res = NS{}
+	}
+	return fmt.Sprintf("plus(%s, %s)", mr.Fitter.FitName(), res.Name())
+}
+
+// Compress fits the model and compresses the residual.
+func (mr ModelResidual) Compress(src []int64) (*core.Form, error) {
+	model, pred, err := mr.Fitter.Fit(src)
+	if err != nil {
+		return nil, fmt.Errorf("model residual: %w", err)
+	}
+	resid := make([]int64, len(src))
+	for i := range src {
+		resid[i] = src[i] - pred[i]
+	}
+	res := mr.Residual
+	if res == nil {
+		res = NS{}
+	}
+	rf, err := res.Compress(resid)
+	if err != nil {
+		return nil, fmt.Errorf("model residual: residual scheme %q: %w", res.Name(), err)
+	}
+	return NewPlusForm(model, rf)
+}
+
+// Decompress delegates to the registry (the form is a PLUS form).
+func (ModelResidual) Decompress(f *core.Form) ([]int64, error) {
+	return core.Decompress(f)
+}
+
+var _ core.Scheme = ModelResidual{}
+
+// DefaultExceptionBits is the assumed per-exception storage cost used
+// by the PFOR width chooser: a position plus a 64-bit value.
+const DefaultExceptionBits = 96
+
+// PFOR is the patched frame-of-reference compressor — the paper's L0
+// extension applied to FOR, recovering the classical PFOR family as
+// the composition Patch ∘ FOR. The offset width is chosen to
+// minimize total bits (base packing plus exception storage); elements
+// whose offsets exceed it become patches holding the original values,
+// and their base slots collapse to offset zero.
+type PFOR struct {
+	// SegLen is the FOR segment length; zero means
+	// DefaultSegmentLength.
+	SegLen int
+	// ExcBits is the assumed per-exception cost in bits for width
+	// selection; zero means DefaultExceptionBits.
+	ExcBits uint
+	// MaxExceptionRate, when positive, bounds the exception fraction;
+	// if the chosen width would exceed it, the width grows until the
+	// rate is within bounds.
+	MaxExceptionRate float64
+}
+
+// Name implements core.Scheme.
+func (p PFOR) Name() string {
+	segLen := p.SegLen
+	if segLen == 0 {
+		segLen = DefaultSegmentLength
+	}
+	return fmt.Sprintf("patch(for[%d]+ns)", segLen)
+}
+
+// Compress selects the patch width, splits exceptions out and
+// compresses the patched column with FOR over NS offsets.
+func (p PFOR) Compress(src []int64) (*core.Form, error) {
+	segLen := p.SegLen
+	if segLen == 0 {
+		segLen = DefaultSegmentLength
+	}
+	excBits := p.ExcBits
+	if excBits == 0 {
+		excBits = DefaultExceptionBits
+	}
+
+	// First pass: per-segment minima and the offset width histogram.
+	nseg := (len(src) + segLen - 1) / segLen
+	refs := make([]int64, nseg)
+	offsets := make([]uint64, len(src))
+	for seg := 0; seg < nseg; seg++ {
+		lo := seg * segLen
+		hi := lo + segLen
+		if hi > len(src) {
+			hi = len(src)
+		}
+		ref := src[lo]
+		for _, v := range src[lo+1 : hi] {
+			if v < ref {
+				ref = v
+			}
+		}
+		refs[seg] = ref
+		for i := lo; i < hi; i++ {
+			offsets[i] = uint64(src[i] - ref)
+		}
+	}
+	hist := bitpack.HistogramOf(offsets)
+	w, _ := hist.BestPatchWidth(excBits)
+	if p.MaxExceptionRate > 0 && hist.N > 0 {
+		for w < 64 && float64(hist.ExceptionsAt(w))/float64(hist.N) > p.MaxExceptionRate {
+			w++
+		}
+	}
+
+	// Second pass: split exceptions, collapse their base slots to the
+	// segment reference (offset zero).
+	patched := make([]int64, len(src))
+	copy(patched, src)
+	var positions, values []int64
+	for i, off := range offsets {
+		if bitpack.Width(off) > w {
+			positions = append(positions, int64(i))
+			values = append(values, src[i])
+			patched[i] = refs[i/segLen]
+		}
+	}
+
+	base, err := core.Compose(FOR{SegLen: segLen}, map[string]core.Scheme{
+		"offsets": NS{},
+		"refs":    NS{},
+	}).Compress(patched)
+	if err != nil {
+		return nil, fmt.Errorf("pfor: base: %w", err)
+	}
+	if positions == nil {
+		positions = []int64{}
+		values = []int64{}
+	}
+	return NewPatchForm(base, positions, values)
+}
+
+// Decompress delegates to the registry (the form is a PATCH form).
+func (PFOR) Decompress(f *core.Form) ([]int64, error) {
+	return core.Decompress(f)
+}
+
+var _ core.Scheme = PFOR{}
+
+// PatchedModel generalizes PFOR to any model: the paper's L0 and L∞
+// extensions composed. The model is fitted, residual widths are
+// histogrammed, a patch width is chosen to minimize total bits, and
+// elements whose residuals exceed it become exceptions; the remaining
+// residuals compress under the residual scheme. PFOR is the StepFitter
+// instance of this combinator (kept separate because its base is the
+// plain FOR form); PatchedModel{LinearFitter} is "patched diagonal
+// lines" — a scheme the paper implies but names nowhere, obtained
+// here for free by composition.
+type PatchedModel struct {
+	// Fitter produces the coarse model.
+	Fitter ModelFitter
+	// Residual compresses the patched residual column; nil means NS.
+	Residual core.Scheme
+	// ExcBits is the assumed per-exception cost for width selection;
+	// zero means DefaultExceptionBits.
+	ExcBits uint
+}
+
+// Name implements core.Scheme.
+func (pm PatchedModel) Name() string {
+	res := pm.Residual
+	if res == nil {
+		res = NS{}
+	}
+	return fmt.Sprintf("patch(plus(%s, %s))", pm.Fitter.FitName(), res.Name())
+}
+
+// Compress fits the model, splits wide residuals into patches and
+// emits PATCH(PLUS(model, residual)).
+//
+// Fitting is two-round for robustness: least squares is not robust to
+// the very outliers patching exists for, so the first fit only
+// identifies exceptions; the model is then refitted with exceptions
+// replaced by their round-one predictions, which keeps the inlier
+// residuals at the noise width.
+func (pm PatchedModel) Compress(src []int64) (*core.Form, error) {
+	excBits := pm.ExcBits
+	if excBits == 0 {
+		excBits = DefaultExceptionBits
+	}
+	// Round one: fit everything, choose the patch width over the
+	// zigzagged residual histogram.
+	_, pred1, err := pm.Fitter.Fit(src)
+	if err != nil {
+		return nil, fmt.Errorf("patched model: %w", err)
+	}
+	residU := make([]uint64, len(src))
+	for i := range src {
+		residU[i] = bitpack.Zigzag(src[i] - pred1[i])
+	}
+	hist := bitpack.HistogramOf(residU)
+	w, _ := hist.BestPatchWidth(excBits)
+
+	var positions, values []int64
+	cleaned := make([]int64, len(src))
+	copy(cleaned, src)
+	for i, u := range residU {
+		if bitpack.Width(u) > w {
+			positions = append(positions, int64(i))
+			values = append(values, src[i])
+			// Replace the exception with the nearest preceding inlier
+			// (round-one predictions are themselves skewed by the
+			// outliers, so they would leak outlier mass into the
+			// refit).
+			if i > 0 {
+				cleaned[i] = cleaned[i-1]
+			} else if len(src) > 1 {
+				cleaned[i] = src[1]
+			}
+		}
+	}
+
+	// Round two: refit on the cleaned column; residuals are
+	// non-negative by the fitters' base-shift construction.
+	model, pred2, err := pm.Fitter.Fit(cleaned)
+	if err != nil {
+		return nil, fmt.Errorf("patched model: refit: %w", err)
+	}
+	resid := make([]int64, len(cleaned))
+	for i := range cleaned {
+		resid[i] = cleaned[i] - pred2[i]
+	}
+	res := pm.Residual
+	if res == nil {
+		res = NS{}
+	}
+	rf, err := res.Compress(resid)
+	if err != nil {
+		return nil, fmt.Errorf("patched model: residual scheme %q: %w", res.Name(), err)
+	}
+	base, err := NewPlusForm(model, rf)
+	if err != nil {
+		return nil, err
+	}
+	if positions == nil {
+		positions = []int64{}
+		values = []int64{}
+	}
+	return NewPatchForm(base, positions, values)
+}
+
+// Decompress delegates to the registry (the form is a PATCH form).
+func (PatchedModel) Decompress(f *core.Form) ([]int64, error) {
+	return core.Decompress(f)
+}
+
+var _ core.Scheme = PatchedModel{}

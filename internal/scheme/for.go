@@ -1,0 +1,173 @@
+package scheme
+
+import (
+	"fmt"
+
+	"lwcomp/internal/core"
+	"lwcomp/internal/exec"
+	"lwcomp/internal/vec"
+)
+
+// FORName is the registry name of the frame-of-reference scheme.
+const FORName = "for"
+
+// DefaultSegmentLength is used by compressors when the caller does not
+// choose a segment length.
+const DefaultSegmentLength = 1024
+
+// FOR is frame-of-reference compression (§II-B): the column is cut
+// into fixed-length segments; each segment stores a reference value,
+// and elements store offsets from their segment's reference.
+//
+// This implementation takes each segment's minimum as the reference,
+// so offsets are non-negative (the paper notes the reference "need
+// not necessarily be the case that the first column element in the
+// segment" — any value works; the minimum gives the narrowest
+// non-negative offsets).
+//
+// Form layout: Params{"seglen"}; Children{"refs"} of length ⌈N/ℓ⌉ and
+// Children{"offsets"} of length N, where elements i·ℓ … (i+1)·ℓ−1 are
+// the offsets for segment i — exactly the paper's columnar view.
+type FOR struct {
+	// SegLen is the segment length ℓ used when compressing; zero
+	// means DefaultSegmentLength.
+	SegLen int
+}
+
+// Name implements core.Scheme.
+func (FOR) Name() string { return FORName }
+
+// Compress encodes src against per-segment minimum references.
+func (s FOR) Compress(src []int64) (*core.Form, error) {
+	segLen := s.SegLen
+	if segLen == 0 {
+		segLen = DefaultSegmentLength
+	}
+	if segLen < 1 {
+		return nil, fmt.Errorf("for: invalid segment length %d", segLen)
+	}
+	nseg := (len(src) + segLen - 1) / segLen
+	refs := make([]int64, nseg)
+	offsets := make([]int64, len(src))
+	for seg := 0; seg < nseg; seg++ {
+		lo := seg * segLen
+		hi := lo + segLen
+		if hi > len(src) {
+			hi = len(src)
+		}
+		ref := src[lo]
+		for _, v := range src[lo+1 : hi] {
+			if v < ref {
+				ref = v
+			}
+		}
+		refs[seg] = ref
+		for i := lo; i < hi; i++ {
+			offsets[i] = src[i] - ref
+		}
+	}
+	return &core.Form{
+		Scheme: FORName,
+		N:      len(src),
+		Params: core.Params{"seglen": int64(segLen)},
+		Children: map[string]*core.Form{
+			"refs":    NewIDForm(refs),
+			"offsets": NewIDForm(offsets),
+		},
+	}, nil
+}
+
+// Decompress adds each segment's reference back onto its offsets.
+func (FOR) Decompress(f *core.Form) ([]int64, error) {
+	if err := checkFOR(f); err != nil {
+		return nil, err
+	}
+	segLen := int(f.Params["seglen"])
+	refs, err := core.DecompressChild(f, "refs")
+	if err != nil {
+		return nil, err
+	}
+	offsets, err := core.DecompressChild(f, "offsets")
+	if err != nil {
+		return nil, err
+	}
+	if len(offsets) != f.N {
+		return nil, fmt.Errorf("%w: for offsets child has %d values, form declares %d",
+			core.ErrCorruptForm, len(offsets), f.N)
+	}
+	out, err := vec.ReplicateSegments(refs, segLen, f.N)
+	if err != nil {
+		return nil, fmt.Errorf("for: %w", err)
+	}
+	for i := range out {
+		out[i] += offsets[i]
+	}
+	return out, nil
+}
+
+// Plan implements core.Planner with the paper's Algorithm 2:
+//
+//	1: ones        ← Constant(1, |offsets|)
+//	2: id          ← PrefixSum(ones)        (exclusive, so that ids
+//	                                         run 0…n−1 and the division
+//	                                         lands on segment indices)
+//	3: ells        ← Constant(ℓ, |offsets|)
+//	4: ref_indices ← Elementwise(÷, id, ells)
+//	5: replicated  ← Gather(refs, ref_indices)
+//	6: return Elementwise(+, replicated, offsets)
+func (FOR) Plan(f *core.Form) (*exec.Plan, error) {
+	if err := checkFOR(f); err != nil {
+		return nil, err
+	}
+	b := exec.NewBuilder()
+	offsets := b.Input("offsets")
+	refs := b.Input("refs")
+	one := b.ConstScalar(1)
+	n := b.Len(offsets)
+	ones := b.ConstantCol(one, n)                  // 1
+	id := b.PrefixSumExc(ones)                     // 2
+	ell := b.ConstScalar(f.Params["seglen"])       //
+	ells := b.ConstantCol(ell, n)                  // 3
+	refIndices := b.Elementwise(vec.Div, id, ells) // 4
+	replicated := b.Gather(refs, refIndices)       // 5
+	b.Elementwise(vec.Add, replicated, offsets)    // 6
+	return b.Build()
+}
+
+// ValidateForm implements core.Validator.
+func (FOR) ValidateForm(f *core.Form) error { return checkFOR(f) }
+
+// DecompressCostPerElement implements core.Coster: one add plus an
+// amortized segment lookup.
+func (FOR) DecompressCostPerElement(*core.Form) float64 { return 1.3 }
+
+func checkFOR(f *core.Form) error {
+	if f.Scheme != FORName {
+		return fmt.Errorf("%w: for scheme given form %q", core.ErrCorruptForm, f.Scheme)
+	}
+	segLen, err := f.Params.Get(FORName, "seglen")
+	if err != nil {
+		return err
+	}
+	if segLen < 1 {
+		return fmt.Errorf("%w: for segment length %d", core.ErrCorruptForm, segLen)
+	}
+	refs, err := f.Child("refs")
+	if err != nil {
+		return err
+	}
+	offsets, err := f.Child("offsets")
+	if err != nil {
+		return err
+	}
+	nseg := (f.N + int(segLen) - 1) / int(segLen)
+	if refs.N != nseg {
+		return fmt.Errorf("%w: for refs child declares %d segments, need %d",
+			core.ErrCorruptForm, refs.N, nseg)
+	}
+	if offsets.N != f.N {
+		return fmt.Errorf("%w: for offsets child declares %d values, form declares %d",
+			core.ErrCorruptForm, offsets.N, f.N)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Package scheme implements the concrete lightweight compression
+// schemes of the lwcomp framework, in the paper's decomposed columnar
+// view: each scheme's compressed form is a set of pure constituent
+// columns plus scalar parameters (a core.Form), and where the paper
+// gives one (Algorithms 1 and 2), decompression is also available as
+// an operator plan.
+//
+// Form layouts are the canonical contracts used by the rewrite rules
+// and the storage format; they are documented per scheme.
+package scheme
+
+import (
+	"fmt"
+
+	"lwcomp/internal/core"
+)
+
+// IDName is the registry name of the identity scheme — the paper's
+// "compression scheme of not applying any compression", the unit of
+// the composition algebra.
+const IDName = "id"
+
+// ID is the identity scheme. Form layout: Leaf holds the raw column.
+type ID struct{}
+
+// Name implements core.Scheme.
+func (ID) Name() string { return IDName }
+
+// Compress wraps src (copied) in an ID form.
+func (ID) Compress(src []int64) (*core.Form, error) {
+	return NewIDForm(src), nil
+}
+
+// Decompress returns the leaf payload.
+func (ID) Decompress(f *core.Form) ([]int64, error) {
+	if err := checkID(f); err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(f.Leaf))
+	copy(out, f.Leaf)
+	return out, nil
+}
+
+// ValidateForm implements core.Validator.
+func (ID) ValidateForm(f *core.Form) error { return checkID(f) }
+
+// DecompressCostPerElement implements core.Coster: a plain copy.
+func (ID) DecompressCostPerElement(*core.Form) float64 { return 1.0 }
+
+func checkID(f *core.Form) error {
+	if f.Scheme != IDName {
+		return fmt.Errorf("%w: id scheme given form %q", core.ErrCorruptForm, f.Scheme)
+	}
+	if len(f.Leaf) != f.N {
+		return fmt.Errorf("%w: id form declares %d values, leaf holds %d", core.ErrCorruptForm, f.N, len(f.Leaf))
+	}
+	if len(f.Children) != 0 {
+		return fmt.Errorf("%w: id form has children", core.ErrCorruptForm)
+	}
+	return nil
+}
+
+// NewIDForm builds the canonical ID form over a copy of src. Every
+// scheme in this package emits its constituent columns as ID forms;
+// the Composite combinator then substitutes deeper forms.
+func NewIDForm(src []int64) *core.Form {
+	leaf := make([]int64, len(src))
+	copy(leaf, src)
+	return &core.Form{Scheme: IDName, N: len(src), Leaf: leaf}
+}

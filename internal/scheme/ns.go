@@ -1,0 +1,105 @@
+package scheme
+
+import (
+	"fmt"
+
+	"lwcomp/internal/bitpack"
+	"lwcomp/internal/core"
+)
+
+// NSName is the registry name of the null-suppression scheme.
+const NSName = "ns"
+
+// NS is null suppression: "discarding redundant bits" (§I). Values
+// are bit-packed at the width of the widest value; columns containing
+// negatives are zigzag-mapped first.
+//
+// NS is the terminal physical codec of most compositions — in the
+// paper's FOR decomposition, the offsets are "nothing but a narrow
+// column, which relative to the original column's width we compress
+// with NS".
+//
+// Form layout: Params{"width", "zigzag"}; Packed holds the bit-packed
+// words.
+type NS struct{}
+
+// Name implements core.Scheme.
+func (NS) Name() string { return NSName }
+
+// Compress bit-packs src at its minimal width.
+func (NS) Compress(src []int64) (*core.Form, error) {
+	zig := int64(0)
+	for _, v := range src {
+		if v < 0 {
+			zig = 1
+			break
+		}
+	}
+	var u []uint64
+	if zig == 1 {
+		u = bitpack.ZigzagSlice(src)
+	} else {
+		u = bitpack.UnsignedSlice(src)
+	}
+	w := bitpack.MaxWidth(u)
+	packed, err := bitpack.Pack(u, w)
+	if err != nil {
+		return nil, fmt.Errorf("ns: %w", err)
+	}
+	return &core.Form{
+		Scheme: NSName,
+		N:      len(src),
+		Params: core.Params{"width": int64(w), "zigzag": zig},
+		Packed: packed,
+	}, nil
+}
+
+// Decompress unpacks the payload.
+func (NS) Decompress(f *core.Form) ([]int64, error) {
+	if err := checkNS(f); err != nil {
+		return nil, err
+	}
+	w := uint(f.Params["width"])
+	u, err := bitpack.Unpack(f.Packed, f.N, w)
+	if err != nil {
+		return nil, fmt.Errorf("ns: %w", err)
+	}
+	if f.Params["zigzag"] == 1 {
+		return bitpack.UnzigzagSlice(u), nil
+	}
+	return bitpack.SignedSlice(u), nil
+}
+
+// ValidateForm implements core.Validator.
+func (NS) ValidateForm(f *core.Form) error { return checkNS(f) }
+
+// DecompressCostPerElement implements core.Coster: shift/mask work
+// per element, slightly above a copy.
+func (NS) DecompressCostPerElement(*core.Form) float64 { return 1.5 }
+
+func checkNS(f *core.Form) error {
+	if f.Scheme != NSName {
+		return fmt.Errorf("%w: ns scheme given form %q", core.ErrCorruptForm, f.Scheme)
+	}
+	w, err := f.Params.Get(NSName, "width")
+	if err != nil {
+		return err
+	}
+	if w < 0 || w > 64 {
+		return fmt.Errorf("%w: ns width %d", core.ErrCorruptForm, w)
+	}
+	zz, err := f.Params.Get(NSName, "zigzag")
+	if err != nil {
+		return err
+	}
+	if zz != 0 && zz != 1 {
+		return fmt.Errorf("%w: ns zigzag flag %d", core.ErrCorruptForm, zz)
+	}
+	if need := bitpack.PackedWords(f.N, uint(w)); len(f.Packed) < need {
+		return fmt.Errorf("%w: ns payload %d words, need %d", core.ErrCorruptForm, len(f.Packed), need)
+	}
+	if len(f.Children) != 0 {
+		return fmt.Errorf("%w: ns form has children", core.ErrCorruptForm)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package scheme
+
+import (
+	"lwcomp/internal/column"
+	"lwcomp/internal/core"
+)
+
+// All registered schemes, in registration order. Registration happens
+// in init (the database/sql driver convention): importing this
+// package makes every scheme resolvable by name, which the recursive
+// Decompress dispatcher requires.
+func init() {
+	core.Register(ID{})
+	core.Register(Const{})
+	core.Register(NS{})
+	core.Register(Varint{})
+	core.Register(Elias{})
+	core.Register(VNS{})
+	core.Register(Delta{})
+	core.Register(RLE{})
+	core.Register(RPE{})
+	core.Register(FOR{})
+	core.Register(Step{})
+	core.Register(Linear{})
+	core.Register(Plus{})
+	core.Register(Patch{})
+	core.Register(Dict{})
+	core.Register(Poly2{})
+}
+
+// NSLeaf is the conventional terminal compressor for constituent
+// columns.
+var NSLeaf core.Scheme = NS{}
+
+// RLEComposite returns the standard practical RLE pipeline: RLE with
+// both constituent columns null-suppressed.
+func RLEComposite() core.Scheme {
+	return core.Compose(RLE{}, map[string]core.Scheme{
+		"lengths": NS{},
+		"values":  NS{},
+	})
+}
+
+// RLEDeltaComposite returns the paper's §I motivating composition:
+// RLE over the column, DELTA over the run values, NS at the leaves.
+func RLEDeltaComposite() core.Scheme {
+	return core.Compose(RLE{}, map[string]core.Scheme{
+		"lengths": NS{},
+		"values": core.Compose(Delta{}, map[string]core.Scheme{
+			"deltas": NS{},
+		}),
+	})
+}
+
+// RLEDeltaVNSComposite refines RLEDeltaComposite with the paper's
+// §II-B variable-width extension on the deltas: the first delta of a
+// DELTA form is the absolute first value, which under plain NS forces
+// the full column width onto every tiny delta. Mini-block NS confines
+// that cost to one block — composition fixing composition.
+func RLEDeltaVNSComposite() core.Scheme {
+	return core.Compose(RLE{}, map[string]core.Scheme{
+		"lengths": NS{},
+		"values": core.Compose(Delta{}, map[string]core.Scheme{
+			"deltas": VNS{Block: 32},
+		}),
+	})
+}
+
+// RPEComposite returns RPE with NS'd constituent columns.
+func RPEComposite() core.Scheme {
+	return core.Compose(RPE{}, map[string]core.Scheme{
+		"positions": NS{},
+		"values":    NS{},
+	})
+}
+
+// DeltaNS returns DELTA with NS'd deltas.
+func DeltaNS() core.Scheme {
+	return core.Compose(Delta{}, map[string]core.Scheme{"deltas": NS{}})
+}
+
+// FORComposite returns FOR at the given segment length with NS'd
+// refs and offsets.
+func FORComposite(segLen int) core.Scheme {
+	return core.Compose(FOR{SegLen: segLen}, map[string]core.Scheme{
+		"refs":    NS{},
+		"offsets": NS{},
+	})
+}
+
+// FORVNSComposite returns FOR with variable-width (mini-block NS)
+// offsets — the paper's variable-width extension applied to FOR.
+func FORVNSComposite(segLen, block int) core.Scheme {
+	return core.Compose(FOR{SegLen: segLen}, map[string]core.Scheme{
+		"refs":    NS{},
+		"offsets": VNS{Block: block},
+	})
+}
+
+// DictComposite returns DICT with NS'd codes.
+func DictComposite() core.Scheme {
+	return core.Compose(Dict{}, map[string]core.Scheme{
+		"codes": NS{},
+		"dict":  NS{},
+	})
+}
+
+// LinearNS returns the piecewise-linear model with NS residuals at
+// the given segment length.
+func LinearNS(segLen int) core.Scheme {
+	return ModelResidual{
+		Fitter:   LinearFitter{SegLen: segLen},
+		Residual: NS{},
+	}
+}
+
+// DefaultCandidates returns the composite-scheme space the analyzer
+// searches for a column with the given statistics. The list is
+// stats-pruned: candidates that cannot possibly win (RLE on run-free
+// data, DICT on near-unique data) are omitted so analysis stays
+// cheap, which is how a practical optimizer would consume the paper's
+// richer scheme space.
+func DefaultCandidates(st column.Stats) []core.Candidate {
+	cands := []core.Candidate{
+		core.FromScheme(NS{}),
+		core.FromScheme(Varint{}),
+		core.FromScheme(Elias{}),
+		core.FromScheme(VNS{}),
+		core.FromScheme(DeltaNS()),
+		core.FromScheme(FORComposite(128)),
+		core.FromScheme(FORComposite(1024)),
+		core.FromScheme(PFOR{SegLen: 1024}),
+		core.FromScheme(LinearNS(1024)),
+	}
+	if st.N > 0 && st.Runs == 1 {
+		// Constant column: CONST wins outright.
+		cands = append([]core.Candidate{core.FromScheme(Const{})}, cands...)
+	}
+	if st.AvgRunLength() >= 2 {
+		cands = append(cands,
+			core.FromScheme(RLEComposite()),
+			core.FromScheme(RLEDeltaComposite()),
+			core.FromScheme(RLEDeltaVNSComposite()),
+			core.FromScheme(RPEComposite()),
+		)
+	}
+	if !st.DistinctSaturated() && st.Distinct <= st.N/4 {
+		cands = append(cands, core.FromScheme(DictComposite()))
+		cands = append(cands, core.FromScheme(core.Compose(Dict{}, map[string]core.Scheme{
+			"codes": core.Compose(RLE{}, map[string]core.Scheme{
+				"lengths": NS{},
+				"values":  NS{},
+			}),
+			"dict": NS{},
+		})))
+	}
+	return cands
+}
+
+// AllCandidates returns the unpruned candidate space (used by tests
+// and the exhaustive analyzer mode).
+func AllCandidates() []core.Candidate {
+	return []core.Candidate{
+		core.FromScheme(Const{}),
+		core.FromScheme(NS{}),
+		core.FromScheme(Varint{}),
+		core.FromScheme(Elias{}),
+		core.FromScheme(VNS{}),
+		core.FromScheme(DeltaNS()),
+		core.FromScheme(FORComposite(128)),
+		core.FromScheme(FORComposite(1024)),
+		core.FromScheme(FORVNSComposite(1024, 128)),
+		core.FromScheme(PFOR{SegLen: 1024}),
+		core.FromScheme(LinearNS(1024)),
+		core.FromScheme(ModelResidual{Fitter: Poly2Fitter{SegLen: 1024}}),
+		core.FromScheme(PatchedModel{Fitter: LinearFitter{SegLen: 1024}}),
+		core.FromScheme(RLEComposite()),
+		core.FromScheme(RLEDeltaComposite()),
+		core.FromScheme(RLEDeltaVNSComposite()),
+		core.FromScheme(RPEComposite()),
+		core.FromScheme(DictComposite()),
+	}
+}

@@ -1,0 +1,142 @@
+package scheme
+
+import (
+	"fmt"
+
+	"lwcomp/internal/core"
+	"lwcomp/internal/exec"
+	"lwcomp/internal/vec"
+)
+
+// RLEName is the registry name of the run-length encoding scheme.
+const RLEName = "rle"
+
+// RLE is run-length encoding in the paper's columnar view (§II-A):
+// "a single column col of values is compressed into a pair of
+// corresponding columns, lengths and values, whose length is the
+// number of runs in col".
+//
+// Form layout: Children{"lengths", "values"}, equal-length; run i
+// repeats values[i] lengths[i] times. All lengths are ≥ 1 (maximal
+// runs).
+type RLE struct{}
+
+// Name implements core.Scheme.
+func (RLE) Name() string { return RLEName }
+
+// Compress splits src into maximal runs.
+func (RLE) Compress(src []int64) (*core.Form, error) {
+	lengths, values := runsOf(src)
+	return &core.Form{
+		Scheme: RLEName,
+		N:      len(src),
+		Children: map[string]*core.Form{
+			"lengths": NewIDForm(lengths),
+			"values":  NewIDForm(values),
+		},
+	}, nil
+}
+
+// runsOf returns the maximal-run decomposition of src.
+func runsOf(src []int64) (lengths, values []int64) {
+	if len(src) == 0 {
+		return []int64{}, []int64{}
+	}
+	cur := src[0]
+	var runLen int64
+	for _, v := range src {
+		if v == cur {
+			runLen++
+			continue
+		}
+		lengths = append(lengths, runLen)
+		values = append(values, cur)
+		cur = v
+		runLen = 1
+	}
+	lengths = append(lengths, runLen)
+	values = append(values, cur)
+	return lengths, values
+}
+
+// Decompress expands the runs with the fused kernel.
+func (RLE) Decompress(f *core.Form) ([]int64, error) {
+	if err := checkRLE(f); err != nil {
+		return nil, err
+	}
+	lengths, err := core.DecompressChild(f, "lengths")
+	if err != nil {
+		return nil, err
+	}
+	values, err := core.DecompressChild(f, "values")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, f.N)
+	if _, err := vec.RunExpandInto(out, values, lengths); err != nil {
+		return nil, fmt.Errorf("rle: %w", err)
+	}
+	return out, nil
+}
+
+// Plan implements core.Planner with the paper's Algorithm 1,
+// line for line:
+//
+//	1: run_positions  ← PrefixSum(lengths)
+//	2: n              ← run_positions[|run_positions|−1]
+//	3: run_positions' ← PopBack(run_positions)
+//	4: ones           ← Constant(1, |run_positions'|)
+//	5: zeros          ← Constant(0, n)      (the paper's line 5 has a
+//	                                         typographical 1; a zero
+//	                                         base is required for the
+//	                                         scatter/prefix-sum trick)
+//	6: pos_delta      ← Scatter(ones, run_positions')
+//	7: positions      ← PrefixSum(pos_delta)
+//	8: return Gather(values, positions)
+//
+// The engine's Scatter allocates its zero destination, covering lines
+// 5 and 6 in one node.
+func (RLE) Plan(f *core.Form) (*exec.Plan, error) {
+	if err := checkRLE(f); err != nil {
+		return nil, err
+	}
+	b := exec.NewBuilder()
+	lengths := b.Input("lengths")
+	values := b.Input("values")
+	runPositions := b.PrefixSumInc(lengths) // 1
+	n := b.Last(runPositions)               // 2
+	popped := b.PopBack(runPositions)       // 3
+	one := b.ConstScalar(1)                 //
+	onesLen := b.Len(popped)                //
+	ones := b.ConstantCol(one, onesLen)     // 4
+	posDelta := b.Scatter(ones, popped, n)  // 5+6
+	positions := b.PrefixSumInc(posDelta)   // 7
+	b.Gather(values, positions)             // 8
+	return b.Build()
+}
+
+// ValidateForm implements core.Validator.
+func (RLE) ValidateForm(f *core.Form) error { return checkRLE(f) }
+
+// DecompressCostPerElement implements core.Coster: run expansion is a
+// sequential fill, near copy cost.
+func (RLE) DecompressCostPerElement(*core.Form) float64 { return 1.1 }
+
+func checkRLE(f *core.Form) error {
+	if f.Scheme != RLEName {
+		return fmt.Errorf("%w: rle scheme given form %q", core.ErrCorruptForm, f.Scheme)
+	}
+	l, err := f.Child("lengths")
+	if err != nil {
+		return err
+	}
+	v, err := f.Child("values")
+	if err != nil {
+		return err
+	}
+	if l.N != v.N {
+		return fmt.Errorf("%w: rle lengths (%d) and values (%d) differ in length",
+			core.ErrCorruptForm, l.N, v.N)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package scheme
+
+import (
+	"fmt"
+
+	"lwcomp/internal/core"
+	"lwcomp/internal/exec"
+	"lwcomp/internal/vec"
+)
+
+// RPEName is the registry name of the run-position encoding scheme.
+const RPEName = "rpe"
+
+// RPE is Run Position Encoding (§II-A): instead of run lengths it
+// stores run_positions — the inclusive prefix sum of the lengths, i.e.
+// each run's end position (exclusive), with the final entry equal to
+// the column length n.
+//
+// RPE is the scheme the paper obtains by *partially* decompressing
+// RLE: "we could reproduce the uncompressed column by applying
+// Algorithm 1, sans its first operation". It trades compression ratio
+// (positions are wider than lengths) for ease of decompression (no
+// prefix sum needed) — and, unlike RLE, supports O(log r) random
+// access by binary search.
+//
+// Form layout: Children{"positions", "values"}, equal-length;
+// positions strictly increasing, last equal to N.
+type RPE struct{}
+
+// Name implements core.Scheme.
+func (RPE) Name() string { return RPEName }
+
+// Compress splits src into runs and stores run end positions.
+func (RPE) Compress(src []int64) (*core.Form, error) {
+	lengths, values := runsOf(src)
+	return &core.Form{
+		Scheme: RPEName,
+		N:      len(src),
+		Children: map[string]*core.Form{
+			"positions": NewIDForm(vec.PrefixSumInclusive(lengths)),
+			"values":    NewIDForm(values),
+		},
+	}, nil
+}
+
+// Decompress expands runs from their boundary positions.
+func (RPE) Decompress(f *core.Form) ([]int64, error) {
+	if err := checkRPE(f); err != nil {
+		return nil, err
+	}
+	positions, err := core.DecompressChild(f, "positions")
+	if err != nil {
+		return nil, err
+	}
+	values, err := core.DecompressChild(f, "values")
+	if err != nil {
+		return nil, err
+	}
+	out, err := vec.ExpandByBoundaries(values, positions)
+	if err != nil {
+		return nil, fmt.Errorf("rpe: %w", err)
+	}
+	if len(out) != f.N {
+		return nil, fmt.Errorf("%w: rpe expanded %d values, form declares %d",
+			core.ErrCorruptForm, len(out), f.N)
+	}
+	return out, nil
+}
+
+// Plan implements core.Planner: Algorithm 1 of the paper "sans its
+// first operation" — the defining property of RPE (§II-A).
+func (RPE) Plan(f *core.Form) (*exec.Plan, error) {
+	if err := checkRPE(f); err != nil {
+		return nil, err
+	}
+	b := exec.NewBuilder()
+	runPositions := b.Input("positions") // Algorithm 1 line 1 output, held directly
+	values := b.Input("values")
+	n := b.Last(runPositions)
+	popped := b.PopBack(runPositions)
+	one := b.ConstScalar(1)
+	onesLen := b.Len(popped)
+	ones := b.ConstantCol(one, onesLen)
+	posDelta := b.Scatter(ones, popped, n)
+	positions := b.PrefixSumInc(posDelta)
+	b.Gather(values, positions)
+	return b.Build()
+}
+
+// ValidateForm implements core.Validator.
+func (RPE) ValidateForm(f *core.Form) error { return checkRPE(f) }
+
+// DecompressCostPerElement implements core.Coster: like RLE's fill
+// but without integrating lengths first.
+func (RPE) DecompressCostPerElement(*core.Form) float64 { return 1.0 }
+
+func checkRPE(f *core.Form) error {
+	if f.Scheme != RPEName {
+		return fmt.Errorf("%w: rpe scheme given form %q", core.ErrCorruptForm, f.Scheme)
+	}
+	p, err := f.Child("positions")
+	if err != nil {
+		return err
+	}
+	v, err := f.Child("values")
+	if err != nil {
+		return err
+	}
+	if p.N != v.N {
+		return fmt.Errorf("%w: rpe positions (%d) and values (%d) differ in length",
+			core.ErrCorruptForm, p.N, v.N)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package scheme
+
+import (
+	"fmt"
+
+	"lwcomp/internal/bitpack"
+	"lwcomp/internal/core"
+)
+
+// VarintName is the registry name of the varint scheme.
+const VarintName = "varint"
+
+// Varint encodes each element as a LEB128 varint — the byte-granular
+// realization of the paper's variable-width extension (§II-B's bit
+// metric, rounded up to 7-bit groups). Non-negative columns skip the
+// zigzag step.
+//
+// Form layout: Params{"unsigned"}; Bytes holds the varint stream.
+type Varint struct{}
+
+// Name implements core.Scheme.
+func (Varint) Name() string { return VarintName }
+
+// Compress varint-encodes src.
+func (Varint) Compress(src []int64) (*core.Form, error) {
+	unsigned := int64(1)
+	for _, v := range src {
+		if v < 0 {
+			unsigned = 0
+			break
+		}
+	}
+	var payload []byte
+	if unsigned == 1 {
+		p, err := bitpack.VarintEncodeUnsigned(src)
+		if err != nil {
+			return nil, fmt.Errorf("varint: %w", err)
+		}
+		payload = p
+	} else {
+		payload = bitpack.VarintEncode(src)
+	}
+	return &core.Form{
+		Scheme: VarintName,
+		N:      len(src),
+		Params: core.Params{"unsigned": unsigned},
+		Bytes:  payload,
+	}, nil
+}
+
+// Decompress decodes the varint stream.
+func (Varint) Decompress(f *core.Form) ([]int64, error) {
+	if err := checkVarint(f); err != nil {
+		return nil, err
+	}
+	if f.Params["unsigned"] == 1 {
+		out, err := bitpack.VarintDecodeUnsigned(f.Bytes, f.N)
+		if err != nil {
+			return nil, fmt.Errorf("varint: %w", err)
+		}
+		return out, nil
+	}
+	out, err := bitpack.VarintDecode(f.Bytes, f.N)
+	if err != nil {
+		return nil, fmt.Errorf("varint: %w", err)
+	}
+	return out, nil
+}
+
+// ValidateForm implements core.Validator.
+func (Varint) ValidateForm(f *core.Form) error { return checkVarint(f) }
+
+// DecompressCostPerElement implements core.Coster: per-byte branching
+// makes varints the most expensive terminal codec.
+func (Varint) DecompressCostPerElement(*core.Form) float64 { return 3.0 }
+
+func checkVarint(f *core.Form) error {
+	if f.Scheme != VarintName {
+		return fmt.Errorf("%w: varint scheme given form %q", core.ErrCorruptForm, f.Scheme)
+	}
+	u, err := f.Params.Get(VarintName, "unsigned")
+	if err != nil {
+		return err
+	}
+	if u != 0 && u != 1 {
+		return fmt.Errorf("%w: varint unsigned flag %d", core.ErrCorruptForm, u)
+	}
+	if f.N > 0 && len(f.Bytes) == 0 {
+		return fmt.Errorf("%w: varint form declares %d values with empty payload", core.ErrCorruptForm, f.N)
+	}
+	if len(f.Children) != 0 {
+		return fmt.Errorf("%w: varint form has children", core.ErrCorruptForm)
+	}
+	return nil
+}
+
+// EliasName is the registry name of the Elias-coded scheme.
+const EliasName = "elias"
+
+// Elias encodes each element with an Elias delta code after zigzag —
+// the bit-granular realization of the paper's bit metric
+// d(x,y) = ⌈log2|x−y|+1⌉: each element costs roughly its own width
+// plus a logarithmic delimiter.
+//
+// Form layout: no params; Packed holds the bit stream.
+type Elias struct{}
+
+// Name implements core.Scheme.
+func (Elias) Name() string { return EliasName }
+
+// Compress Elias-delta-encodes the zigzagged elements.
+func (Elias) Compress(src []int64) (*core.Form, error) {
+	zz := make([]int64, len(src))
+	for i, v := range src {
+		zz[i] = int64(bitpack.Zigzag(v))
+		if zz[i] < 0 {
+			return nil, fmt.Errorf("%w: elias cannot encode |value| ≥ 2^62 at position %d", core.ErrNotRepresentable, i)
+		}
+	}
+	words, err := bitpack.EliasDeltaEncode(zz)
+	if err != nil {
+		return nil, fmt.Errorf("elias: %w", err)
+	}
+	return &core.Form{Scheme: EliasName, N: len(src), Packed: words}, nil
+}
+
+// Decompress decodes the Elias stream.
+func (Elias) Decompress(f *core.Form) ([]int64, error) {
+	if f.Scheme != EliasName {
+		return nil, fmt.Errorf("%w: elias scheme given form %q", core.ErrCorruptForm, f.Scheme)
+	}
+	zz, err := bitpack.EliasDeltaDecode(f.Packed, f.N)
+	if err != nil {
+		return nil, fmt.Errorf("elias: %w", err)
+	}
+	out := make([]int64, f.N)
+	for i, v := range zz {
+		out[i] = bitpack.Unzigzag(uint64(v))
+	}
+	return out, nil
+}
+
+// DecompressCostPerElement implements core.Coster: bit-serial
+// decoding is the slowest route of all.
+func (Elias) DecompressCostPerElement(*core.Form) float64 { return 6.0 }

@@ -1,0 +1,163 @@
+package scheme
+
+import (
+	"fmt"
+
+	"lwcomp/internal/bitpack"
+	"lwcomp/internal/core"
+)
+
+// VNSName is the registry name of the variable-width NS scheme.
+const VNSName = "vns"
+
+// DefaultVNSBlock is the default mini-block length of VNS.
+const DefaultVNSBlock = 128
+
+// VNS is variable-width null suppression: the column is cut into
+// mini-blocks, each packed at its own minimal width. It approximates
+// the paper's bit metric (§II-B: "a variable-width encoding for the
+// offsets") at block rather than element granularity, trading a
+// little ratio for word-aligned decoding. The per-block width column
+// is itself a constituent column, so it can be compressed further by
+// composition — the paper's parenthetical "(ignoring the encoding of
+// offset widths for simplicity)" made concrete.
+//
+// Form layout: Params{"block", "zigzag"}; Children{"widths"} with one
+// entry per mini-block; Packed holds the concatenated per-block
+// payloads (block b occupies PackedWords(blockLen_b, widths[b])
+// words).
+type VNS struct {
+	// Block is the mini-block length; zero means DefaultVNSBlock.
+	Block int
+}
+
+// Name implements core.Scheme.
+func (VNS) Name() string { return VNSName }
+
+// Compress packs each mini-block at its own width.
+func (s VNS) Compress(src []int64) (*core.Form, error) {
+	block := s.Block
+	if block == 0 {
+		block = DefaultVNSBlock
+	}
+	if block < 1 {
+		return nil, fmt.Errorf("vns: invalid block length %d", block)
+	}
+	zig := int64(0)
+	for _, v := range src {
+		if v < 0 {
+			zig = 1
+			break
+		}
+	}
+	var u []uint64
+	if zig == 1 {
+		u = bitpack.ZigzagSlice(src)
+	} else {
+		u = bitpack.UnsignedSlice(src)
+	}
+	nblocks := (len(src) + block - 1) / block
+	widths := make([]int64, nblocks)
+	var packed []uint64
+	for bIdx := 0; bIdx < nblocks; bIdx++ {
+		lo := bIdx * block
+		hi := lo + block
+		if hi > len(u) {
+			hi = len(u)
+		}
+		w := bitpack.MaxWidth(u[lo:hi])
+		widths[bIdx] = int64(w)
+		words, err := bitpack.Pack(u[lo:hi], w)
+		if err != nil {
+			return nil, fmt.Errorf("vns: block %d: %w", bIdx, err)
+		}
+		packed = append(packed, words...)
+	}
+	if packed == nil {
+		packed = []uint64{}
+	}
+	return &core.Form{
+		Scheme:   VNSName,
+		N:        len(src),
+		Params:   core.Params{"block": int64(block), "zigzag": zig},
+		Children: map[string]*core.Form{"widths": NewIDForm(widths)},
+		Packed:   packed,
+	}, nil
+}
+
+// Decompress unpacks each mini-block at its recorded width.
+func (VNS) Decompress(f *core.Form) ([]int64, error) {
+	if err := checkVNS(f); err != nil {
+		return nil, err
+	}
+	block := int(f.Params["block"])
+	widths, err := core.DecompressChild(f, "widths")
+	if err != nil {
+		return nil, err
+	}
+	u := make([]uint64, f.N)
+	wordPos := 0
+	for bIdx := 0; bIdx*block < f.N; bIdx++ {
+		lo := bIdx * block
+		hi := lo + block
+		if hi > f.N {
+			hi = f.N
+		}
+		if bIdx >= len(widths) {
+			return nil, fmt.Errorf("%w: vns widths child exhausted at block %d", core.ErrCorruptForm, bIdx)
+		}
+		w := widths[bIdx]
+		if w < 0 || w > 64 {
+			return nil, fmt.Errorf("%w: vns block %d declares width %d", core.ErrCorruptForm, bIdx, w)
+		}
+		need := bitpack.PackedWords(hi-lo, uint(w))
+		if wordPos+need > len(f.Packed) {
+			return nil, fmt.Errorf("%w: vns payload exhausted at block %d", core.ErrCorruptForm, bIdx)
+		}
+		if err := bitpack.UnpackInto(u[lo:hi], f.Packed[wordPos:wordPos+need], uint(w)); err != nil {
+			return nil, fmt.Errorf("vns: block %d: %w", bIdx, err)
+		}
+		wordPos += need
+	}
+	if f.Params["zigzag"] == 1 {
+		return bitpack.UnzigzagSlice(u), nil
+	}
+	return bitpack.SignedSlice(u), nil
+}
+
+// ValidateForm implements core.Validator.
+func (VNS) ValidateForm(f *core.Form) error { return checkVNS(f) }
+
+// DecompressCostPerElement implements core.Coster: NS cost plus a
+// per-block width lookup.
+func (VNS) DecompressCostPerElement(*core.Form) float64 { return 1.7 }
+
+func checkVNS(f *core.Form) error {
+	if f.Scheme != VNSName {
+		return fmt.Errorf("%w: vns scheme given form %q", core.ErrCorruptForm, f.Scheme)
+	}
+	block, err := f.Params.Get(VNSName, "block")
+	if err != nil {
+		return err
+	}
+	if block < 1 {
+		return fmt.Errorf("%w: vns block length %d", core.ErrCorruptForm, block)
+	}
+	zz, err := f.Params.Get(VNSName, "zigzag")
+	if err != nil {
+		return err
+	}
+	if zz != 0 && zz != 1 {
+		return fmt.Errorf("%w: vns zigzag flag %d", core.ErrCorruptForm, zz)
+	}
+	widths, err := f.Child("widths")
+	if err != nil {
+		return err
+	}
+	nblocks := (f.N + int(block) - 1) / int(block)
+	if widths.N != nblocks {
+		return fmt.Errorf("%w: vns widths child declares %d blocks, need %d",
+			core.ErrCorruptForm, widths.N, nblocks)
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+// Package lwcomp is a compositional framework for lightweight
+// columnar compression, reproducing Rozenberg, "Decomposing and
+// Re-Composing Lightweight Compression Schemes — And Why It Matters"
+// (ICDE 2018).
+//
+// The framework's view, following the paper: a compressed column is a
+// tree of schemes over pure constituent columns (a Form); schemes
+// compose by substituting a child column's form (Compose) and
+// decompose by structural rewrites (DecomposeRLE, DecomposeFOR);
+// decompression is an operator plan over the same columnar operators
+// a query engine runs, so queries can execute directly on compressed
+// forms (Sum, SelectRange, ApproxSum).
+//
+// # Quick start
+//
+//	dates := workloadOrYourData()
+//	form, err := lwcomp.CompressBest(dates)      // analyzer picks a composite scheme
+//	...
+//	back, err := lwcomp.Decompress(form)         // or query without decompressing:
+//	total, err := lwcomp.Sum(form)
+//	rows, err := lwcomp.SelectRange(form, lo, hi)
+//
+// Individual schemes and explicit composition:
+//
+//	s := lwcomp.Compose(lwcomp.RLE(), map[string]lwcomp.Scheme{
+//	    "lengths": lwcomp.NS(),
+//	    "values":  lwcomp.Compose(lwcomp.Delta(), map[string]lwcomp.Scheme{"deltas": lwcomp.NS()}),
+//	})
+//	form, err := s.Compress(dates)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction results.
+package lwcomp
+
+import (
+	"io"
+
+	"lwcomp/internal/column"
+	"lwcomp/internal/core"
+	"lwcomp/internal/exec"
+	"lwcomp/internal/query"
+	"lwcomp/internal/scheme"
+	"lwcomp/internal/storage"
+)
+
+// Form is a compressed column: a tree of schemes over pure
+// constituent columns. See core.Form for field documentation.
+type Form = core.Form
+
+// Scheme is the compress/decompress contract of a (possibly
+// composite) compression scheme.
+type Scheme = core.Scheme
+
+// Params carries a form's scalar parameters.
+type Params = core.Params
+
+// Stats summarizes a column for scheme selection.
+type Stats = column.Stats
+
+// Choice reports the analyzer's selected scheme and ranking.
+type Choice = core.Choice
+
+// Candidate is one point in the composite-scheme search space.
+type Candidate = core.Candidate
+
+// Plan is an operator-plan decompression program.
+type Plan = exec.Plan
+
+// Interval is a certain enclosure of an approximate query result.
+type Interval = query.Interval
+
+// GradualSummer refines an approximate sum to exactness segment by
+// segment.
+type GradualSummer = query.GradualSummer
+
+// StoredColumn pairs a name with a form inside a container file.
+type StoredColumn = storage.Column
+
+// Errors re-exported for errors.Is checks.
+var (
+	ErrUnknownScheme    = core.ErrUnknownScheme
+	ErrNotRepresentable = core.ErrNotRepresentable
+	ErrCorruptForm      = core.ErrCorruptForm
+	ErrNoCandidate      = core.ErrNoCandidate
+)
+
+// Compress encodes src with the named registered scheme ("ns",
+// "rle", "for", ...; see Schemes).
+func Compress(schemeName string, src []int64) (*Form, error) {
+	return core.Compress(schemeName, src)
+}
+
+// Decompress reconstructs the column of any form tree.
+func Decompress(f *Form) ([]int64, error) { return core.Decompress(f) }
+
+// DecompressViaPlan reconstructs the column by building and executing
+// the scheme's columnar operator plan (the paper's Algorithms 1/2
+// route) instead of the fused kernel. With fuse set, the engine may
+// substitute recognized idioms (run expansion, segment replication).
+func DecompressViaPlan(f *Form, fuse bool) ([]int64, error) {
+	return core.DecompressViaPlan(f, fuse)
+}
+
+// PlanOf returns the operator plan of a plannable form along with the
+// plan's input environment.
+func PlanOf(f *Form) (*Plan, map[string][]int64, error) { return core.PlanOf(f) }
+
+// PlanTree builds one flat operator plan for the whole form tree,
+// inlining plannable children (their inputs appear as dotted paths
+// like "values.deltas"); only physical leaves remain as inputs.
+func PlanTree(f *Form) (*Plan, map[string][]int64, error) { return core.PlanTree(f) }
+
+// DecompressViaTreePlan reconstructs the column by executing the
+// whole-tree plan of PlanTree.
+func DecompressViaTreePlan(f *Form, fuse bool) ([]int64, error) {
+	return core.DecompressViaTreePlan(f, fuse)
+}
+
+// Compose builds outer ∘ inner: compress with outer, then compress
+// the named constituent columns with the inner schemes.
+func Compose(outer Scheme, inner map[string]Scheme) Scheme { return core.Compose(outer, inner) }
+
+// Schemes returns the registered scheme names.
+func Schemes() []string { return core.Schemes() }
+
+// ParseScheme builds a (possibly composite) scheme from an expression
+// in the syntax Form.Describe emits, e.g.
+// "rle(lengths=ns, values=delta(deltas=vns[32]))".
+func ParseScheme(expr string) (Scheme, error) { return scheme.Parse(expr) }
+
+// Analyze computes column statistics in one pass.
+func Analyze(src []int64) Stats { return column.Analyze(src) }
+
+// CompressBest searches the default composite-scheme space for the
+// smallest encoding of src and returns the winning form.
+func CompressBest(src []int64) (*Form, error) {
+	choice, err := CompressBestChoice(src)
+	if err != nil {
+		return nil, err
+	}
+	return choice.Form, nil
+}
+
+// CompressBestChoice is CompressBest returning the full analyzer
+// report (winner, evaluation, per-candidate ranking).
+func CompressBestChoice(src []int64) (*Choice, error) {
+	return CompressBestWithOptions(src, AnalyzerOptions{})
+}
+
+// AnalyzerOptions tunes the composite-scheme search.
+type AnalyzerOptions struct {
+	// CostBudget, when positive, disqualifies candidates whose
+	// abstract decompression cost per element exceeds it — the
+	// paper's bandwidth constraint ("overly-demanding decompression
+	// would slow down … below what the incoming bandwidth allows").
+	// A plain copy costs about 1.0; NS about 1.5; Elias about 6.0.
+	CostBudget float64
+	// SampleSize caps the prefix sample candidates are evaluated on;
+	// zero means 65536.
+	SampleSize int
+	// Extra appends additional candidates (e.g. hand-built
+	// composites) to the default stats-pruned space.
+	Extra []Candidate
+}
+
+// CompressBestWithOptions searches the composite-scheme space under
+// the given options and returns the analyzer's full report.
+func CompressBestWithOptions(src []int64, opts AnalyzerOptions) (*Choice, error) {
+	st := column.Analyze(src)
+	sample := opts.SampleSize
+	if sample == 0 {
+		sample = 1 << 16
+	}
+	a := &core.Analyzer{
+		Candidates: append(scheme.DefaultCandidates(st), opts.Extra...),
+		CostBudget: opts.CostBudget,
+		SampleSize: sample,
+	}
+	return a.Best(src)
+}
+
+// SchemeCandidate adapts any Scheme into an analyzer Candidate for
+// AnalyzerOptions.Extra.
+func SchemeCandidate(s Scheme) Candidate { return core.FromScheme(s) }
+
+// Basic schemes. Each returns a ready-to-use Scheme value.
+
+// ID returns the identity (no-compression) scheme.
+func ID() Scheme { return scheme.ID{} }
+
+// NS returns null suppression (bit packing at minimal width).
+func NS() Scheme { return scheme.NS{} }
+
+// VNS returns variable-width NS with the given mini-block length
+// (0 for the default).
+func VNS(block int) Scheme { return scheme.VNS{Block: block} }
+
+// Varint returns LEB128 variable-byte encoding.
+func Varint() Scheme { return scheme.Varint{} }
+
+// Elias returns Elias-delta bit-level variable-width encoding.
+func Elias() Scheme { return scheme.Elias{} }
+
+// Delta returns difference coding.
+func Delta() Scheme { return scheme.Delta{} }
+
+// RLE returns run-length encoding.
+func RLE() Scheme { return scheme.RLE{} }
+
+// RPE returns run-position encoding.
+func RPE() Scheme { return scheme.RPE{} }
+
+// FOR returns frame-of-reference with the given segment length
+// (0 for the default).
+func FOR(segLen int) Scheme { return scheme.FOR{SegLen: segLen} }
+
+// Dict returns sorted-dictionary encoding.
+func Dict() Scheme { return scheme.Dict{} }
+
+// PFOR returns patched FOR (the L0 extension; Patch ∘ FOR).
+func PFOR(segLen int) Scheme { return scheme.PFOR{SegLen: segLen} }
+
+// StepNS returns the step-function model with NS residuals —
+// value-equivalent to FOR by the paper's identity.
+func StepNS(segLen int) Scheme {
+	return scheme.ModelResidual{Fitter: scheme.StepFitter{SegLen: segLen}}
+}
+
+// LinearNS returns the piecewise-linear model with NS residuals.
+func LinearNS(segLen int) Scheme { return scheme.LinearNS(segLen) }
+
+// Poly2NS returns the piecewise-quadratic model with NS residuals —
+// the paper's "stepwise low-degree polynomials" enrichment.
+func Poly2NS(segLen int) Scheme {
+	return scheme.ModelResidual{Fitter: scheme.Poly2Fitter{SegLen: segLen}}
+}
+
+// PatchedLinearNS returns the piecewise-linear model with NS
+// residuals and L0 patches for outliers — the paper's L∞ and L0
+// extensions composed.
+func PatchedLinearNS(segLen int) Scheme {
+	return scheme.PatchedModel{Fitter: scheme.LinearFitter{SegLen: segLen}}
+}
+
+// Convenience composites matching common practice.
+
+// RLENS returns RLE with both constituent columns bit-packed.
+func RLENS() Scheme { return scheme.RLEComposite() }
+
+// RLEDeltaNS returns the paper's §I composition: RLE, DELTA on the
+// run values, NS at the leaves.
+func RLEDeltaNS() Scheme { return scheme.RLEDeltaComposite() }
+
+// FORNS returns FOR with bit-packed refs and offsets.
+func FORNS(segLen int) Scheme { return scheme.FORComposite(segLen) }
+
+// DictNS returns DICT with bit-packed codes.
+func DictNS() Scheme { return scheme.DictComposite() }
+
+// Rewrites (the paper's decomposition identities).
+
+// DecomposeRLE rewrites an RLE form as (ID, DELTA) ∘ RPE.
+func DecomposeRLE(f *Form) (*Form, error) { return scheme.DecomposeRLE(f) }
+
+// RecomposeRLE inverts DecomposeRLE.
+func RecomposeRLE(f *Form) (*Form, error) { return scheme.RecomposeRLE(f) }
+
+// PartialDecompressRLE materializes an RLE form's run positions,
+// yielding an RPE form (larger, faster to decompress).
+func PartialDecompressRLE(f *Form) (*Form, error) { return scheme.PartialDecompressRLE(f) }
+
+// DecomposeFOR rewrites a FOR form as STEPFUNCTION + NS.
+func DecomposeFOR(f *Form) (*Form, error) { return scheme.DecomposeFOR(f) }
+
+// RecomposeFOR inverts DecomposeFOR.
+func RecomposeFOR(f *Form) (*Form, error) { return scheme.RecomposeFOR(f) }
+
+// Queries on compressed forms.
+
+// Sum returns the exact column sum, using the form's structure to
+// avoid materialization where possible.
+func Sum(f *Form) (int64, error) { return query.Sum(f) }
+
+// CountRange counts elements in [lo, hi] with segment/run pruning.
+func CountRange(f *Form, lo, hi int64) (int64, error) { return query.CountRange(f, lo, hi) }
+
+// SelectRange returns the row positions of elements in [lo, hi].
+func SelectRange(f *Form, lo, hi int64) ([]int64, error) { return query.SelectRange(f, lo, hi) }
+
+// PointLookup returns one element by row position using the form's
+// random-access structure.
+func PointLookup(f *Form, row int64) (int64, error) { return query.PointLookup(f, row) }
+
+// Min returns the exact column minimum using the form's structure
+// (FOR refs, DICT dictionary, run values).
+func Min(f *Form) (int64, error) { return query.Min(f) }
+
+// Max returns the exact column maximum.
+func Max(f *Form) (int64, error) { return query.Max(f) }
+
+// DistinctCount returns the number of distinct values (O(1) on DICT
+// and CONST forms).
+func DistinctCount(f *Form) (int64, error) { return query.DistinctCount(f) }
+
+// ApproxSum bounds the sum from the form's model part only.
+func ApproxSum(f *Form) (Interval, error) { return query.ApproxSum(f) }
+
+// NewGradualSummer prepares gradual-refinement summation over a FOR
+// form.
+func NewGradualSummer(f *Form) (*GradualSummer, error) { return query.NewGradualSummer(f) }
+
+// Serialization.
+
+// EncodeForm serializes a form tree to bytes.
+func EncodeForm(f *Form) ([]byte, error) { return storage.EncodeForm(f) }
+
+// DecodeForm deserializes a form tree; it returns the form and the
+// bytes consumed.
+func DecodeForm(data []byte) (*Form, int, error) { return storage.DecodeForm(data) }
+
+// EncodedSize returns the exact serialized size of a form in bytes.
+func EncodedSize(f *Form) (int, error) { return storage.EncodedSize(f) }
+
+// WriteContainer writes named compressed columns as a checksummed
+// container file.
+func WriteContainer(w io.Writer, cols []StoredColumn) error {
+	return storage.WriteContainer(w, cols)
+}
+
+// ReadContainer reads a container written by WriteContainer.
+func ReadContainer(r io.Reader) ([]StoredColumn, error) { return storage.ReadContainer(r) }
