@@ -1,4 +1,4 @@
-// Benchmarks, one per reproduction experiment (EXP-A … EXP-M; see
+// Benchmarks, one per reproduction experiment (EXP-A … EXP-N; see
 // DESIGN.md §2), plus micro-benchmarks of the NS kernels. Run:
 //
 //	go test -bench=. -benchmem
@@ -10,6 +10,7 @@
 package lwcomp_test
 
 import (
+	"runtime"
 	"testing"
 
 	"lwcomp"
@@ -472,6 +473,111 @@ func BenchmarkBitpack(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := bitpack.Pack(src, w); err != nil {
 					b.Fatal(err)
+				}
+			}
+			reportElems(b, benchN)
+		})
+	}
+}
+
+// BenchmarkBlockedEncode compares whole-column encode against
+// blocked encode at 1, 4 and NumCPU workers (EXP-N's timing under
+// the Go harness). The column mixes run-heavy, noisy and sorted
+// regions so per-block re-composition has something to win.
+func BenchmarkBlockedEncode(b *testing.B) {
+	third := benchN / 3
+	data := append(workload.OrderShipDates(third, 256, 730120, 1),
+		workload.UniformBits(third, 40, 2)...)
+	data = append(data, workload.Sorted(benchN-2*third, 1<<40, 3)...)
+
+	b.Run("whole-column", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lwcomp.Encode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportElems(b, len(data))
+	})
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		b.Run("blocked-64Ki/workers-"+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := lwcomp.Encode(data,
+					lwcomp.WithBlockSize(1<<16),
+					lwcomp.WithParallelism(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportElems(b, len(data))
+		})
+	}
+}
+
+// BenchmarkBlockedSelectRange measures a narrow range selection on a
+// blocked sorted column with the [min,max] block index active and
+// with it disabled — the block-skipping ablation.
+func BenchmarkBlockedSelectRange(b *testing.B) {
+	data := workload.Sorted(benchN, 1<<40, 1)
+	col, err := lwcomp.Encode(data, lwcomp.WithBlockSize(1<<12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Same column with stats stripped: every block must be consulted.
+	noSkip := &lwcomp.Column{N: col.N, BlockSize: col.BlockSize}
+	for _, blk := range col.Blocks {
+		blk.HasStats = false
+		noSkip.Blocks = append(noSkip.Blocks, blk)
+	}
+	lo := data[benchN/2]
+	hi := data[benchN/2+benchN/100]
+	want, err := col.SelectRange(lo, hi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		c    *lwcomp.Column
+	}{{"skipping", col}, {"no-skipping", noSkip}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var rows []int64
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = tc.c.SelectRange(lo, hi)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if len(rows) != len(want) {
+				b.Fatalf("%d rows, want %d", len(rows), len(want))
+			}
+			reportElems(b, benchN)
+		})
+	}
+}
+
+// BenchmarkBlockedDecompress measures block-parallel decompression
+// at 1 worker vs NumCPU workers.
+func BenchmarkBlockedDecompress(b *testing.B) {
+	data := workload.OrderShipDates(benchN, 64, 730120, 1)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		col, err := lwcomp.Encode(data,
+			lwcomp.WithBlockSize(1<<14),
+			lwcomp.WithParallelism(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, err := col.Decompress()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(got) != benchN {
+					b.Fatal("length mismatch")
 				}
 			}
 			reportElems(b, benchN)

@@ -11,11 +11,15 @@
 //	lwc gen -workload dates -n 1000000 -o dates.raw
 //	lwc stats -i dates.raw
 //	lwc compress -i dates.raw -o dates.lwc -scheme auto
+//	lwc compress -i dates.raw -o dates.lwc --block-size 65536 --parallel 8
 //	lwc compress -i dates.raw -o dates.lwc -scheme 'rle(lengths=ns, values=delta(deltas=vns[32]))'
 //	lwc inspect -i dates.lwc
 //	lwc decompress -i dates.lwc -o back.raw
 //	lwc query -i dates.lwc -sum
 //	lwc query -i dates.lwc -range 730200:730400
+//
+// compress writes blocked (v2) containers; every command also reads
+// v1 containers written by older builds.
 package main
 
 import (
@@ -187,45 +191,47 @@ func cmdCompress(args []string) error {
 	out := fs.String("o", "column.lwc", "output container")
 	schemeExpr := fs.String("scheme", "auto", "scheme expression or 'auto'")
 	name := fs.String("name", "col0", "column name inside the container")
+	blockSize := fs.Int("block-size", 0, "values per block (0 = whole column as one block)")
+	parallel := fs.Int("parallel", 0, "concurrent block encoders (0 = GOMAXPROCS)")
+	budget := fs.Float64("cost-budget", 0, "max abstract decompression cost per element (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	col, err := readRaw(*in)
+	raw, err := readRaw(*in)
 	if err != nil {
 		return err
 	}
-	var form *lwcomp.Form
-	if *schemeExpr == "auto" {
-		choice, err := lwcomp.CompressBestChoice(col)
-		if err != nil {
-			return err
-		}
-		form = choice.Form
-		fmt.Printf("analyzer chose: %s\n", choice.Desc)
-	} else {
+	opts := []lwcomp.Option{
+		lwcomp.WithBlockSize(*blockSize),
+		lwcomp.WithParallelism(*parallel),
+		lwcomp.WithCostBudget(*budget),
+	}
+	if *schemeExpr != "auto" {
 		s, err := lwcomp.ParseScheme(*schemeExpr)
 		if err != nil {
 			return err
 		}
-		form, err = s.Compress(col)
-		if err != nil {
-			return err
-		}
+		opts = append(opts, lwcomp.WithScheme(s))
+	}
+	col, err := lwcomp.Encode(raw, opts...)
+	if err != nil {
+		return err
 	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := lwcomp.WriteContainer(f, []lwcomp.StoredColumn{{Name: *name, Form: form}}); err != nil {
+	if err := lwcomp.WriteColumns(f, []lwcomp.NamedColumn{{Name: *name, Col: col}}); err != nil {
 		return err
 	}
-	sz, err := lwcomp.EncodedSize(form)
+	st, err := f.Stat()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d -> %d bytes (ratio %.2f), scheme %s\n",
-		*out, len(col)*8, sz, float64(len(col)*8)/float64(sz), form.Describe())
+	fmt.Printf("wrote %s: %d -> %d bytes (ratio %.2f), %d block(s)\n",
+		*out, len(raw)*8, st.Size(), float64(len(raw)*8)/float64(st.Size()), col.NumBlocks())
+	fmt.Println(col.Describe())
 	return nil
 }
 
@@ -237,11 +243,11 @@ func cmdDecompress(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	form, name, err := loadColumn(*in, *col)
+	column, name, err := loadColumn(*in, *col)
 	if err != nil {
 		return err
 	}
-	data, err := lwcomp.Decompress(form)
+	data, err := column.Decompress()
 	if err != nil {
 		return err
 	}
@@ -263,18 +269,31 @@ func cmdInspect(args []string) error {
 		return err
 	}
 	defer f.Close()
-	cols, err := lwcomp.ReadContainer(f)
+	cols, err := lwcomp.ReadColumns(f)
 	if err != nil {
 		return err
 	}
 	for _, c := range cols {
-		sz, err := lwcomp.EncodedSize(c.Form)
-		if err != nil {
-			return err
+		var sz int
+		for i := range c.Col.Blocks {
+			s, err := lwcomp.EncodedSize(c.Col.Blocks[i].Form)
+			if err != nil {
+				return err
+			}
+			sz += s
 		}
-		fmt.Printf("column %q: n=%d, %d bytes, ratio %.2f\n",
-			c.Name, c.Form.N, sz, float64(c.Form.N*8)/float64(sz))
-		printTree(c.Form, "  ")
+		fmt.Printf("column %q: n=%d, %d block(s), %d bytes, ratio %.2f\n",
+			c.Name, c.Col.N, c.Col.NumBlocks(), sz, float64(c.Col.N*8)/float64(sz))
+		for i := range c.Col.Blocks {
+			b := &c.Col.Blocks[i]
+			if b.HasStats {
+				fmt.Printf("  block %d: rows %d..%d, [%d, %d]\n",
+					i, b.Start, b.Start+int64(b.Count)-1, b.Min, b.Max)
+			} else {
+				fmt.Printf("  block %d: rows %d..%d\n", i, b.Start, b.Start+int64(b.Count)-1)
+			}
+			printTree(b.Form, "    ")
+		}
 	}
 	return nil
 }
@@ -311,20 +330,20 @@ func cmdQuery(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	form, name, err := loadColumn(*in, *col)
+	column, name, err := loadColumn(*in, *col)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("column %q (%s)\n", name, form.Describe())
+	fmt.Printf("column %q (%d block(s))\n%s\n", name, column.NumBlocks(), column.Describe())
 	if *doSum {
-		s, err := lwcomp.Sum(form)
+		s, err := column.Sum()
 		if err != nil {
 			return err
 		}
 		fmt.Printf("sum = %d\n", s)
 	}
 	if *doApprox {
-		iv, err := lwcomp.ApproxSum(form)
+		iv, err := column.ApproxSum()
 		if err != nil {
 			return err
 		}
@@ -342,14 +361,16 @@ func cmdQuery(args []string) error {
 		if _, err := fmt.Sscan(parts[1], &hi); err != nil {
 			return err
 		}
-		c, err := lwcomp.CountRange(form, lo, hi)
+		c, err := column.CountRange(lo, hi)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("count(%d ≤ v ≤ %d) = %d\n", lo, hi, c)
+		skipped, whole, consulted := column.SkipStats(lo, hi)
+		fmt.Printf("count(%d ≤ v ≤ %d) = %d (blocks: %d skipped, %d whole, %d consulted)\n",
+			lo, hi, c, skipped, whole, consulted)
 	}
 	if *point >= 0 {
-		v, err := lwcomp.PointLookup(form, *point)
+		v, err := column.PointLookup(*point)
 		if err != nil {
 			return err
 		}
@@ -358,13 +379,15 @@ func cmdQuery(args []string) error {
 	return nil
 }
 
-func loadColumn(path, name string) (*lwcomp.Form, string, error) {
+// loadColumn reads one column from a container of either generation
+// (v1 single forms come back as single-block columns).
+func loadColumn(path, name string) (*lwcomp.Column, string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, "", err
 	}
 	defer f.Close()
-	cols, err := lwcomp.ReadContainer(f)
+	cols, err := lwcomp.ReadColumns(f)
 	if err != nil {
 		return nil, "", err
 	}
@@ -372,11 +395,11 @@ func loadColumn(path, name string) (*lwcomp.Form, string, error) {
 		return nil, "", errors.New("container has no columns")
 	}
 	if name == "" {
-		return cols[0].Form, cols[0].Name, nil
+		return cols[0].Col, cols[0].Name, nil
 	}
 	for _, c := range cols {
 		if c.Name == name {
-			return c.Form, c.Name, nil
+			return c.Col, c.Name, nil
 		}
 	}
 	return nil, "", fmt.Errorf("column %q not found", name)

@@ -96,6 +96,38 @@ func TestCommandPipeline(t *testing.T) {
 		}
 	}
 
+	// Blocked compress path: --block-size / --parallel.
+	if err := cmdCompress([]string{"-i", raw, "-o", lwc, "--block-size", "4096", "--parallel", "2", "-name", "dates"}); err != nil {
+		t.Fatalf("compress blocked: %v", err)
+	}
+	if err := cmdQuery([]string{"-i", lwc, "-sum", "-range", "730200:730400", "-point", "19999"}); err != nil {
+		t.Fatalf("query blocked: %v", err)
+	}
+	if err := cmdDecompress([]string{"-i", lwc, "-o", back}); err != nil {
+		t.Fatalf("decompress blocked: %v", err)
+	}
+	round, err = readRaw(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if orig[i] != round[i] {
+			t.Fatalf("blocked row %d differs", i)
+		}
+	}
+	bf, err := os.Open(lwc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcols, err := lwcomp.ReadColumns(bf)
+	bf.Close()
+	if err != nil || len(bcols) != 1 {
+		t.Fatalf("blocked container: %v (%d columns)", err, len(bcols))
+	}
+	if got := bcols[0].Col.NumBlocks(); got != 5 {
+		t.Fatalf("blocked container: %d blocks, want 5", got)
+	}
+
 	// Explicit scheme expression path.
 	if err := cmdCompress([]string{"-i", raw, "-o", lwc, "-scheme", "rle(lengths=ns, values=delta(deltas=vns[32]))"}); err != nil {
 		t.Fatalf("compress explicit: %v", err)
@@ -105,12 +137,12 @@ func TestCommandPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	cols, err := lwcomp.ReadContainer(f)
+	cols, err := lwcomp.ReadColumns(f)
 	if err != nil || len(cols) != 1 {
 		t.Fatalf("container: %v", err)
 	}
-	if cols[0].Form.Describe() != "rle(lengths=ns, values=delta(deltas=vns(widths=id)))" {
-		t.Fatalf("scheme = %q", cols[0].Form.Describe())
+	if cols[0].Col.Describe() != "rle(lengths=ns, values=delta(deltas=vns(widths=id)))" {
+		t.Fatalf("scheme = %q", cols[0].Col.Describe())
 	}
 
 	// Error paths.

@@ -1,11 +1,11 @@
 // Command lwcbench regenerates the reproduction's experiment tables
-// (EXP-A … EXP-M; see DESIGN.md §2 for the experiment ↔ paper-claim
+// (EXP-A … EXP-N; see DESIGN.md §2 for the experiment ↔ paper-claim
 // index and EXPERIMENTS.md for a recorded run).
 //
 // Usage:
 //
 //	lwcbench                 # run every experiment at full scale
-//	lwcbench -exp A,C,F      # run a subset (IDs A..M)
+//	lwcbench -exp A,C,F      # run a subset (IDs A..N)
 //	lwcbench -n 262144       # reduced column length
 //	lwcbench -list           # list experiments
 package main
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (A..L) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (A..N) or 'all'")
 		nFlag    = flag.Int("n", 1<<20, "base column length")
 		seedFlag = flag.Int64("seed", 42, "workload seed")
 		repsFlag = flag.Int("reps", 3, "timing repetitions (best kept)")

@@ -1,0 +1,84 @@
+package lwcomp
+
+import (
+	"io"
+
+	"lwcomp/internal/blocked"
+	"lwcomp/internal/storage"
+)
+
+// Column is the primary handle of the public API: a compressed
+// column partitioned into blocks, each block compressed with its own
+// independently re-composed scheme and indexed by [min, max] stats.
+//
+// Construct one with Encode (batch) or a ColumnBuilder (streaming),
+// adopt an existing Form with ColumnFromForm, or read one back with
+// ReadColumns. All queries are methods and aggregate across blocks
+// with stat-based skipping: a SelectRange that misses a block's
+// [min, max] never decodes it, and PointLookup binary-searches the
+// block index.
+type Column = blocked.Column
+
+// Block is one entry of a Column's block index.
+type Block = blocked.Block
+
+// ColumnBuilder ingests values incrementally and produces a Column;
+// see NewColumnBuilder.
+type ColumnBuilder = blocked.Builder
+
+// NamedColumn pairs a name with a Column inside a container file.
+type NamedColumn = storage.BlockedColumn
+
+// Encode compresses src into a Column under the given options:
+//
+//	col, err := lwcomp.Encode(values,
+//	    lwcomp.WithBlockSize(1<<16),
+//	    lwcomp.WithParallelism(8),
+//	    lwcomp.WithCostBudget(4))
+//
+// With no options the whole column becomes a single block whose
+// scheme the analyzer picks — Encode(src) is CompressBest(src) with
+// a handle around it. With a block size, every block runs its own
+// analyzer search concurrently, so differently-structured regions of
+// the column end up under different composite schemes (the paper's
+// re-composition argument applied per data region).
+func Encode(src []int64, opts ...Option) (*Column, error) {
+	return blocked.Encode(src, buildOptions(opts))
+}
+
+// NewColumnBuilder returns a streaming ingest handle:
+//
+//	b := lwcomp.NewColumnBuilder(lwcomp.WithBlockSize(1 << 16))
+//	for batch := range source {
+//	    if err := b.Append(batch); err != nil { ... }
+//	}
+//	col, err := b.Flush()
+//
+// Blocks are compressed in the background as they fill, bounded by
+// WithParallelism. A zero or negative block size falls back to
+// DefaultBlockSize (a streaming builder cannot defer to "the whole
+// column").
+func NewColumnBuilder(opts ...Option) *ColumnBuilder {
+	return blocked.NewBuilder(buildOptions(opts))
+}
+
+// ColumnFromForm adopts a v1-style compressed Form as a single-block
+// Column, computing the block's [min, max] stats from the form so
+// range queries can skip it. Every form read from a v1 container
+// round-trips through this.
+func ColumnFromForm(f *Form) (*Column, error) {
+	return blocked.FromForm(f, true)
+}
+
+// WriteColumns writes named columns as a checksummed v2 container
+// carrying the block index and per-block stats.
+func WriteColumns(w io.Writer, cols []NamedColumn) error {
+	return storage.WriteContainerV2(w, cols)
+}
+
+// ReadColumns reads a container written by WriteColumns — or a v1
+// container written by WriteContainer, whose single forms come back
+// as single-block Columns.
+func ReadColumns(r io.Reader) ([]NamedColumn, error) {
+	return storage.ReadAnyContainer(r)
+}

@@ -1,17 +1,20 @@
 // Compressed scan: "there is no clear distinction between
 // decompression and analytic query execution" (paper, Lessons 1).
 //
-// This example shows the same range query answered three ways over a
+// This example shows the same range query answered four ways over a
 // FOR-compressed sensor column:
 //
 //  1. decompress everything, then filter (the classical pipeline);
 //  2. run the decompression *as an operator plan* and filter its
 //     output (decompression literally is a query plan — Algorithm 2);
 //  3. prune segments with the FOR model and decode only boundary
-//     segments (selection pushed *into* the compressed form).
+//     segments (selection pushed *into* the compressed form);
+//  4. partition the column into blocks and let the per-block
+//     [min, max] index skip whole blocks before FOR pruning even
+//     starts (the blocked Column handle).
 //
-// All three return identical rows; the third touches a fraction of
-// the data.
+// All four return identical rows; the later ones touch a shrinking
+// fraction of the data.
 //
 //	go run ./examples/compressedscan
 package main
@@ -85,12 +88,31 @@ func main() {
 	}
 	d3 := time.Since(t0)
 
-	if len(rows1) != len(rows2) || len(rows1) != len(rows3) {
-		log.Fatalf("row counts differ: %d / %d / %d", len(rows1), len(rows2), len(rows3))
+	// 4. The blocked Column handle: 16Ki-value blocks, each carrying
+	// [min, max] stats. Blocks outside the range are skipped without
+	// touching their payload; only straddling blocks run FOR pruning.
+	blockedCol, err := lwcomp.Encode(values,
+		lwcomp.WithBlockSize(1<<14),
+		lwcomp.WithScheme(lwcomp.FORNS(1024)))
+	if err != nil {
+		log.Fatal(err)
 	}
-	for i := range rows1 {
-		if rows1[i] != rows2[i] || rows1[i] != rows3[i] {
-			log.Fatalf("row mismatch at %d", i)
+	t0 = time.Now()
+	rows4, err := blockedCol.SelectRange(lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d4 := time.Since(t0)
+	skipped, whole, consulted := blockedCol.SkipStats(lo, hi)
+
+	for _, other := range [][]int64{rows2, rows3, rows4} {
+		if len(rows1) != len(other) {
+			log.Fatalf("row counts differ: %d vs %d", len(rows1), len(other))
+		}
+		for i := range rows1 {
+			if rows1[i] != other[i] {
+				log.Fatalf("row mismatch at %d", i)
+			}
 		}
 	}
 
@@ -101,4 +123,7 @@ func main() {
 		d2.Seconds()*1e3, len(plan.Nodes))
 	fmt.Printf("pruned compressed select:   %8.2fms  (%.1f× vs decompress+filter)\n",
 		d3.Seconds()*1e3, d1.Seconds()/d3.Seconds())
+	fmt.Printf("blocked select w/ skipping: %8.2fms  (%.1f× vs decompress+filter; %d/%d blocks skipped, %d whole, %d consulted)\n",
+		d4.Seconds()*1e3, d1.Seconds()/d4.Seconds(),
+		skipped, blockedCol.NumBlocks(), whole, consulted)
 }

@@ -1,4 +1,5 @@
-// Model fitting: the paper's §II-B generalizations in action.
+// Model fitting: the paper's §II-B generalizations in action, on
+// the blocked Column API.
 //
 // A metering column (rising trend + noise + rare spikes) is
 // compressed under progressively richer models:
@@ -10,7 +11,9 @@
 //
 // and then queried approximately: the model alone gives certain
 // bounds on SUM, refined gradually to exactness — the paper's
-// "approximate or gradual-refinement query processing".
+// "approximate or gradual-refinement query processing". Finally the
+// size-vs-decompression-cost knob (WithCostBudget) shows the
+// bicriteria trade-off as a first-class per-column option.
 //
 //	go run ./examples/modelfit
 package main
@@ -33,11 +36,11 @@ func main() {
 		fmt.Println(title)
 		fmt.Printf("%-28s %12s %8s\n", "scheme", "bytes", "ratio")
 		for _, s := range schemes {
-			form, err := s.Compress(data)
+			col, err := lwcomp.Encode(data, lwcomp.WithScheme(s))
 			if err != nil {
 				log.Fatal(err)
 			}
-			back, err := lwcomp.Decompress(form)
+			back, err := col.Decompress()
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -46,10 +49,7 @@ func main() {
 					log.Fatalf("%s: lossy at %d", s.Name(), i)
 				}
 			}
-			size, err := lwcomp.EncodedSize(form)
-			if err != nil {
-				log.Fatal(err)
-			}
+			size := int(col.EncodedBits() / 8)
 			fmt.Printf("%-28s %12d %8.1f\n", s.Name(), size, float64(n*8)/float64(size))
 		}
 		fmt.Println()
@@ -77,10 +77,13 @@ func main() {
 			lwcomp.PFOR(1024),
 		})
 
-	// Approximate aggregation on the smooth part: model-only bounds,
-	// then gradual refinement.
+	// Approximate aggregation on the smooth part, over a *blocked*
+	// column: per-block model bounds aggregate by interval
+	// arithmetic, no offsets decoded anywhere.
 	smooth := base
-	form, err := lwcomp.FORNS(1024).Compress(smooth)
+	col, err := lwcomp.Encode(smooth,
+		lwcomp.WithBlockSize(1<<16),
+		lwcomp.WithScheme(lwcomp.FORNS(1024)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,15 +92,20 @@ func main() {
 		truth += v
 	}
 
-	iv, err := lwcomp.ApproxSum(form)
+	iv, err := col.ApproxSum()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\napproximate SUM from the step model only (no offsets decoded):\n")
+	fmt.Printf("approximate SUM from the step models only (%d blocks, no offsets decoded):\n", col.NumBlocks())
 	fmt.Printf("  sum ∈ [%d, %d], midpoint off by %.4f%%\n",
 		iv.Lower, iv.Upper,
 		100*abs(float64(iv.Estimate()-truth))/float64(truth))
 
+	// Gradual refinement runs at form level on one block's FOR form.
+	form, err := lwcomp.FORNS(1024).Compress(smooth)
+	if err != nil {
+		log.Fatal(err)
+	}
 	g, err := lwcomp.NewGradualSummer(form)
 	if err != nil {
 		log.Fatal(err)
@@ -115,6 +123,22 @@ func main() {
 		log.Fatalf("gradual sum did not converge: %+v vs %d", final, truth)
 	}
 	fmt.Printf("  exact sum recovered: %d\n", final.Lower)
+
+	// The bicriteria knob: unconstrained, the analyzer may pick a
+	// slow-but-small scheme; under a cost budget it trades size for
+	// decompression speed — per column, per block.
+	skewed := workload.SkewedMagnitude(n, 40, 6)
+	free, err := lwcomp.Encode(skewed, lwcomp.WithBlockSize(1<<16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	budgeted, err := lwcomp.Encode(skewed, lwcomp.WithBlockSize(1<<16), lwcomp.WithCostBudget(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbicriteria knob on skewed-width data (40-bit tail):\n")
+	fmt.Printf("  unconstrained: %8d bytes — %s\n", free.EncodedBits()/8, firstLine(free.Describe()))
+	fmt.Printf("  cost ≤ 4/elem: %8d bytes — %s\n", budgeted.EncodedBits()/8, firstLine(budgeted.Describe()))
 }
 
 func abs(v float64) float64 {
@@ -122,4 +146,13 @@ func abs(v float64) float64 {
 		return -v
 	}
 	return v
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i] + " ..."
+		}
+	}
+	return s
 }

@@ -1,5 +1,6 @@
-// Quickstart: compress a column, inspect the chosen composite scheme,
-// decompress it, and run a query without decompressing.
+// Quickstart: encode a column into a blocked handle, inspect the
+// per-block composite schemes the analyzer chose, decompress, and
+// run queries without decompressing.
 //
 //	go run ./examples/quickstart
 package main
@@ -17,22 +18,22 @@ func main() {
 	// example): monotone day numbers with long runs.
 	dates := workload.OrderShipDates(1_000_000, 64, 730120, 1)
 
-	// Let the analyzer search the composite-scheme space.
-	choice, err := lwcomp.CompressBestChoice(dates)
+	// Encode into 64Ki-value blocks; every block runs its own
+	// composite-scheme search, concurrently.
+	col, err := lwcomp.Encode(dates,
+		lwcomp.WithBlockSize(1<<16),
+		lwcomp.WithParallelism(0), // GOMAXPROCS
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	form := choice.Form
-	size, err := lwcomp.EncodedSize(form)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("scheme:  %s\n", form.Describe())
+	fmt.Printf("schemes: %s\n", col.Describe())
 	fmt.Printf("size:    %d bytes (raw %d) — ratio %.1f×\n",
-		size, len(dates)*8, float64(len(dates)*8)/float64(size))
+		col.EncodedBits()/8, len(dates)*8,
+		float64(len(dates)*8)/float64(col.EncodedBits()/8))
 
-	// Lossless round trip.
-	back, err := lwcomp.Decompress(form)
+	// Lossless round trip (blocks decode in parallel).
+	back, err := col.Decompress()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,17 +44,27 @@ func main() {
 	}
 	fmt.Println("roundtrip: exact")
 
-	// Query the compressed form directly — no decompression.
-	total, err := lwcomp.Sum(form)
+	// Query the compressed column directly — no decompression. The
+	// per-block [min, max] index answers range predicates without
+	// touching blocks outside the range.
+	total, err := col.Sum()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("sum(dates) on compressed form = %d\n", total)
+	fmt.Printf("sum(dates) on compressed column = %d\n", total)
 
 	lo, hi := dates[1000], dates[2000]
-	count, err := lwcomp.CountRange(form, lo, hi)
+	count, err := col.CountRange(lo, hi)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("count(%d ≤ d ≤ %d) = %d\n", lo, hi, count)
+	skipped, whole, consulted := col.SkipStats(lo, hi)
+	fmt.Printf("count(%d ≤ d ≤ %d) = %d (blocks: %d skipped, %d whole, %d consulted)\n",
+		lo, hi, count, skipped, whole, consulted)
+
+	v, err := col.PointLookup(500_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dates[500000] = %d (binary search over the block index)\n", v)
 }

@@ -1,0 +1,3 @@
+module lwcomp
+
+go 1.24

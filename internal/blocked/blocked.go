@@ -1,0 +1,571 @@
+// Package blocked implements the block-partitioned column handle
+// behind the public lwcomp.Column API.
+//
+// The paper argues that compression schemes decompose into
+// constituents so the right composite can be re-composed per data
+// region. This package applies that thesis at storage granularity:
+// the input column is partitioned into fixed-size blocks, the
+// composite-scheme analyzer runs independently on every block
+// (concurrently, bounded by a worker count), and each block records
+// the [min, max] of its raw values. Queries then aggregate across
+// blocks and use the stats to skip blocks entirely — a SelectRange
+// that misses a block's [min, max] never decodes it, and a
+// PointLookup binary-searches the block index.
+package blocked
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"lwcomp/internal/column"
+	"lwcomp/internal/core"
+	"lwcomp/internal/query"
+	"lwcomp/internal/scheme"
+)
+
+// DefaultBlockSize is the block length used when a caller asks for
+// blocking without choosing a size. 64Ki values keeps per-block
+// analyzer runs cheap while leaving enough data for run/model
+// structure to show.
+const DefaultBlockSize = 1 << 16
+
+// Block is one fixed-size slice of the column: its compressed form,
+// its position, and the raw-value stats queries prune with.
+type Block struct {
+	// Form is the block's compressed form, chosen independently of
+	// every other block.
+	Form *core.Form
+	// Start is the row index of the block's first element.
+	Start int64
+	// Count is the number of elements in the block.
+	Count int
+	// Min and Max are the extreme raw values of the block; valid
+	// only when HasStats is set.
+	Min, Max int64
+	// HasStats reports whether Min/Max were recorded. Blocks adopted
+	// from v1 forms without re-reading the data leave it unset, which
+	// disables skipping (never correctness).
+	HasStats bool
+}
+
+// Column is a compressed column partitioned into blocks.
+type Column struct {
+	// N is the total logical length.
+	N int
+	// BlockSize is the partition size used at encode time; 0 means
+	// the column is a single unpartitioned block.
+	BlockSize int
+	// Blocks holds the per-block forms in row order.
+	Blocks []Block
+	// Parallelism is the worker bound used for encode, kept so
+	// Decompress can mirror it. 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// EncodeOptions controls Encode and Builder.
+type EncodeOptions struct {
+	// BlockSize partitions the input; <= 0 encodes the whole column
+	// as one block.
+	BlockSize int
+	// Scheme, when non-nil, compresses every block with this fixed
+	// scheme instead of running the analyzer.
+	Scheme core.Scheme
+	// CostBudget and SampleSize tune the per-block analyzer search
+	// (see core.Analyzer).
+	CostBudget float64
+	// SampleSize caps the per-block analyzer sample; 0 means 65536.
+	SampleSize int
+	// Parallelism bounds concurrent block encodes; <= 0 means
+	// GOMAXPROCS.
+	Parallelism int
+	// Extra appends candidates to the per-block analyzer space.
+	Extra []core.Candidate
+}
+
+func (o EncodeOptions) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// encodeBlock compresses one block under the options and returns its
+// Block record with stats.
+func encodeBlock(src []int64, start int64, opt EncodeOptions) (Block, error) {
+	st := column.Analyze(src)
+	b := Block{Start: start, Count: len(src), Min: st.Min, Max: st.Max, HasStats: true}
+	var f *core.Form
+	var err error
+	if opt.Scheme != nil {
+		f, err = opt.Scheme.Compress(src)
+	} else {
+		sample := opt.SampleSize
+		if sample == 0 {
+			sample = 1 << 16
+		}
+		a := &core.Analyzer{
+			Candidates: append(scheme.DefaultCandidates(st), opt.Extra...),
+			CostBudget: opt.CostBudget,
+			SampleSize: sample,
+		}
+		f, err = a.BestForm(src)
+	}
+	if err != nil {
+		return Block{}, fmt.Errorf("blocked: block at row %d: %w", start, err)
+	}
+	b.Form = f
+	return b, nil
+}
+
+// Encode partitions src into blocks, compresses every block
+// independently (the per-block re-composition the paper's
+// decomposition view enables), and returns the handle. Blocks are
+// encoded concurrently, bounded by the option's parallelism.
+func Encode(src []int64, opt EncodeOptions) (*Column, error) {
+	col := &Column{N: len(src), Parallelism: opt.Parallelism}
+	bs := opt.BlockSize
+	if bs <= 0 || bs >= len(src) {
+		// Whole column as one block (also the empty-column path so
+		// that queries keep the free functions' exact semantics).
+		b, err := encodeBlock(src, 0, opt)
+		if err != nil {
+			return nil, err
+		}
+		col.Blocks = []Block{b}
+		return col, nil
+	}
+	col.BlockSize = bs
+
+	nblocks := (len(src) + bs - 1) / bs
+	col.Blocks = make([]Block, nblocks)
+	workers := opt.workers()
+	if workers > nblocks {
+		workers = nblocks
+	}
+	var (
+		wg    sync.WaitGroup
+		next  = make(chan int)
+		errMu sync.Mutex
+		first error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := i * bs
+				end := start + bs
+				if end > len(src) {
+					end = len(src)
+				}
+				b, err := encodeBlock(src[start:end], int64(start), opt)
+				if err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				col.Blocks[i] = b
+			}
+		}()
+	}
+	for i := 0; i < nblocks; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return col, nil
+}
+
+// FromForm adopts an existing (v1-style) form as a single-block
+// column. withStats additionally computes the block's [min, max]
+// from the form (enabling skipping); without it the column answers
+// every query by delegation, which keeps adoption free.
+func FromForm(f *core.Form, withStats bool) (*Column, error) {
+	if f == nil {
+		return nil, fmt.Errorf("blocked: FromForm(nil)")
+	}
+	b := Block{Form: f, Start: 0, Count: f.N}
+	if withStats && f.N > 0 {
+		lo, hi, err := query.MinMax(f)
+		if err != nil {
+			return nil, err
+		}
+		b.Min, b.Max, b.HasStats = lo, hi, true
+	}
+	return &Column{N: f.N, Blocks: []Block{b}}, nil
+}
+
+// NumBlocks returns the block count.
+func (c *Column) NumBlocks() int { return len(c.Blocks) }
+
+// workers mirrors the encode-time parallelism bound.
+func (c *Column) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Decompress reconstructs the full column, decoding blocks
+// concurrently into one preallocated result.
+func (c *Column) Decompress() ([]int64, error) {
+	out := make([]int64, c.N)
+	workers := c.workers()
+	if workers > len(c.Blocks) {
+		workers = len(c.Blocks)
+	}
+	if workers <= 1 {
+		for i := range c.Blocks {
+			if err := c.decompressBlockInto(out, i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var (
+		wg    sync.WaitGroup
+		next  = make(chan int)
+		errMu sync.Mutex
+		first error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := c.decompressBlockInto(out, i); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range c.Blocks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+func (c *Column) decompressBlockInto(out []int64, i int) error {
+	b := &c.Blocks[i]
+	vals, err := core.Decompress(b.Form)
+	if err != nil {
+		return err
+	}
+	if len(vals) != b.Count {
+		return fmt.Errorf("%w: block %d decoded %d values, index says %d",
+			core.ErrCorruptForm, i, len(vals), b.Count)
+	}
+	copy(out[b.Start:], vals)
+	return nil
+}
+
+// Sum returns the exact column sum, aggregated block by block.
+func (c *Column) Sum() (int64, error) {
+	var total int64
+	for i := range c.Blocks {
+		s, err := query.Sum(c.Blocks[i].Form)
+		if err != nil {
+			return 0, err
+		}
+		total += s
+	}
+	return total, nil
+}
+
+// Min returns the exact column minimum. Blocks with recorded stats
+// answer from the index; others delegate to the form.
+func (c *Column) Min() (int64, error) {
+	if c.N == 0 {
+		return 0, fmt.Errorf("query: Min of empty column")
+	}
+	have := false
+	var m int64
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		if b.Count == 0 {
+			continue
+		}
+		v := b.Min
+		if !b.HasStats {
+			var err error
+			v, err = query.Min(b.Form)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if !have || v < m {
+			m, have = v, true
+		}
+	}
+	if !have {
+		return 0, fmt.Errorf("query: Min of empty column")
+	}
+	return m, nil
+}
+
+// Max returns the exact column maximum, symmetric with Min.
+func (c *Column) Max() (int64, error) {
+	if c.N == 0 {
+		return 0, fmt.Errorf("query: Max of empty column")
+	}
+	have := false
+	var m int64
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		if b.Count == 0 {
+			continue
+		}
+		v := b.Max
+		if !b.HasStats {
+			var err error
+			v, err = query.Max(b.Form)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if !have || v > m {
+			m, have = v, true
+		}
+	}
+	if !have {
+		return 0, fmt.Errorf("query: Max of empty column")
+	}
+	return m, nil
+}
+
+// blockClass is the stat-pruning trichotomy for a range query.
+type blockClass uint8
+
+const (
+	blockMiss blockClass = iota // [min,max] disjoint from [lo,hi]
+	blockAll                    // [min,max] inside [lo,hi]
+	blockPart                   // must consult the form
+)
+
+func (b *Block) classify(lo, hi int64) blockClass {
+	if !b.HasStats {
+		return blockPart
+	}
+	if b.Max < lo || b.Min > hi {
+		return blockMiss
+	}
+	if b.Min >= lo && b.Max <= hi {
+		return blockAll
+	}
+	return blockPart
+}
+
+// CountRange counts elements in [lo, hi]. Blocks entirely outside
+// the range contribute 0 and blocks entirely inside contribute their
+// size, both in O(1) from the index; only straddling blocks consult
+// their form.
+func (c *Column) CountRange(lo, hi int64) (int64, error) {
+	if lo > hi {
+		return 0, nil
+	}
+	var total int64
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		switch b.classify(lo, hi) {
+		case blockMiss:
+		case blockAll:
+			total += int64(b.Count)
+		case blockPart:
+			n, err := query.CountRange(b.Form, lo, hi)
+			if err != nil {
+				return 0, err
+			}
+			total += n
+		}
+	}
+	return total, nil
+}
+
+// SelectRange returns the row positions of elements in [lo, hi], in
+// ascending order. A block whose [min, max] misses the range is
+// never decoded; a block entirely inside emits its whole row span
+// without decoding.
+func (c *Column) SelectRange(lo, hi int64) ([]int64, error) {
+	rows := []int64{}
+	if lo > hi {
+		return rows, nil
+	}
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		switch b.classify(lo, hi) {
+		case blockMiss:
+		case blockAll:
+			for r := int64(0); r < int64(b.Count); r++ {
+				rows = append(rows, b.Start+r)
+			}
+		case blockPart:
+			local, err := query.SelectRange(b.Form, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			if b.Start == 0 {
+				rows = append(rows, local...)
+				continue
+			}
+			for _, r := range local {
+				rows = append(rows, b.Start+r)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// SkipStats reports how block skipping would treat a range query:
+// blocks skipped outright, emitted whole, and consulted. Benchmarks
+// and Describe use it to make pruning observable.
+func (c *Column) SkipStats(lo, hi int64) (skipped, whole, consulted int) {
+	for i := range c.Blocks {
+		switch c.Blocks[i].classify(lo, hi) {
+		case blockMiss:
+			skipped++
+		case blockAll:
+			whole++
+		case blockPart:
+			consulted++
+		}
+	}
+	return
+}
+
+// PointLookup returns one element by row position: a binary search
+// over the block index, then the block form's random-access path.
+func (c *Column) PointLookup(row int64) (int64, error) {
+	if row < 0 || row >= int64(c.N) {
+		return 0, fmt.Errorf("query: row %d out of range [0, %d)", row, c.N)
+	}
+	// First block whose Start is > row, minus one.
+	i := sort.Search(len(c.Blocks), func(i int) bool { return c.Blocks[i].Start > row }) - 1
+	if i < 0 || row >= c.Blocks[i].Start+int64(c.Blocks[i].Count) {
+		return 0, fmt.Errorf("%w: block index does not cover row %d", core.ErrCorruptForm, row)
+	}
+	return query.PointLookup(c.Blocks[i].Form, row-c.Blocks[i].Start)
+}
+
+// ApproxSum brackets the column sum by aggregating per-block model
+// bounds (interval arithmetic distributes over the block partition).
+func (c *Column) ApproxSum() (query.Interval, error) {
+	var total query.Interval
+	for i := range c.Blocks {
+		iv, err := query.ApproxSum(c.Blocks[i].Form)
+		if err != nil {
+			return query.Interval{}, err
+		}
+		total.Lower += iv.Lower
+		total.Upper += iv.Upper
+	}
+	return total, nil
+}
+
+// EncodedBits sums the analytic payload size of every block form.
+func (c *Column) EncodedBits() uint64 {
+	var total uint64
+	for i := range c.Blocks {
+		total += c.Blocks[i].Form.PayloadBits()
+	}
+	return total
+}
+
+// BlockSchemes returns each block's scheme expression, in row order.
+func (c *Column) BlockSchemes() []string {
+	out := make([]string, len(c.Blocks))
+	for i := range c.Blocks {
+		out[i] = c.Blocks[i].Form.Describe()
+	}
+	return out
+}
+
+// Describe renders the column's structure. A single-block column
+// describes exactly like its form; a partitioned column lists the
+// block size and each distinct scheme with the block ranges it won,
+// making per-block re-composition directly observable.
+func (c *Column) Describe() string {
+	if len(c.Blocks) == 1 && c.BlockSize == 0 {
+		return c.Blocks[0].Form.Describe()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "blocked(n=%d, block=%d, blocks=%d)", c.N, c.BlockSize, len(c.Blocks))
+	for _, g := range c.schemeRuns() {
+		if g.from == g.to {
+			fmt.Fprintf(&b, "\n  [%d] %s", g.from, g.desc)
+		} else {
+			fmt.Fprintf(&b, "\n  [%d-%d] %s", g.from, g.to, g.desc)
+		}
+	}
+	return b.String()
+}
+
+type schemeRun struct {
+	from, to int
+	desc     string
+}
+
+// schemeRuns groups consecutive blocks with identical scheme
+// expressions.
+func (c *Column) schemeRuns() []schemeRun {
+	var runs []schemeRun
+	for i := range c.Blocks {
+		desc := c.Blocks[i].Form.Describe()
+		if len(runs) > 0 && runs[len(runs)-1].desc == desc {
+			runs[len(runs)-1].to = i
+			continue
+		}
+		runs = append(runs, schemeRun{from: i, to: i, desc: desc})
+	}
+	return runs
+}
+
+// Validate checks the handle structurally: the block index must tile
+// [0, N) exactly and every form must validate.
+func (c *Column) Validate() error {
+	var next int64
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		if b.Start != next {
+			return fmt.Errorf("%w: block %d starts at %d, want %d", core.ErrCorruptForm, i, b.Start, next)
+		}
+		if b.Count < 0 {
+			return fmt.Errorf("%w: block %d has negative count", core.ErrCorruptForm, i)
+		}
+		if b.Form == nil {
+			return fmt.Errorf("%w: block %d has no form", core.ErrCorruptForm, i)
+		}
+		if b.Form.N != b.Count {
+			return fmt.Errorf("%w: block %d form length %d, index says %d",
+				core.ErrCorruptForm, i, b.Form.N, b.Count)
+		}
+		if b.HasStats && b.Min > b.Max {
+			return fmt.Errorf("%w: block %d stats min %d > max %d", core.ErrCorruptForm, i, b.Min, b.Max)
+		}
+		if err := b.Form.Validate(); err != nil {
+			return err
+		}
+		next += int64(b.Count)
+	}
+	if next != int64(c.N) {
+		return fmt.Errorf("%w: blocks cover %d rows, column declares %d", core.ErrCorruptForm, next, c.N)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package blocked
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Builder accumulates values for a blocked column incrementally —
+// the ingest path. Full blocks are compressed as they fill
+// (concurrently with further Appends), and Append blocks once all
+// encode slots are busy, so a long-running loader holds at most one
+// filling block plus Parallelism in-flight blocks of raw data.
+type Builder struct {
+	opt EncodeOptions
+
+	mu      sync.Mutex
+	buf     []int64
+	start   int64 // row index of buf[0]
+	blocks  map[int]Block
+	nblocks int
+	err     error
+
+	wg  sync.WaitGroup
+	sem chan struct{}
+
+	flushed bool
+}
+
+// NewBuilder returns a Builder for the given options. A non-positive
+// BlockSize falls back to DefaultBlockSize — a streaming builder has
+// no "whole column" to defer to.
+func NewBuilder(opt EncodeOptions) *Builder {
+	if opt.BlockSize <= 0 {
+		opt.BlockSize = DefaultBlockSize
+	}
+	return &Builder{
+		opt:    opt,
+		buf:    make([]int64, 0, opt.BlockSize),
+		blocks: make(map[int]Block),
+		sem:    make(chan struct{}, opt.workers()),
+	}
+}
+
+// ErrBuilderDone is returned by Append after Flush.
+var ErrBuilderDone = errors.New("blocked: builder already flushed")
+
+// pending is a full block waiting for an encode slot.
+type pending struct {
+	data  []int64
+	start int64
+	idx   int
+}
+
+// Append adds values to the column under construction. Complete
+// blocks are handed to background encoders; when every encode slot
+// is busy, Append blocks (backpressure) instead of buffering raw
+// data without bound.
+func (b *Builder) Append(vals []int64) error {
+	b.mu.Lock()
+	if b.flushed {
+		b.mu.Unlock()
+		return ErrBuilderDone
+	}
+	if b.err != nil {
+		err := b.err
+		b.mu.Unlock()
+		return err
+	}
+	var ready []pending
+	for len(vals) > 0 {
+		take := b.opt.BlockSize - len(b.buf)
+		if take > len(vals) {
+			take = len(vals)
+		}
+		b.buf = append(b.buf, vals[:take]...)
+		vals = vals[take:]
+		if len(b.buf) == b.opt.BlockSize {
+			ready = append(ready, b.takeBlockLocked())
+		}
+	}
+	b.mu.Unlock()
+	b.launch(ready)
+	return nil
+}
+
+// takeBlockLocked detaches the full buffer as a pending block.
+// Callers hold b.mu.
+func (b *Builder) takeBlockLocked() pending {
+	p := pending{data: b.buf, start: b.start, idx: b.nblocks}
+	b.nblocks++
+	b.start += int64(len(b.buf))
+	b.buf = make([]int64, 0, b.opt.BlockSize)
+	return p
+}
+
+// launch encodes pending blocks in the background. The semaphore is
+// acquired here, in the producer, so the caller blocks once all
+// encode slots are taken — that is the memory bound.
+func (b *Builder) launch(ready []pending) {
+	for _, p := range ready {
+		b.sem <- struct{}{}
+		b.wg.Add(1)
+		go func(p pending) {
+			defer b.wg.Done()
+			defer func() { <-b.sem }()
+			blk, err := encodeBlock(p.data, p.start, b.opt)
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			if err != nil {
+				if b.err == nil {
+					b.err = err
+				}
+				return
+			}
+			b.blocks[p.idx] = blk
+		}(p)
+	}
+}
+
+// Flush encodes the trailing partial block, waits for in-flight
+// encodes, and returns the finished column. The builder cannot be
+// reused afterwards.
+func (b *Builder) Flush() (*Column, error) {
+	b.mu.Lock()
+	if b.flushed {
+		b.mu.Unlock()
+		return nil, ErrBuilderDone
+	}
+	b.flushed = true
+	var ready []pending
+	if len(b.buf) > 0 {
+		ready = append(ready, b.takeBlockLocked())
+	}
+	n := int(b.start)
+	nblocks := b.nblocks
+	b.mu.Unlock()
+
+	b.launch(ready)
+	b.wg.Wait()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return nil, b.err
+	}
+	col := &Column{
+		N:           n,
+		BlockSize:   b.opt.BlockSize,
+		Parallelism: b.opt.Parallelism,
+		Blocks:      make([]Block, nblocks),
+	}
+	if nblocks == 0 {
+		// Nothing was ever appended: encode an empty single block so
+		// the column behaves like Encode(nil).
+		blk, err := encodeBlock(nil, 0, b.opt)
+		if err != nil {
+			return nil, err
+		}
+		col.BlockSize = 0
+		col.Blocks = []Block{blk}
+		return col, nil
+	}
+	for i := 0; i < nblocks; i++ {
+		blk, ok := b.blocks[i]
+		if !ok {
+			return nil, fmt.Errorf("blocked: builder lost block %d", i)
+		}
+		col.Blocks[i] = blk
+	}
+	return col, nil
+}

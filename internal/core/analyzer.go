@@ -71,6 +71,17 @@ type Analyzer struct {
 // budget.
 var ErrNoCandidate = errors.New("core: no admissible candidate scheme")
 
+// BestForm is Best returning only the winning form — the entry point
+// for callers (like the blocked-column encoder) that re-run the
+// search many times and do not keep the per-candidate ranking.
+func (a *Analyzer) BestForm(src []int64) (*Form, error) {
+	choice, err := a.Best(src)
+	if err != nil {
+		return nil, err
+	}
+	return choice.Form, nil
+}
+
 // Best evaluates all candidates and returns the winner: the smallest
 // sample encoding within the cost budget, recompressed over the full
 // column.

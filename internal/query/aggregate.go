@@ -120,6 +120,68 @@ func Max(f *core.Form) (int64, error) {
 	return m, err
 }
 
+// MinMax returns the exact minimum and maximum of the column in one
+// call. Schemes whose Min and Max shortcuts read the same
+// constituent (run values, the dictionary, the materialized column)
+// decode it once here instead of twice; the remaining schemes have
+// asymmetric shortcuts and delegate to Min and Max. It exists for
+// callers that adopt pre-existing forms into the blocked-column API
+// and need per-block [min, max] stats.
+func MinMax(f *core.Form) (int64, int64, error) {
+	if f.N == 0 {
+		return 0, 0, fmt.Errorf("query: MinMax of empty column")
+	}
+	switch f.Scheme {
+	case scheme.ConstName:
+		v := f.Params["value"]
+		return v, v, nil
+
+	case scheme.RLEName, scheme.RPEName:
+		values, err := core.DecompressChild(f, "values")
+		if err != nil {
+			return 0, 0, err
+		}
+		return vec.MinMax(values)
+
+	case scheme.DictName:
+		dict, err := core.DecompressChild(f, "dict")
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(dict) == 0 {
+			return 0, 0, fmt.Errorf("%w: dict form with empty dictionary", core.ErrCorruptForm)
+		}
+		return dict[0], dict[len(dict)-1], nil
+
+	case scheme.StepName:
+		refs, err := core.DecompressChild(f, "refs")
+		if err != nil {
+			return 0, 0, err
+		}
+		return vec.MinMax(refs)
+
+	case scheme.FORName, scheme.PlusName, scheme.PatchName:
+		// Min and Max take different structural routes here (e.g.
+		// FOR's minimum reads refs only; its maximum decompresses).
+		lo, err := Min(f)
+		if err != nil {
+			return 0, 0, err
+		}
+		hi, err := Max(f)
+		if err != nil {
+			return 0, 0, err
+		}
+		return lo, hi, nil
+	}
+
+	// Fallback: one materialization, both extremes.
+	col, err := core.Decompress(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	return vec.MinMax(col)
+}
+
 // MaxBound returns an upper bound on the column maximum without
 // decompressing element payloads, using the model + residual-width
 // structure (the same machinery as ApproxSum). The bound is certain

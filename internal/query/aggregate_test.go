@@ -33,6 +33,14 @@ func TestMinMaxMatchPlainScan(t *testing.T) {
 		if gotMax != wantMax {
 			t.Errorf("%s: Max = %d, want %d", name, gotMax, wantMax)
 		}
+		// The one-call form agrees with the pair on every scheme.
+		lo, hi, err := MinMax(f)
+		if err != nil {
+			t.Fatalf("%s: minmax: %v", name, err)
+		}
+		if lo != wantMin || hi != wantMax {
+			t.Errorf("%s: MinMax = [%d, %d], want [%d, %d]", name, lo, hi, wantMin, wantMax)
+		}
 	}
 }
 
@@ -95,6 +103,9 @@ func TestMinMaxEmptyRejected(t *testing.T) {
 	}
 	if _, err := MaxBound(f); err == nil {
 		t.Fatal("MaxBound of empty accepted")
+	}
+	if _, _, err := MinMax(f); err == nil {
+		t.Fatal("MinMax of empty accepted")
 	}
 }
 

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lwcomp/internal/blocked"
+	_ "lwcomp/internal/scheme" // register schemes
+	"lwcomp/internal/workload"
+)
+
+func encodeBlocked(t *testing.T, data []int64, blockSize int) *blocked.Column {
+	t.Helper()
+	col, err := blocked.Encode(data, blocked.EncodeOptions{BlockSize: blockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func TestContainerV2RoundTrip(t *testing.T) {
+	a := workload.OrderShipDates(6000, 40, 730120, 1)
+	b := workload.UniformBits(6000, 14, 2)
+	cols := []BlockedColumn{
+		{Name: "dates", Col: encodeBlocked(t, a, 2048)},
+		{Name: "qty", Col: encodeBlocked(t, b, 0)},
+	}
+	var buf bytes.Buffer
+	if err := WriteContainerV2(&buf, cols); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadContainerV2(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "dates" || got[1].Name != "qty" {
+		t.Fatalf("columns = %+v", got)
+	}
+	for i, want := range []([]int64){a, b} {
+		if err := got[i].Col.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := got[i].Col.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(want) {
+			t.Fatalf("column %d length %d, want %d", i, len(back), len(want))
+		}
+		for j := range want {
+			if back[j] != want[j] {
+				t.Fatalf("column %d row %d: %d != %d", i, j, back[j], want[j])
+			}
+		}
+	}
+	// Block index survives byte-exactly.
+	for i := range got[0].Col.Blocks {
+		g, w := got[0].Col.Blocks[i], cols[0].Col.Blocks[i]
+		if g.Start != w.Start || g.Count != w.Count || g.Min != w.Min || g.Max != w.Max || g.HasStats != w.HasStats {
+			t.Fatalf("block %d index mismatch: %+v vs %+v", i, g, w)
+		}
+	}
+}
+
+func TestReadAnyContainerDispatch(t *testing.T) {
+	data := workload.Runs(4000, 24, 1<<10, 3)
+	col := encodeBlocked(t, data, 1024)
+
+	var v2 bytes.Buffer
+	if err := WriteContainerV2(&v2, []BlockedColumn{{Name: "c", Col: col}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAnyContainer(bytes.NewReader(v2.Bytes()))
+	if err != nil || len(got) != 1 || got[0].Col.NumBlocks() != 4 {
+		t.Fatalf("v2 via ReadAnyContainer: %v", err)
+	}
+
+	var v1 bytes.Buffer
+	if err := WriteContainer(&v1, []Column{{Name: "c", Form: col.Blocks[0].Form}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAnyContainer(bytes.NewReader(v1.Bytes()))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("v1 via ReadAnyContainer: %v", err)
+	}
+	if got[0].Col.NumBlocks() != 1 || got[0].Col.Blocks[0].HasStats {
+		t.Fatalf("v1 adoption: %+v", got[0].Col)
+	}
+}
+
+func TestContainerV2RejectsCorruption(t *testing.T) {
+	data := workload.RandomWalk(3000, 8, 1<<20, 4)
+	var buf bytes.Buffer
+	if err := WriteContainerV2(&buf, []BlockedColumn{{Name: "c", Col: encodeBlocked(t, data, 1024)}}); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	// CRC catches body flips.
+	mut := append([]byte{}, blob...)
+	mut[len(mut)/2] ^= 0x40
+	if _, err := ReadContainerV2(bytes.NewReader(mut)); !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("body flip: err = %v", err)
+	}
+	// Truncations are structural errors.
+	for _, k := range []int{0, 4, len(blob) - 1} {
+		if _, err := ReadContainerV2(bytes.NewReader(blob[:k])); err == nil {
+			t.Fatalf("truncation to %d accepted", k)
+		}
+	}
+	// Wrong magic.
+	mut = append([]byte{}, blob...)
+	mut[3] = '9'
+	if _, err := ReadContainerV2(bytes.NewReader(mut)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	if _, err := ReadAnyContainer(bytes.NewReader(mut)); err == nil {
+		t.Fatal("ReadAnyContainer accepted bad magic")
+	}
+}
+
+func TestWriteContainerV2RejectsBrokenColumn(t *testing.T) {
+	data := workload.RandomWalk(2048, 8, 1<<20, 5)
+	col := encodeBlocked(t, data, 1024)
+	col.Blocks[1].Start = 7 // break the tiling
+	var buf bytes.Buffer
+	if err := WriteContainerV2(&buf, []BlockedColumn{{Name: "c", Col: col}}); err == nil {
+		t.Fatal("broken block index accepted")
+	}
+	if err := WriteContainerV2(&buf, []BlockedColumn{{Name: "", Col: nil}}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}

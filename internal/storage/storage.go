@@ -367,6 +367,12 @@ func ReadContainer(r io.Reader) ([]Column, error) {
 	if err != nil {
 		return nil, err
 	}
+	return readContainerBytes(data)
+}
+
+// readContainerBytes decodes a v1 container from memory (shared by
+// ReadContainer and the v2 reader's fallback path).
+func readContainerBytes(data []byte) ([]Column, error) {
 	if len(data) < len(Magic)+2+4 {
 		return nil, fmt.Errorf("%w: container too short", ErrCorrupt)
 	}

@@ -14,11 +14,25 @@
 // # Quick start
 //
 //	dates := workloadOrYourData()
-//	form, err := lwcomp.CompressBest(dates)      // analyzer picks a composite scheme
+//	col, err := lwcomp.Encode(dates,             // the analyzer picks a composite
+//	    lwcomp.WithBlockSize(1<<16))             // scheme per 64Ki-value block
 //	...
-//	back, err := lwcomp.Decompress(form)         // or query without decompressing:
-//	total, err := lwcomp.Sum(form)
-//	rows, err := lwcomp.SelectRange(form, lo, hi)
+//	back, err := col.Decompress()                // or query without decompressing:
+//	total, err := col.Sum()
+//	rows, err := col.SelectRange(lo, hi)         // skips blocks via [min,max] stats
+//	fmt.Println(col.Describe())                  // which scheme won in which block
+//
+// Encode with no options compresses the whole column as one block —
+// the original CompressBest behavior with a query handle around it.
+// WithScheme pins the scheme, WithCostBudget bounds decompression
+// cost, WithParallelism bounds concurrent block encodes, and a
+// streaming ColumnBuilder (Append/Flush) covers ingest. Containers
+// written by WriteColumns carry the block index (format v2);
+// ReadColumns also accepts v1 containers.
+//
+// The original free functions (Compress, CompressBest, Sum,
+// SelectRange, ...) remain and are thin wrappers over a single-block
+// Column.
 //
 // Individual schemes and explicit composition:
 //
@@ -35,6 +49,7 @@ package lwcomp
 import (
 	"io"
 
+	"lwcomp/internal/blocked"
 	"lwcomp/internal/column"
 	"lwcomp/internal/core"
 	"lwcomp/internal/exec"
@@ -82,6 +97,11 @@ var (
 	ErrNotRepresentable = core.ErrNotRepresentable
 	ErrCorruptForm      = core.ErrCorruptForm
 	ErrNoCandidate      = core.ErrNoCandidate
+	// ErrCorrupt is returned for structurally invalid serialized
+	// forms and containers; ErrChecksum when a container's CRC does
+	// not match.
+	ErrCorrupt  = storage.ErrCorrupt
+	ErrChecksum = storage.ErrChecksum
 )
 
 // Compress encodes src with the named registered scheme ("ns",
@@ -275,28 +295,71 @@ func DecomposeFOR(f *Form) (*Form, error) { return scheme.DecomposeFOR(f) }
 // RecomposeFOR inverts DecomposeFOR.
 func RecomposeFOR(f *Form) (*Form, error) { return scheme.RecomposeFOR(f) }
 
-// Queries on compressed forms.
+// Queries on compressed forms. Each free function is a thin wrapper
+// over a single-block Column — the Column methods are the primary
+// API; these remain for form-level use and backward compatibility.
+
+// asColumn wraps a form as a stat-less single-block column; queries
+// on it delegate straight to the form paths, so the wrappers cost
+// one allocation and nothing else.
+func asColumn(f *Form) (*Column, error) { return blocked.FromForm(f, false) }
 
 // Sum returns the exact column sum, using the form's structure to
 // avoid materialization where possible.
-func Sum(f *Form) (int64, error) { return query.Sum(f) }
+func Sum(f *Form) (int64, error) {
+	c, err := asColumn(f)
+	if err != nil {
+		return 0, err
+	}
+	return c.Sum()
+}
 
 // CountRange counts elements in [lo, hi] with segment/run pruning.
-func CountRange(f *Form, lo, hi int64) (int64, error) { return query.CountRange(f, lo, hi) }
+func CountRange(f *Form, lo, hi int64) (int64, error) {
+	c, err := asColumn(f)
+	if err != nil {
+		return 0, err
+	}
+	return c.CountRange(lo, hi)
+}
 
 // SelectRange returns the row positions of elements in [lo, hi].
-func SelectRange(f *Form, lo, hi int64) ([]int64, error) { return query.SelectRange(f, lo, hi) }
+func SelectRange(f *Form, lo, hi int64) ([]int64, error) {
+	c, err := asColumn(f)
+	if err != nil {
+		return nil, err
+	}
+	return c.SelectRange(lo, hi)
+}
 
 // PointLookup returns one element by row position using the form's
 // random-access structure.
-func PointLookup(f *Form, row int64) (int64, error) { return query.PointLookup(f, row) }
+func PointLookup(f *Form, row int64) (int64, error) {
+	c, err := asColumn(f)
+	if err != nil {
+		return 0, err
+	}
+	return c.PointLookup(row)
+}
 
 // Min returns the exact column minimum using the form's structure
 // (FOR refs, DICT dictionary, run values).
-func Min(f *Form) (int64, error) { return query.Min(f) }
+func Min(f *Form) (int64, error) {
+	c, err := asColumn(f)
+	if err != nil {
+		return 0, err
+	}
+	return c.Min()
+}
 
 // Max returns the exact column maximum.
-func Max(f *Form) (int64, error) { return query.Max(f) }
+func Max(f *Form) (int64, error) {
+	c, err := asColumn(f)
+	if err != nil {
+		return 0, err
+	}
+	return c.Max()
+}
 
 // DistinctCount returns the number of distinct values (O(1) on DICT
 // and CONST forms).

@@ -1,0 +1,62 @@
+package lwcomp
+
+import "lwcomp/internal/blocked"
+
+// DefaultBlockSize is the block length Encode uses when blocking is
+// requested without an explicit size (WithBlockSize(0) on a
+// ColumnBuilder, for example).
+const DefaultBlockSize = blocked.DefaultBlockSize
+
+// Option configures Encode and NewColumnBuilder.
+type Option func(*blocked.EncodeOptions)
+
+// WithBlockSize partitions the input into blocks of n values, each
+// compressed with its own independently chosen composite scheme.
+// n <= 0 encodes the whole column as a single block (the v1
+// behavior). Smaller blocks adapt the scheme to local structure and
+// sharpen block skipping; larger blocks amortize per-block headers.
+func WithBlockSize(n int) Option {
+	return func(o *blocked.EncodeOptions) { o.BlockSize = n }
+}
+
+// WithScheme fixes the compression scheme for every block, skipping
+// the analyzer. Use ParseScheme or the scheme constructors (RLENS,
+// FORNS, ...) to build s.
+func WithScheme(s Scheme) Option {
+	return func(o *blocked.EncodeOptions) { o.Scheme = s }
+}
+
+// WithCostBudget disqualifies candidate schemes whose abstract
+// decompression cost per element exceeds budget — the
+// size-vs-decompression-cost knob. A plain copy costs about 1.0; NS
+// about 1.5; Elias about 6.0. Zero means unbounded.
+func WithCostBudget(budget float64) Option {
+	return func(o *blocked.EncodeOptions) { o.CostBudget = budget }
+}
+
+// WithParallelism bounds the number of blocks encoded (and decoded)
+// concurrently. p <= 0 means GOMAXPROCS.
+func WithParallelism(p int) Option {
+	return func(o *blocked.EncodeOptions) { o.Parallelism = p }
+}
+
+// WithSampleSize caps the prefix sample the per-block analyzer
+// evaluates candidates on; 0 means 65536.
+func WithSampleSize(n int) Option {
+	return func(o *blocked.EncodeOptions) { o.SampleSize = n }
+}
+
+// WithExtraCandidates appends hand-built composites to every block's
+// analyzer search space.
+func WithExtraCandidates(extra ...Candidate) Option {
+	return func(o *blocked.EncodeOptions) { o.Extra = append(o.Extra, extra...) }
+}
+
+// buildOptions folds opts into a blocked.EncodeOptions.
+func buildOptions(opts []Option) blocked.EncodeOptions {
+	var o blocked.EncodeOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
