@@ -1,0 +1,160 @@
+// Allocation-regression tests: the pooled-scratch decode path, the
+// fused compressed scans, and block skipping must stay allocation-free
+// in steady state (ISSUE 2's acceptance criteria). testing.AllocsPerRun
+// performs a warm-up call first, so the pools are primed before
+// counting.
+package lwcomp_test
+
+import (
+	"testing"
+
+	"lwcomp"
+	"lwcomp/internal/query"
+	"lwcomp/internal/workload"
+)
+
+// mustZeroAllocs asserts f performs no steady-state allocations. The
+// assertion is skipped under the race detector, which deliberately
+// defeats sync.Pool reuse.
+func mustZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if raceEnabled {
+		f()
+		return
+	}
+	if n := testing.AllocsPerRun(50, f); n > 0 {
+		t.Errorf("%s: %.0f allocs/op, want 0", name, n)
+	}
+}
+
+// TestBlockDecodeAllocs: decoding a blocked column into a reused
+// destination allocates nothing once the scratch pool is warm, across
+// the hot scheme families.
+func TestBlockDecodeAllocs(t *testing.T) {
+	const n = 1 << 15
+	for name, tc := range map[string]struct {
+		data   []int64
+		scheme lwcomp.Scheme
+	}{
+		"ns":        {workload.UniformBits(n, 20, 1), lwcomp.NS()},
+		"vns":       {workload.SkewedMagnitude(n, 40, 2), lwcomp.VNS(128)},
+		"for+ns":    {workload.RandomWalk(n, 12, 1<<30, 3), lwcomp.FORNS(1024)},
+		"rle+ns":    {workload.Runs(n, 64, 1<<16, 4), lwcomp.RLENS()},
+		"rle-delta": {workload.OrderShipDates(n, 64, 730120, 5), lwcomp.RLEDeltaNS()},
+		"analyzer":  {workload.OrderShipDates(n, 64, 730120, 6), nil},
+	} {
+		opts := []lwcomp.Option{lwcomp.WithBlockSize(1 << 12), lwcomp.WithParallelism(1)}
+		if tc.scheme != nil {
+			opts = append(opts, lwcomp.WithScheme(tc.scheme))
+		}
+		col, err := lwcomp.Encode(tc.data, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dst := make([]int64, col.N)
+		mustZeroAllocs(t, "decode/"+name, func() {
+			if err := col.DecompressInto(dst); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if !equal(dst, tc.data) {
+			t.Fatalf("%s: DecompressInto produced wrong data", name)
+		}
+	}
+}
+
+// TestCountRangeMissAllocs: a range query that misses every block's
+// [min, max] answers from the index alone — no decode, no allocation.
+func TestCountRangeMissAllocs(t *testing.T) {
+	data := workload.Sorted(1<<15, 1<<40, 7)
+	col, err := lwcomp.Encode(data, lwcomp.WithBlockSize(1<<12), lwcomp.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := data[0]-1000, data[0]-1 // below the column minimum
+	mustZeroAllocs(t, "count-miss", func() {
+		n, err := col.CountRange(lo, hi)
+		if err != nil || n != 0 {
+			t.Fatalf("CountRange = %d, %v", n, err)
+		}
+	})
+}
+
+// TestFusedScanAllocs: the fused unpack-and-compare paths — NS count,
+// NS select into a reused bitmap, and straddling-block scans on a
+// blocked column — stay allocation-free.
+func TestFusedScanAllocs(t *testing.T) {
+	const n = 1 << 15
+	data := workload.UniformBits(n, 20, 8)
+	form, err := lwcomp.NS().Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := int64(1)<<18, int64(1)<<19
+	mustZeroAllocs(t, "ns-count-fused", func() {
+		if _, err := query.CountRange(form, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bm := lwcomp.NewSelection(n)
+	mustZeroAllocs(t, "ns-select-fused", func() {
+		bm.Reset(n)
+		if err := query.SelectRangeSel(form, lo, hi, bm, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Straddling FOR+NS blocks through the blocked serial scan path.
+	sorted := workload.Sorted(n, 1<<40, 9)
+	col, err := lwcomp.Encode(sorted,
+		lwcomp.WithBlockSize(1<<12), lwcomp.WithParallelism(1), lwcomp.WithScheme(lwcomp.FORNS(1024)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo, shi := sorted[n/2], sorted[n/2+n/64]
+	mustZeroAllocs(t, "blocked-select-straddle", func() {
+		bm, err := col.SelectRangeSel(slo, shi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm.Release()
+	})
+}
+
+// TestSelectRangeSelMatchesRows: the bitmap boundary conversion and
+// the selection itself agree with SelectRange on a mixed column.
+func TestSelectRangeSelMatchesRows(t *testing.T) {
+	const n = 50000
+	third := n / 3
+	data := append(workload.OrderShipDates(third, 256, 730120, 1),
+		workload.UniformBits(third, 40, 2)...)
+	data = append(data, workload.Sorted(n-2*third, 1<<40, 3)...)
+	col, err := lwcomp.Encode(data, lwcomp.WithBlockSize(1<<12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := data[n/4], data[3*n/4]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	rows, err := col.SelectRange(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := col.SelectRangeSel(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bm.Release()
+	if bm.Count() != len(rows) {
+		t.Fatalf("Count = %d, rows = %d", bm.Count(), len(rows))
+	}
+	if got := bm.Rows(); !equal(got, rows) {
+		t.Fatal("Rows() diverges from SelectRange")
+	}
+	for _, r := range rows {
+		if !bm.Contains(int(r)) {
+			t.Fatalf("row %d missing from selection", r)
+		}
+	}
+}

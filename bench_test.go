@@ -555,6 +555,156 @@ func BenchmarkBlockedSelectRange(b *testing.B) {
 			}
 			reportElems(b, benchN)
 		})
+		// The bitmap boundary: same scan without the []int64
+		// conversion — the steady-state zero-allocation path.
+		b.Run(tc.name+"-sel", func(b *testing.B) {
+			b.ReportAllocs()
+			count := 0
+			for i := 0; i < b.N; i++ {
+				bm, err := tc.c.SelectRangeSel(lo, hi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				count = bm.Count()
+				bm.Release()
+			}
+			if count != len(want) {
+				b.Fatalf("%d rows, want %d", count, len(want))
+			}
+			reportElems(b, benchN)
+		})
+	}
+}
+
+// BenchmarkBlockedSelectAllRuns is the blockAll regression pin: a
+// range covering the whole column must emit each block as one run —
+// O(blocks + rows/64) word fills — rather than one append per row.
+// The "sel" variant is the run-emission path alone; "rows" adds the
+// one []int64 materialization at the public boundary.
+func BenchmarkBlockedSelectAllRuns(b *testing.B) {
+	data := workload.Sorted(benchN, 1<<40, 1)
+	col, err := lwcomp.Encode(data, lwcomp.WithBlockSize(1<<12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := data[0], data[benchN-1]
+	b.Run("sel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bm, err := col.SelectRangeSel(lo, hi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bm.Count() != benchN {
+				b.Fatal("whole-range scan missed rows")
+			}
+			bm.Release()
+		}
+		reportElems(b, benchN)
+	})
+	b.Run("rows", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := col.SelectRange(lo, hi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) != benchN {
+				b.Fatal("whole-range scan missed rows")
+			}
+		}
+		reportElems(b, benchN)
+	})
+}
+
+// BenchmarkFusedScan measures the fused unpack-and-compare scan of an
+// NS form against decompress-then-filter (EXP-O's timing under the Go
+// harness): the fused path touches only the packed words and
+// allocates nothing.
+func BenchmarkFusedScan(b *testing.B) {
+	data := workload.UniformBits(benchN, 20, 1)
+	form, err := lwcomp.NS().Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := int64(1)<<18, int64(1)<<19
+	b.Run("count-fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := query.CountRange(form, lo, hi); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportElems(b, benchN)
+	})
+	b.Run("count-decompress-filter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			col, err := lwcomp.Decompress(form)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = vec.CountRange(col, lo, hi)
+		}
+		reportElems(b, benchN)
+	})
+	bm := lwcomp.NewSelection(benchN)
+	b.Run("select-fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bm.Reset(benchN)
+			if err := query.SelectRangeSel(form, lo, hi, bm, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportElems(b, benchN)
+	})
+	b.Run("select-decompress-filter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			col, err := lwcomp.Decompress(form)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = vec.SelectRange(col, lo, hi)
+		}
+		reportElems(b, benchN)
+	})
+}
+
+// BenchmarkParallelScan measures block-parallel CountRange and
+// SelectRangeSel on a column whose every block straddles the range
+// (uniform noise), at 1 worker vs NumCPU workers.
+func BenchmarkParallelScan(b *testing.B) {
+	data := workload.UniformBits(benchN, 30, 2)
+	lo, hi := int64(1)<<28, int64(1)<<29
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		col, err := lwcomp.Encode(data,
+			lwcomp.WithBlockSize(1<<13),
+			lwcomp.WithParallelism(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("count/workers-"+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := col.CountRange(lo, hi); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportElems(b, benchN)
+		})
+		b.Run("select/workers-"+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bm, err := col.SelectRangeSel(lo, hi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bm.Release()
+			}
+			reportElems(b, benchN)
+		})
 	}
 }
 

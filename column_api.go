@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"lwcomp/internal/blocked"
+	"lwcomp/internal/sel"
 	"lwcomp/internal/storage"
 )
 
@@ -21,6 +22,19 @@ type Column = blocked.Column
 
 // Block is one entry of a Column's block index.
 type Block = blocked.Block
+
+// Selection is a bitmap-backed selection vector: the result of a
+// range predicate over a column, one bit per row. Column.SelectRangeSel
+// returns one, and it is the zero-allocation alternative to the
+// []int64 row lists of SelectRange: whole matching runs cost O(rows/64)
+// word fills, per-block results merge with word-granular ORs, and
+// Release returns the vector to a pool. Use Rows or AppendRows to
+// convert to explicit row positions, Count for the match cardinality,
+// and Iterate to visit matches without materializing them.
+type Selection = sel.Selection
+
+// NewSelection returns an empty selection over the row domain [0, n).
+func NewSelection(n int) *Selection { return sel.New(n) }
 
 // ColumnBuilder ingests values incrementally and produces a Column;
 // see NewColumnBuilder.

@@ -13,8 +13,8 @@ import (
 func TestAllExperimentsRunSmall(t *testing.T) {
 	cfg := Config{N: 1 << 14, Seed: 7, Reps: 1}
 	exps := All()
-	if len(exps) != 14 {
-		t.Fatalf("registered %d experiments, want 14 (A..N)", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("registered %d experiments, want 15 (A..O)", len(exps))
 	}
 	for _, e := range exps {
 		e := e
@@ -49,7 +49,7 @@ func TestAllExperimentsRunSmall(t *testing.T) {
 
 func TestExperimentIDsAreOrdered(t *testing.T) {
 	exps := All()
-	want := []string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N"}
+	want := []string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O"}
 	for i, e := range exps {
 		if e.ID != want[i] {
 			t.Fatalf("experiment %d = %q, want %q", i, e.ID, want[i])

@@ -87,6 +87,19 @@ func runExpN(cfg Config) (*Table, error) {
 		} else if !vec.Equal(rows, want) {
 			return nil, fmt.Errorf("%s: SelectRange diverges from single-block result", c.name)
 		}
+		selAllocs, err := allocsPerRun(5, func() error {
+			bm, err := col.SelectRangeSel(lo, hi)
+			if err != nil {
+				return err
+			}
+			bm.Release()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddMetric(c.name+"/encode", len(data), encDur, -1)
+		t.AddMetric(c.name+"/select", len(data), selDur, selAllocs)
 		skipped, whole, consulted := col.SkipStats(lo, hi)
 		t.AddRow(
 			c.name,

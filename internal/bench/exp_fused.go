@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+
+	"lwcomp/internal/core"
+	"lwcomp/internal/query"
+	"lwcomp/internal/scheme"
+	"lwcomp/internal/sel"
+	"lwcomp/internal/vec"
+	"lwcomp/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "O",
+		Title: "Fused unpack-and-compare vs decompress-then-filter",
+		Claim: `Lessons 1 pushed into the scan: a range predicate evaluated on the packed words (fused kernels + bitmap selection, zero steady-state allocations) vs materializing the column first`,
+		Run:   runExpO,
+	})
+}
+
+func runExpO(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:    "O",
+		Title: "Fused unpack-and-compare vs decompress-then-filter",
+		Claim: "fused kernels scan packed payloads directly; the naive route pays a full materialization first",
+		Headers: []string{
+			"form", "op", "fused Melem/s", "naive Melem/s", "speedup", "fused allocs/op",
+		},
+	}
+
+	type setup struct {
+		name string
+		data []int64
+		sch  core.Scheme
+	}
+	setups := []setup{
+		{"NS w=20", workload.UniformBits(cfg.N, 20, cfg.Seed), scheme.NS{}},
+		{"VNS b=128", workload.SkewedMagnitude(cfg.N, 40, cfg.Seed+1), scheme.VNS{Block: 128}},
+		{"FOR+NS s=1024", workload.RandomWalk(cfg.N, 12, 1<<30, cfg.Seed+2), scheme.FORComposite(1024)},
+	}
+	for _, su := range setups {
+		form, err := su.sch.Compress(su.data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", su.name, err)
+		}
+		// A band around the middle of the value domain, so most
+		// blocks straddle the range rather than being pruned.
+		mn, mx := su.data[0], su.data[0]
+		for _, v := range su.data {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		span := mx - mn
+		lo := mn + span*2/5
+		hi := mn + span*3/5
+		n := len(su.data)
+
+		wantCount := vec.CountRange(su.data, lo, hi)
+		wantRows := vec.SelectRange(su.data, lo, hi)
+
+		// COUNT: fused kernel over packed words vs decompress + scan.
+		fusedCountT, err := timeBest(cfg.Reps, func() error {
+			got, err := query.CountRange(form, lo, hi)
+			if err != nil {
+				return err
+			}
+			if got != wantCount {
+				return fmt.Errorf("fused count %d != %d", got, wantCount)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", su.name, err)
+		}
+		naiveCountT, err := timeBest(cfg.Reps, func() error {
+			col, err := core.Decompress(form)
+			if err != nil {
+				return err
+			}
+			if vec.CountRange(col, lo, hi) != wantCount {
+				return fmt.Errorf("naive count mismatch")
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		countAllocs, err := allocsPerRun(10, func() error {
+			_, err := query.CountRange(form, lo, hi)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(su.name, "count",
+			melems(n, fusedCountT), melems(n, naiveCountT),
+			f2(naiveCountT.Seconds()/fusedCountT.Seconds()),
+			fmt.Sprintf("%.1f", countAllocs))
+		t.AddMetric(su.name+"/count/fused", n, fusedCountT, countAllocs)
+		t.AddMetric(su.name+"/count/naive", n, naiveCountT, -1)
+
+		// SELECT: fused kernels emitting 64-bit match masks into a
+		// reused bitmap vs decompress + row-list filter.
+		bm := sel.New(n)
+		fusedSelT, err := timeBest(cfg.Reps, func() error {
+			bm.Reset(n)
+			return query.SelectRangeSel(form, lo, hi, bm, 0)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !vec.Equal(bm.Rows(), wantRows) {
+			return nil, fmt.Errorf("%s: fused selection differs from scan", su.name)
+		}
+		naiveSelT, err := timeBest(cfg.Reps, func() error {
+			col, err := core.Decompress(form)
+			if err != nil {
+				return err
+			}
+			if len(vec.SelectRange(col, lo, hi)) != len(wantRows) {
+				return fmt.Errorf("naive select mismatch")
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		selAllocs, err := allocsPerRun(10, func() error {
+			bm.Reset(n)
+			return query.SelectRangeSel(form, lo, hi, bm, 0)
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(su.name, "select",
+			melems(n, fusedSelT), melems(n, naiveSelT),
+			f2(naiveSelT.Seconds()/fusedSelT.Seconds()),
+			fmt.Sprintf("%.1f", selAllocs))
+		t.AddMetric(su.name+"/select/fused", n, fusedSelT, selAllocs)
+		t.AddMetric(su.name+"/select/naive", n, naiveSelT, -1)
+	}
+	t.Notes = append(t.Notes,
+		"selection band is the middle fifth of each value domain: blocks straddle it, so pruning alone cannot win",
+		"fused select fills a reused bitmap selection; naive select materializes the column and an []int64 row list",
+		"allocs/op is steady-state (pools warm); -1 marks unmeasured naive routes, which allocate the full column per op",
+		fmt.Sprintf("n = %d, reps = %d (best kept)", cfg.N, cfg.Reps),
+	)
+	return t, nil
+}

@@ -251,6 +251,22 @@ func UnzigzagSlice(src []uint64) []int64 {
 	return out
 }
 
+// UnzigzagInto writes the zigzag-decoded values of src into dst,
+// which must have the same length.
+func UnzigzagInto(dst []int64, src []uint64) {
+	for i, v := range src {
+		dst[i] = Unzigzag(v)
+	}
+}
+
+// SignedInto reinterprets src as signed bit patterns into dst, which
+// must have the same length.
+func SignedInto(dst []int64, src []uint64) {
+	for i, v := range src {
+		dst[i] = int64(v)
+	}
+}
+
 // UnsignedSlice reinterprets a signed column as unsigned bit patterns
 // (no zigzag); callers use it when values are known non-negative.
 func UnsignedSlice(src []int64) []uint64 {

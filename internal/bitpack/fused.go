@@ -1,0 +1,144 @@
+package bitpack
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file exposes the generated fused unpack-and-compare kernels
+// (countInRangeBlockW / selectInRangeBlockW) as range scans over a
+// packed payload. The kernels evaluate lo <= v <= hi directly on the
+// packed words — a straddling block of an NS or FOR form is scanned
+// without ever materializing the unpacked values, which is what makes
+// the compressed-scan path memory-traffic-bound rather than
+// decode-bound (see DESIGN.md, "Fused compressed scans").
+//
+// Both scans operate on the unsigned domain: callers translate their
+// signed query range first (and fall back to decoding for zigzag
+// payloads, whose value order the mapping does not preserve).
+
+// CountRangeU counts the values at positions [start, start+count) of
+// the packed width-w payload that lie in [lo, hi] (unsigned). Full
+// 64-value blocks go through the fused count kernels; the unaligned
+// head and tail are scanned bit-granularly. No memory is allocated.
+func CountRangeU(packed []uint64, start, count int, w uint, lo, hi uint64) (int64, error) {
+	if err := checkFusedRange(packed, start, count, w); err != nil {
+		return 0, err
+	}
+	if count == 0 || hi < lo {
+		return 0, nil
+	}
+	span := hi - lo
+	end := start + count
+	p := start
+	var total int64
+	if head := headLen(p, end); head > 0 {
+		total += int64(bits.OnesCount64(scalarRangeMask(packed, p, head, w, lo, span)))
+		p += head
+	}
+	kernel := countInRangeFuncs[w]
+	for ; p+BlockLen <= end; p += BlockLen {
+		b := p >> 6
+		total += int64(kernel(packed[b*int(w):(b+1)*int(w)], lo, span))
+	}
+	if p < end {
+		total += int64(bits.OnesCount64(scalarRangeMask(packed, p, end-p, w, lo, span)))
+	}
+	return total, nil
+}
+
+// SelectRangeU scans the values at positions [start, start+count) of
+// the packed width-w payload and emits one match mask per 64-position
+// chunk: emit(pos, mask) means mask bit j reports whether the value
+// at position pos+j lies in [lo, hi]. Chunks are emitted in ascending
+// position order, never overlap, and all-zero masks are skipped.
+// Callers OR the masks into a sel.Selection (possibly at an offset).
+// No memory is allocated.
+func SelectRangeU(packed []uint64, start, count int, w uint, lo, hi uint64, emit func(pos int, mask uint64)) error {
+	if err := checkFusedRange(packed, start, count, w); err != nil {
+		return err
+	}
+	if count == 0 || hi < lo {
+		return nil
+	}
+	span := hi - lo
+	end := start + count
+	p := start
+	if head := headLen(p, end); head > 0 {
+		if m := scalarRangeMask(packed, p, head, w, lo, span); m != 0 {
+			emit(p, m)
+		}
+		p += head
+	}
+	kernel := selectInRangeFuncs[w]
+	for ; p+BlockLen <= end; p += BlockLen {
+		b := p >> 6
+		if m := kernel(packed[b*int(w):(b+1)*int(w)], lo, span); m != 0 {
+			emit(p, m)
+		}
+	}
+	if p < end {
+		if m := scalarRangeMask(packed, p, end-p, w, lo, span); m != 0 {
+			emit(p, m)
+		}
+	}
+	return nil
+}
+
+// checkFusedRange validates the scan arguments against the payload,
+// mirroring UnpackRange's contract.
+func checkFusedRange(packed []uint64, start, count int, w uint) error {
+	if w > 64 {
+		return fmt.Errorf("%w: %d", ErrWidth, w)
+	}
+	if start < 0 || count < 0 {
+		return fmt.Errorf("bitpack: fused range scan: negative range [%d, +%d)", start, count)
+	}
+	if need := PackedWords(start+count, w); len(packed) < need {
+		return fmt.Errorf("%w: have %d words, need %d for range end %d at width %d",
+			ErrCorrupt, len(packed), need, start+count, w)
+	}
+	return nil
+}
+
+// headLen returns how many positions separate p from the next
+// 64-block boundary, clamped to the scan end.
+func headLen(p, end int) int {
+	if p&63 == 0 {
+		return 0
+	}
+	head := BlockLen - p&63
+	if head > end-p {
+		head = end - p
+	}
+	return head
+}
+
+// scalarRangeMask evaluates the range predicate on count (<= 64)
+// values starting at position start, bit-granularly, and returns the
+// match mask (bit j = position start+j). It is the unaligned-edge
+// companion of the block kernels.
+func scalarRangeMask(src []uint64, start, count int, w uint, lo, span uint64) uint64 {
+	if w == 0 {
+		if lo == 0 {
+			return Mask(uint(count))
+		}
+		return 0
+	}
+	var m uint64
+	vmask := Mask(w)
+	bitPos := uint64(start) * uint64(w)
+	for j := 0; j < count; j++ {
+		word := bitPos >> 6
+		off := uint(bitPos & 63)
+		v := src[word] >> off
+		if off+w > 64 {
+			v |= src[word+1] << (64 - off)
+		}
+		if (v&vmask)-lo <= span {
+			m |= 1 << uint(j)
+		}
+		bitPos += uint64(w)
+	}
+	return m
+}

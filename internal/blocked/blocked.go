@@ -19,11 +19,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"lwcomp/internal/column"
 	"lwcomp/internal/core"
 	"lwcomp/internal/query"
 	"lwcomp/internal/scheme"
+	"lwcomp/internal/sel"
 )
 
 // DefaultBlockSize is the block length used when a caller asks for
@@ -219,73 +221,86 @@ func (c *Column) workers() int {
 // concurrently into one preallocated result.
 func (c *Column) Decompress() ([]int64, error) {
 	out := make([]int64, c.N)
+	if err := c.DecompressInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressInto reconstructs the column into dst, whose length must
+// equal c.N. Blocks decode concurrently (bounded by the column's
+// parallelism), each worker drawing temporaries from a pooled scratch
+// arena, so a reused destination makes steady-state decode
+// allocation-free.
+func (c *Column) DecompressInto(dst []int64) error {
+	if len(dst) != c.N {
+		return fmt.Errorf("%w: DecompressInto dst length %d, column declares %d",
+			core.ErrCorruptForm, len(dst), c.N)
+	}
 	workers := c.workers()
 	if workers > len(c.Blocks) {
 		workers = len(c.Blocks)
 	}
 	if workers <= 1 {
+		s := core.GetScratch()
+		defer s.Release()
 		for i := range c.Blocks {
-			if err := c.decompressBlockInto(out, i); err != nil {
-				return nil, err
+			if err := c.decompressBlockInto(dst, i, s); err != nil {
+				return err
 			}
 		}
-		return out, nil
+		return nil
 	}
-	var (
-		wg    sync.WaitGroup
-		next  = make(chan int)
-		errMu sync.Mutex
-		first error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := c.decompressBlockInto(out, i); err != nil {
-					errMu.Lock()
-					if first == nil {
-						first = err
-					}
-					errMu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := range c.Blocks {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	if first != nil {
-		return nil, first
-	}
-	return out, nil
+	return parallelFor(workers, len(c.Blocks), func(i int) error {
+		s := core.GetScratch()
+		defer s.Release()
+		return c.decompressBlockInto(dst, i, s)
+	})
 }
 
-func (c *Column) decompressBlockInto(out []int64, i int) error {
+func (c *Column) decompressBlockInto(out []int64, i int, s *core.Scratch) error {
 	b := &c.Blocks[i]
-	vals, err := core.Decompress(b.Form)
-	if err != nil {
-		return err
+	if b.Form == nil || b.Form.N != b.Count {
+		return fmt.Errorf("%w: block %d form does not match index count %d",
+			core.ErrCorruptForm, i, b.Count)
 	}
-	if len(vals) != b.Count {
-		return fmt.Errorf("%w: block %d decoded %d values, index says %d",
-			core.ErrCorruptForm, i, len(vals), b.Count)
+	if err := core.DecompressInto(b.Form, out[b.Start:b.Start+int64(b.Count)], s); err != nil {
+		return fmt.Errorf("blocked: block %d: %w", i, err)
 	}
-	copy(out[b.Start:], vals)
 	return nil
 }
 
 // Sum returns the exact column sum, aggregated block by block.
+// Blocks are summed concurrently (bounded by the column's
+// parallelism); wrapping int64 addition is commutative, so the result
+// does not depend on worker scheduling.
 func (c *Column) Sum() (int64, error) {
+	workers := c.workers()
+	if workers > len(c.Blocks) {
+		workers = len(c.Blocks)
+	}
+	if workers <= 1 {
+		var total int64
+		for i := range c.Blocks {
+			s, err := query.Sum(c.Blocks[i].Form)
+			if err != nil {
+				return 0, err
+			}
+			total += s
+		}
+		return total, nil
+	}
 	var total int64
-	for i := range c.Blocks {
+	err := parallelFor(workers, len(c.Blocks), func(i int) error {
 		s, err := query.Sum(c.Blocks[i].Form)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		total += s
+		atomic.AddInt64(&total, s)
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return total, nil
 }
@@ -373,14 +388,125 @@ func (b *Block) classify(lo, hi int64) blockClass {
 	return blockPart
 }
 
+// scanState is the pooled per-query state of the parallel scan paths:
+// block classifications, the indices of straddling blocks, and the
+// per-block selections parallel workers fill.
+type scanState struct {
+	classes []blockClass
+	parts   []int
+	counts  []int64
+	sels    []*sel.Selection
+}
+
+var scanPool = sync.Pool{New: func() any { return new(scanState) }}
+
+// getScanState returns a pooled scanState sized for nblocks, with
+// parts emptied and sels cleared.
+func getScanState(nblocks int) *scanState {
+	st := scanPool.Get().(*scanState)
+	if cap(st.classes) < nblocks {
+		st.classes = make([]blockClass, nblocks)
+	} else {
+		st.classes = st.classes[:nblocks]
+	}
+	st.parts = st.parts[:0]
+	if cap(st.counts) < nblocks {
+		st.counts = make([]int64, nblocks)
+	} else {
+		st.counts = st.counts[:nblocks]
+	}
+	if cap(st.sels) < nblocks {
+		st.sels = make([]*sel.Selection, nblocks)
+	} else {
+		st.sels = st.sels[:nblocks]
+		for i := range st.sels {
+			st.sels[i] = nil
+		}
+	}
+	return st
+}
+
+func (st *scanState) release() { scanPool.Put(st) }
+
+// classifyBlocks fills st.classes and collects straddling-block
+// indices into st.parts.
+func (c *Column) classifyBlocks(st *scanState, lo, hi int64) {
+	for i := range c.Blocks {
+		st.classes[i] = c.Blocks[i].classify(lo, hi)
+		if st.classes[i] == blockPart {
+			st.parts = append(st.parts, i)
+		}
+	}
+}
+
+// parallelFor fans fn out over indices [0, n) from the given number
+// of goroutines, drawing work from an atomic counter, and returns the
+// first error (workers drain remaining indices after an error —
+// blocks are independent and bounded, so cancellation plumbing is not
+// worth its cost). Callers keep their workers<=1 loops inline:
+// constructing the fn closure allocates, which the serial zero-alloc
+// scan paths must avoid.
+func parallelFor(workers, n int, fn func(i int) error) error {
+	var (
+		wg    sync.WaitGroup
+		next  int64 = -1
+		errMu sync.Mutex
+		first error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// forEachPart runs fn over st.parts from min(workers, len(parts))
+// goroutines (inline when one suffices) and returns the first error.
+func (c *Column) forEachPart(st *scanState, fn func(blockIdx int) error) error {
+	workers := c.workers()
+	if workers > len(st.parts) {
+		workers = len(st.parts)
+	}
+	if workers <= 1 {
+		for _, i := range st.parts {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return parallelFor(workers, len(st.parts), func(i int) error {
+		return fn(st.parts[i])
+	})
+}
+
 // CountRange counts elements in [lo, hi]. Blocks entirely outside
 // the range contribute 0 and blocks entirely inside contribute their
 // size, both in O(1) from the index; only straddling blocks consult
-// their form.
+// their form, concurrently (bounded by the column's parallelism) and
+// through the fused count kernels where the form allows.
 func (c *Column) CountRange(lo, hi int64) (int64, error) {
 	if lo > hi {
 		return 0, nil
 	}
+	st := getScanState(len(c.Blocks))
+	defer st.release()
 	var total int64
 	for i := range c.Blocks {
 		b := &c.Blocks[i]
@@ -389,11 +515,27 @@ func (c *Column) CountRange(lo, hi int64) (int64, error) {
 		case blockAll:
 			total += int64(b.Count)
 		case blockPart:
-			n, err := query.CountRange(b.Form, lo, hi)
+			st.parts = append(st.parts, i)
+		}
+	}
+	if len(st.parts) > 0 {
+		// Per-block counts land in pooled state slots rather than a
+		// shared accumulator, keeping the closure capture-by-value (a
+		// by-reference total would escape to the heap on every call,
+		// including pure-miss queries).
+		err := c.forEachPart(st, func(i int) error {
+			n, err := query.CountRange(c.Blocks[i].Form, lo, hi)
 			if err != nil {
-				return 0, err
+				return err
 			}
-			total += n
+			st.counts[i] = n
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		for _, i := range st.parts {
+			total += st.counts[i]
 		}
 	}
 	return total, nil
@@ -401,36 +543,87 @@ func (c *Column) CountRange(lo, hi int64) (int64, error) {
 
 // SelectRange returns the row positions of elements in [lo, hi], in
 // ascending order. A block whose [min, max] misses the range is
-// never decoded; a block entirely inside emits its whole row span
-// without decoding.
+// never decoded; a block entirely inside emits its whole row span as
+// a single run without decoding. The matches accumulate in a pooled
+// bitmap selection (see SelectRangeSel); this method converts to the
+// explicit row-position column at the boundary.
 func (c *Column) SelectRange(lo, hi int64) ([]int64, error) {
-	rows := []int64{}
-	if lo > hi {
-		return rows, nil
+	bm, err := c.SelectRangeSel(lo, hi)
+	if err != nil {
+		return nil, err
 	}
+	rows := bm.AppendRows(make([]int64, 0, bm.Count()), 0)
+	bm.Release()
+	return rows, nil
+}
+
+// SelectRangeSel evaluates the range predicate into a bitmap
+// selection vector over [0, c.N): straddling blocks are scanned
+// concurrently (bounded by the column's parallelism, each into its
+// own pooled per-block selection) and merged in block order, so the
+// result is deterministic. The selection comes from the shared pool —
+// callers should Release it when done to keep steady-state scans
+// allocation-free.
+func (c *Column) SelectRangeSel(lo, hi int64) (*sel.Selection, error) {
+	dst := sel.Get(c.N)
+	if lo > hi {
+		return dst, nil
+	}
+	st := getScanState(len(c.Blocks))
+	defer st.release()
+	c.classifyBlocks(st, lo, hi)
+
+	workers := c.workers()
+	if workers > 1 && len(st.parts) > 1 {
+		// Parallel: each straddling block scans into a local
+		// selection; the merge below ORs them in block order.
+		err := c.forEachPart(st, func(i int) error {
+			b := &c.Blocks[i]
+			local := sel.Get(b.Count)
+			if err := query.SelectRangeSel(b.Form, lo, hi, local, 0); err != nil {
+				local.Release()
+				return err
+			}
+			st.sels[i] = local
+			return nil
+		})
+		if err != nil {
+			for _, i := range st.parts {
+				if st.sels[i] != nil {
+					st.sels[i].Release()
+				}
+			}
+			dst.Release()
+			return nil, err
+		}
+		for i := range c.Blocks {
+			b := &c.Blocks[i]
+			switch st.classes[i] {
+			case blockAll:
+				dst.AddRun(int(b.Start), b.Count)
+			case blockPart:
+				dst.OrAt(st.sels[i], int(b.Start))
+				st.sels[i].Release()
+				st.sels[i] = nil
+			}
+		}
+		return dst, nil
+	}
+
+	// Serial: emit every block directly at its row offset.
 	for i := range c.Blocks {
 		b := &c.Blocks[i]
-		switch b.classify(lo, hi) {
-		case blockMiss:
+		switch st.classes[i] {
 		case blockAll:
-			for r := int64(0); r < int64(b.Count); r++ {
-				rows = append(rows, b.Start+r)
-			}
+			dst.AddRun(int(b.Start), b.Count)
 		case blockPart:
-			local, err := query.SelectRange(b.Form, lo, hi)
-			if err != nil {
+			if err := query.SelectRangeSel(b.Form, lo, hi, dst, int(b.Start)); err != nil {
+				dst.Release()
 				return nil, err
-			}
-			if b.Start == 0 {
-				rows = append(rows, local...)
-				continue
-			}
-			for _, r := range local {
-				rows = append(rows, b.Start+r)
 			}
 		}
 	}
-	return rows, nil
+	return dst, nil
 }
 
 // SkipStats reports how block skipping would treat a range query:

@@ -135,6 +135,72 @@ func DecompressChild(f *Form, name string) ([]int64, error) {
 	return Decompress(c)
 }
 
+// IntoDecompressor is implemented by schemes whose decoder can fill
+// caller-provided storage, drawing temporaries from a Scratch arena
+// instead of the heap. It is the allocation-free variant of
+// Scheme.Decompress that the blocked scan path runs on.
+type IntoDecompressor interface {
+	// DecompressInto reconstructs f's column into dst, which has
+	// length f.N. Temporaries come from s (which may be nil).
+	DecompressInto(f *Form, dst []int64, s *Scratch) error
+}
+
+// DecompressInto reconstructs f's column into dst (whose length must
+// equal f.N), using s for decode temporaries. Schemes implementing
+// IntoDecompressor decode with zero steady-state allocations; others
+// fall back to Decompress plus a copy, so the call never fails for
+// lack of a fast path.
+func DecompressInto(f *Form, dst []int64, s *Scratch) error {
+	if f == nil {
+		return errors.New("core: DecompressInto(nil)")
+	}
+	if len(dst) != f.N {
+		return fmt.Errorf("%w: DecompressInto dst length %d, form declares %d",
+			ErrCorruptForm, len(dst), f.N)
+	}
+	sc, ok := Lookup(f.Scheme)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownScheme, f.Scheme)
+	}
+	if d, ok := sc.(IntoDecompressor); ok {
+		if err := d.DecompressInto(f, dst, s); err != nil {
+			return fmt.Errorf("scheme %q: %w", f.Scheme, err)
+		}
+		return nil
+	}
+	out, err := Decompress(f)
+	if err != nil {
+		return err
+	}
+	copy(dst, out)
+	return nil
+}
+
+// DecompressChildInto resolves the named constituent column of f into
+// dst, which must have length equal to the child's N.
+func DecompressChildInto(f *Form, name string, dst []int64, s *Scratch) error {
+	c, err := f.Child(name)
+	if err != nil {
+		return err
+	}
+	return DecompressInto(c, dst, s)
+}
+
+// ChildScratch decompresses the named child into a scratch-borrowed
+// buffer. The caller returns the buffer with s.PutI64 when done.
+func ChildScratch(f *Form, name string, s *Scratch) ([]int64, error) {
+	c, err := f.Child(name)
+	if err != nil {
+		return nil, err
+	}
+	buf := s.I64(c.N)
+	if err := DecompressInto(c, buf, s); err != nil {
+		s.PutI64(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
 // Compress encodes src with the named registered scheme.
 func Compress(schemeName string, src []int64) (*Form, error) {
 	s, ok := Lookup(schemeName)

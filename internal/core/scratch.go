@@ -1,0 +1,98 @@
+package core
+
+import "sync"
+
+// Scratch is a reusable arena of decode temporaries. Decompressing a
+// form tree needs short-lived buffers — the unpacked unsigned words
+// of an NS leaf, the refs column of a FOR node, run lengths and
+// values of an RLE node — and allocating them per call makes block
+// decode allocation-bound instead of memory-bandwidth-bound.
+//
+// A Scratch holds freelists of int64 and uint64 buffers. Borrow with
+// I64/U64, return with PutI64/PutU64; buffers keep their capacity, so
+// after the first decode through a given form shape every subsequent
+// decode is allocation-free. Scratches themselves come from a
+// sync.Pool (GetScratch/Release), giving the steady state the paper's
+// decomposition argument assumes: decode cost is the operator work,
+// not the allocator.
+//
+// A Scratch is not safe for concurrent use; parallel block workers
+// each hold their own. All methods tolerate a nil receiver (they fall
+// back to plain allocation), so scratch-threading is always optional.
+type Scratch struct {
+	i64 freelist[int64]
+	u64 freelist[uint64]
+}
+
+// freelist is a capacity-retaining stack of returned buffers.
+type freelist[T any] [][]T
+
+// get borrows a length-n buffer with unspecified contents, reusing
+// the most recently returned buffer that fits.
+func (fl *freelist[T]) get(n int) []T {
+	l := *fl
+	for i := len(l) - 1; i >= 0; i-- {
+		if cap(l[i]) >= n {
+			b := l[i][:n]
+			last := len(l) - 1
+			l[i] = l[last]
+			l[last] = nil
+			*fl = l[:last]
+			return b
+		}
+	}
+	return make([]T, n)
+}
+
+// put returns a borrowed buffer to the freelist.
+func (fl *freelist[T]) put(b []T) {
+	if cap(b) > 0 {
+		*fl = append(*fl, b[:0])
+	}
+}
+
+var scratchPool = sync.Pool{New: func() any { return &Scratch{} }}
+
+// GetScratch returns a pooled Scratch. Pair it with Release.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// Release returns s (and the buffers it has accumulated) to the pool.
+// The caller must not use s, or any buffer borrowed from it that was
+// not returned, afterwards. Release on nil is a no-op.
+func (s *Scratch) Release() {
+	if s != nil {
+		scratchPool.Put(s)
+	}
+}
+
+// I64 borrows a length-n int64 buffer with unspecified contents.
+// Return it with PutI64 when done.
+func (s *Scratch) I64(n int) []int64 {
+	if s == nil {
+		return make([]int64, n)
+	}
+	return s.i64.get(n)
+}
+
+// PutI64 returns a buffer borrowed with I64 to the freelist.
+func (s *Scratch) PutI64(b []int64) {
+	if s != nil {
+		s.i64.put(b)
+	}
+}
+
+// U64 borrows a length-n uint64 buffer with unspecified contents.
+// Return it with PutU64 when done.
+func (s *Scratch) U64(n int) []uint64 {
+	if s == nil {
+		return make([]uint64, n)
+	}
+	return s.u64.get(n)
+}
+
+// PutU64 returns a buffer borrowed with U64 to the freelist.
+func (s *Scratch) PutU64(b []uint64) {
+	if s != nil {
+		s.u64.put(b)
+	}
+}

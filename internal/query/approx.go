@@ -157,7 +157,10 @@ func NewGradualSummer(f *core.Form) (*GradualSummer, error) {
 	if f.Scheme != scheme.FORName {
 		return nil, fmt.Errorf("query: NewGradualSummer on scheme %q (want %q)", f.Scheme, scheme.FORName)
 	}
-	p, err := newFORPruner(f)
+	// The pruner outlives this call, so it gets no scratch arena: its
+	// slices are plainly allocated and simply dropped when the summer
+	// is garbage collected.
+	p, err := newFORPruner(f, nil)
 	if err != nil {
 		return nil, err
 	}

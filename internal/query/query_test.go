@@ -1,10 +1,12 @@
 package query
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"lwcomp/internal/bitpack"
 	"lwcomp/internal/core"
 	"lwcomp/internal/scheme"
 	"lwcomp/internal/vec"
@@ -289,5 +291,99 @@ func TestIntervalHelpers(t *testing.T) {
 	iv := Interval{10, 20}
 	if iv.Estimate() != 15 || iv.Width() != 10 || !iv.Contains(10) || !iv.Contains(20) || iv.Contains(21) {
 		t.Fatalf("interval helpers wrong: %+v", iv)
+	}
+}
+
+// TestVNSWidth64NegativeRange pins the fully-negative-range shortcut:
+// a zigzag=0 VNS form with a width-64 mini-block stores raw 64-bit
+// patterns that reinterpret to negative values, so "negative range →
+// no matches" must first clear the width check and fall back to the
+// materializing path.
+func TestVNSWidth64NegativeRange(t *testing.T) {
+	neg5 := int64(-5)
+	u := []uint64{uint64(neg5), 3}
+	packed, err := bitpack.Pack(u, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &core.Form{
+		Scheme:   scheme.VNSName,
+		N:        2,
+		Params:   core.Params{"block": 2, "zigzag": 0},
+		Children: map[string]*core.Form{"widths": scheme.NewIDForm([]int64{64})},
+		Packed:   packed,
+	}
+	back, err := core.Decompress(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.Equal(back, []int64{-5, 3}) {
+		t.Fatalf("decompress = %v, want [-5 3]", back)
+	}
+	n, err := CountRange(f, -10, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("CountRange(-10,-1) = %d, want 1", n)
+	}
+	rows, err := SelectRange(f, -10, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.Equal(rows, []int64{0}) {
+		t.Fatalf("SelectRange(-10,-1) = %v, want [0]", rows)
+	}
+}
+
+// TestFORVNSTruncatedWidths pins corruption handling on the fused
+// FOR-over-VNS pruner: a widths child shorter than the block count
+// must surface ErrCorruptForm (via the materializing fallback), not a
+// silently truncated answer.
+func TestFORVNSTruncatedWidths(t *testing.T) {
+	data := make([]int64, 4096)
+	for i := range data {
+		data[i] = int64(i % 1000)
+	}
+	f, err := scheme.FORVNSComposite(64, 64).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets, err := f.Child("offsets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths, err := offsets.Child("widths")
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths.Leaf = widths.Leaf[:len(widths.Leaf)/2]
+	widths.N = len(widths.Leaf)
+	if _, err := CountRange(f, 100, 900); !errors.Is(err, core.ErrCorruptForm) {
+		t.Fatalf("CountRange on truncated widths: err = %v, want ErrCorruptForm", err)
+	}
+	if _, err := SelectRange(f, 100, 900); !errors.Is(err, core.ErrCorruptForm) {
+		t.Fatalf("SelectRange on truncated widths: err = %v, want ErrCorruptForm", err)
+	}
+}
+
+// TestRLEOverrunningRuns pins corruption handling on the run-emitting
+// scan arms: an RLE form whose runs overshoot N must return
+// ErrCorruptForm from SelectRange/CountRange, not panic inside
+// Selection.AddRun.
+func TestRLEOverrunningRuns(t *testing.T) {
+	f := &core.Form{
+		Scheme: scheme.RLEName,
+		N:      4,
+		Children: map[string]*core.Form{
+			"lengths": scheme.NewIDForm([]int64{200}),
+			"values":  scheme.NewIDForm([]int64{7}),
+		},
+	}
+	if _, err := SelectRange(f, 0, 100); !errors.Is(err, core.ErrCorruptForm) {
+		t.Fatalf("SelectRange on overrunning runs: err = %v, want ErrCorruptForm", err)
+	}
+	if _, err := CountRange(f, 0, 100); !errors.Is(err, core.ErrCorruptForm) {
+		t.Fatalf("CountRange on overrunning runs: err = %v, want ErrCorruptForm", err)
 	}
 }

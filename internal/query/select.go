@@ -2,10 +2,12 @@ package query
 
 import (
 	"fmt"
+	"sync"
 
 	"lwcomp/internal/bitpack"
 	"lwcomp/internal/core"
 	"lwcomp/internal/scheme"
+	"lwcomp/internal/sel"
 	"lwcomp/internal/vec"
 )
 
@@ -16,76 +18,123 @@ import (
 //   - FOR classifies each segment against [refs[s], refs[s]+bound]
 //     (the paper's model-based selection speed-up): segments entirely
 //     outside the range are skipped without decoding their offsets,
-//     segments entirely inside are emitted without decoding, and only
-//     straddling segments decode offsets;
-//   - DICT maps the value range to a code range and scans codes.
+//     segments entirely inside are emitted without decoding, and
+//     straddling segments run the fused unpack-and-compare kernels on
+//     the packed offsets;
+//   - NS/VNS run the fused kernels over the packed payload directly;
+//   - DICT maps the value range to a code range and scans the codes
+//     form recursively.
 //
-// The result is always exact.
+// The result is always exact. Internally the matches accumulate in a
+// pooled bitmap selection vector (package sel); this function converts
+// to an explicit row-position column at the boundary. Callers that can
+// consume the bitmap directly should use SelectRangeSel.
 func SelectRange(f *core.Form, lo, hi int64) ([]int64, error) {
-	if lo > hi {
-		return []int64{}, nil
+	bm := sel.Get(f.N)
+	defer bm.Release()
+	if err := SelectRangeSel(f, lo, hi, bm, 0); err != nil {
+		return nil, err
+	}
+	return bm.AppendRows(make([]int64, 0, bm.Count()), 0), nil
+}
+
+// SelectRangeSel emits the row positions of f whose values fall in
+// [lo, hi] into dst, each offset by base (row r of f sets bit base+r).
+// It is the zero-allocation core of SelectRange: runs arrive as word
+// fills and straddling packed blocks as fused 64-bit match masks.
+func SelectRangeSel(f *core.Form, lo, hi int64, dst *sel.Selection, base int) error {
+	s := core.GetScratch()
+	defer s.Release()
+	return selectRangeSel(f, lo, hi, dst, base, s)
+}
+
+func selectRangeSel(f *core.Form, lo, hi int64, dst *sel.Selection, base int, s *core.Scratch) error {
+	if lo > hi || f.N == 0 {
+		return nil
 	}
 	switch f.Scheme {
 	case scheme.ConstName:
-		v := f.Params["value"]
-		if v < lo || v > hi {
-			return []int64{}, nil
+		if v := f.Params["value"]; v >= lo && v <= hi {
+			dst.AddRun(base, f.N)
 		}
-		return allRows(f.N), nil
+		return nil
 
 	case scheme.RLEName, scheme.RPEName:
-		bounds, values, err := runBoundaries(f)
+		bounds, values, err := runBoundariesScratch(f, s)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var out []int64
 		var start int64
 		for i, end := range bounds {
 			if values[i] >= lo && values[i] <= hi {
-				for r := start; r < end; r++ {
-					out = append(out, r)
-				}
+				dst.AddRun(base+int(start), int(end-start))
 			}
 			start = end
 		}
-		if out == nil {
-			out = []int64{}
-		}
-		return out, nil
+		s.PutI64(bounds)
+		s.PutI64(values)
+		return nil
 
 	case scheme.FORName:
-		return selectRangeFOR(f, lo, hi)
+		return selectRangeSelFOR(f, lo, hi, dst, base, s)
+
+	case scheme.NSName:
+		if w, ok := fusedNSWidth(f); ok {
+			ulo, uhi, any := unsignedBounds(lo, hi)
+			if !any {
+				return nil
+			}
+			return bitpack.SelectRangeU(f.Packed, 0, f.N, w, ulo, uhi, func(pos int, m uint64) {
+				dst.OrWord(base+pos, m)
+			})
+		}
+
+	case scheme.VNSName:
+		if done, err := selectRangeSelVNS(f, lo, hi, dst, base, s); done || err != nil {
+			return err
+		}
 
 	case scheme.DictName:
-		codes, err := core.DecompressChild(f, "codes")
+		dict, err := core.ChildScratch(f, "dict", s)
 		if err != nil {
-			return nil, err
-		}
-		dict, err := core.DecompressChild(f, "dict")
-		if err != nil {
-			return nil, err
+			return err
 		}
 		cLo := int64(vec.LowerBound(dict, lo))
 		cHi := int64(vec.UpperBound(dict, hi)) - 1
+		s.PutI64(dict)
 		if cLo > cHi {
-			return []int64{}, nil
+			return nil
 		}
-		return vec.SelectRange(codes, cLo, cHi), nil
+		codes, err := f.Child("codes")
+		if err != nil {
+			return err
+		}
+		return selectRangeSel(codes, cLo, cHi, dst, base, s)
 	}
 
-	col, err := core.Decompress(f)
-	if err != nil {
-		return nil, err
+	// Fallback: materialize into scratch and scan.
+	col := s.I64(f.N)
+	defer s.PutI64(col)
+	if err := core.DecompressInto(f, col, s); err != nil {
+		return err
 	}
-	return vec.SelectRange(col, lo, hi), nil
+	scanSelRows(col, lo, hi, dst, base)
+	return nil
 }
 
 // CountRange returns |{i : lo ≤ col[i] ≤ hi}| with the same
 // structure-exploiting shortcuts as SelectRange, but without
 // materializing row ids — fully-inside FOR segments contribute their
-// size in O(1).
+// size in O(1) and packed payloads go through the fused count
+// kernels, so the common paths allocate nothing.
 func CountRange(f *core.Form, lo, hi int64) (int64, error) {
-	if lo > hi {
+	s := core.GetScratch()
+	defer s.Release()
+	return countRange(f, lo, hi, s)
+}
+
+func countRange(f *core.Form, lo, hi int64, s *core.Scratch) (int64, error) {
+	if lo > hi || f.N == 0 {
 		return 0, nil
 	}
 	switch f.Scheme {
@@ -97,7 +146,7 @@ func CountRange(f *core.Form, lo, hi int64) (int64, error) {
 		return int64(f.N), nil
 
 	case scheme.RLEName, scheme.RPEName:
-		bounds, values, err := runBoundaries(f)
+		bounds, values, err := runBoundariesScratch(f, s)
 		if err != nil {
 			return 0, err
 		}
@@ -109,57 +158,230 @@ func CountRange(f *core.Form, lo, hi int64) (int64, error) {
 			}
 			start = end
 		}
+		s.PutI64(bounds)
+		s.PutI64(values)
 		return count, nil
 
 	case scheme.FORName:
-		return countRangeFOR(f, lo, hi)
+		return countRangeFOR(f, lo, hi, s)
+
+	case scheme.NSName:
+		if w, ok := fusedNSWidth(f); ok {
+			ulo, uhi, any := unsignedBounds(lo, hi)
+			if !any {
+				return 0, nil
+			}
+			return bitpack.CountRangeU(f.Packed, 0, f.N, w, ulo, uhi)
+		}
+
+	case scheme.VNSName:
+		if n, done, err := countRangeVNS(f, lo, hi, s); done || err != nil {
+			return n, err
+		}
 
 	case scheme.DictName:
-		codes, err := core.DecompressChild(f, "codes")
-		if err != nil {
-			return 0, err
-		}
-		dict, err := core.DecompressChild(f, "dict")
+		dict, err := core.ChildScratch(f, "dict", s)
 		if err != nil {
 			return 0, err
 		}
 		cLo := int64(vec.LowerBound(dict, lo))
 		cHi := int64(vec.UpperBound(dict, hi)) - 1
+		s.PutI64(dict)
 		if cLo > cHi {
 			return 0, nil
 		}
-		return vec.CountRange(codes, cLo, cHi), nil
+		codes, err := f.Child("codes")
+		if err != nil {
+			return 0, err
+		}
+		return countRange(codes, cLo, cHi, s)
 	}
 
-	col, err := core.Decompress(f)
-	if err != nil {
+	col := s.I64(f.N)
+	defer s.PutI64(col)
+	if err := core.DecompressInto(f, col, s); err != nil {
 		return 0, err
 	}
 	return vec.CountRange(col, lo, hi), nil
 }
 
-// runBoundaries returns (exclusive run end positions, run values) for
-// RLE and RPE forms.
-func runBoundaries(f *core.Form) ([]int64, []int64, error) {
-	values, err := core.DecompressChild(f, "values")
+// fusedNSWidth reports whether an NS form's payload can be scanned by
+// the fused unsigned kernels: no zigzag (the mapping does not preserve
+// value order) and width ≤ 63 (so stored words reinterpret to
+// non-negative values).
+func fusedNSWidth(f *core.Form) (uint, bool) {
+	w := f.Params["width"]
+	if f.Params["zigzag"] != 0 || w < 0 || w > 63 {
+		return 0, false
+	}
+	return uint(w), true
+}
+
+// unsignedBounds clamps a signed query range onto the non-negative
+// unsigned domain of a fused payload. any is false when the range
+// misses the domain entirely.
+func unsignedBounds(lo, hi int64) (ulo, uhi uint64, any bool) {
+	if hi < 0 {
+		return 0, 0, false
+	}
+	if lo > 0 {
+		ulo = uint64(lo)
+	}
+	return ulo, uint64(hi), true
+}
+
+// offsetBounds translates a value range [lo, hi] into the unsigned
+// offset domain of a FOR segment with reference ref (v = ref + off,
+// off ≥ 0). The uint64 subtraction is exact for any int64 pair with
+// hi ≥ ref, which is why the translation never overflows.
+func offsetBounds(ref, lo, hi int64) (ulo, uhi uint64, any bool) {
+	if hi < ref {
+		return 0, 0, false
+	}
+	uhi = uint64(hi) - uint64(ref)
+	if lo > ref {
+		ulo = uint64(lo) - uint64(ref)
+	}
+	return ulo, uhi, true
+}
+
+// scanSelRows scans a materialized column chunk-wise, ORing one match
+// mask per 64 values into dst (emitOffsetMatches with a zero
+// reference).
+func scanSelRows(col []int64, lo, hi int64, dst *sel.Selection, base int) {
+	emitOffsetMatches(col, 0, lo, hi, dst, base)
+}
+
+// vnsWalk iterates the mini-blocks of a VNS form, handing each
+// visit the block's packed words, width, logical position and length.
+// It reports done=false (without error) when the form cannot take the
+// fused path (zigzag, or an implausible width).
+func vnsWalk(f *core.Form, s *core.Scratch, visit func(words []uint64, w uint, pos, count int) error) (done bool, err error) {
+	if f.Params["zigzag"] != 0 {
+		return false, nil
+	}
+	widths, err := core.ChildScratch(f, "widths", s)
+	if err != nil {
+		return false, err
+	}
+	defer s.PutI64(widths)
+	for _, w := range widths {
+		if w < 0 || w > 63 {
+			return false, nil
+		}
+	}
+	block := int(f.Params["block"])
+	wordPos := 0
+	for bIdx := 0; bIdx*block < f.N; bIdx++ {
+		lo := bIdx * block
+		hi := lo + block
+		if hi > f.N {
+			hi = f.N
+		}
+		if bIdx >= len(widths) {
+			return false, fmt.Errorf("%w: vns widths child exhausted at block %d", core.ErrCorruptForm, bIdx)
+		}
+		w := uint(widths[bIdx])
+		need := bitpack.PackedWords(hi-lo, w)
+		if wordPos+need > len(f.Packed) {
+			return false, fmt.Errorf("%w: vns payload exhausted at block %d", core.ErrCorruptForm, bIdx)
+		}
+		if err := visit(f.Packed[wordPos:wordPos+need], w, lo, hi-lo); err != nil {
+			return false, err
+		}
+		wordPos += need
+	}
+	return true, nil
+}
+
+func selectRangeSelVNS(f *core.Form, lo, hi int64, dst *sel.Selection, base int, s *core.Scratch) (bool, error) {
+	ulo, uhi, any := unsignedBounds(lo, hi)
+	if !any {
+		if f.Params["zigzag"] != 0 {
+			return false, nil // negative range can still match zigzag values
+		}
+		// "Fully negative range matches nothing" holds only if every
+		// stored width is ≤ 63 — a width-64 block reinterprets to
+		// negative values. vnsWalk performs exactly that check (and
+		// falls back when it fails), so walk with a no-op visit.
+		return vnsWalk(f, s, func([]uint64, uint, int, int) error { return nil })
+	}
+	return vnsWalk(f, s, func(words []uint64, w uint, pos, count int) error {
+		return bitpack.SelectRangeU(words, 0, count, w, ulo, uhi, func(p int, m uint64) {
+			dst.OrWord(base+pos+p, m)
+		})
+	})
+}
+
+func countRangeVNS(f *core.Form, lo, hi int64, s *core.Scratch) (int64, bool, error) {
+	ulo, uhi, any := unsignedBounds(lo, hi)
+	if !any {
+		if f.Params["zigzag"] != 0 {
+			return 0, false, nil
+		}
+		// See selectRangeSelVNS: width-64 blocks hold negative values,
+		// so the no-match shortcut must clear vnsWalk's width check.
+		done, err := vnsWalk(f, s, func([]uint64, uint, int, int) error { return nil })
+		return 0, done, err
+	}
+	var total int64
+	done, err := vnsWalk(f, s, func(words []uint64, w uint, pos, count int) error {
+		n, err := bitpack.CountRangeU(words, 0, count, w, ulo, uhi)
+		total += n
+		return err
+	})
+	return total, done, err
+}
+
+// runBoundariesScratch returns (exclusive run end positions, run
+// values) for RLE and RPE forms, both borrowed from s; the caller
+// returns them with PutI64.
+func runBoundariesScratch(f *core.Form, s *core.Scratch) ([]int64, []int64, error) {
+	values, err := core.ChildScratch(f, "values", s)
 	if err != nil {
 		return nil, nil, err
 	}
+	var bounds []int64
 	switch f.Scheme {
 	case scheme.RLEName:
-		lengths, err := core.DecompressChild(f, "lengths")
-		if err != nil {
-			return nil, nil, err
+		bounds, err = core.ChildScratch(f, "lengths", s)
+		if err == nil {
+			_, err = vec.PrefixSumInclusiveInto(bounds, bounds)
 		}
-		return vec.PrefixSumInclusive(lengths), values, nil
 	case scheme.RPEName:
-		positions, err := core.DecompressChild(f, "positions")
-		if err != nil {
-			return nil, nil, err
-		}
-		return positions, values, nil
+		bounds, err = core.ChildScratch(f, "positions", s)
+	default:
+		err = fmt.Errorf("query: runBoundaries on scheme %q", f.Scheme)
 	}
-	return nil, nil, fmt.Errorf("query: runBoundaries on scheme %q", f.Scheme)
+	if err == nil {
+		err = checkRunBounds(f, bounds)
+	}
+	if err != nil {
+		s.PutI64(values)
+		return nil, nil, err
+	}
+	return bounds, values, nil
+}
+
+// checkRunBounds validates exclusive run end positions: non-negative,
+// non-decreasing, covering exactly [0, f.N). Without it, a corrupt
+// form whose runs overshoot N would panic inside Selection.AddRun
+// instead of erroring (decode validates the same invariant in
+// vec.ExpandByBoundaries / RunExpandInto).
+func checkRunBounds(f *core.Form, bounds []int64) error {
+	var prev int64
+	for _, end := range bounds {
+		if end < prev {
+			return fmt.Errorf("%w: %s run boundaries decrease (%d after %d)",
+				core.ErrCorruptForm, f.Scheme, end, prev)
+		}
+		prev = end
+	}
+	if prev != int64(f.N) {
+		return fmt.Errorf("%w: %s runs cover %d rows, form declares %d",
+			core.ErrCorruptForm, f.Scheme, prev, f.N)
+	}
+	return nil
 }
 
 // segmentClass is the trichotomy of the FOR pruning walk.
@@ -172,14 +394,19 @@ const (
 )
 
 // forPruner precomputes what the FOR segment walk needs: refs, the
-// per-segment offset upper bounds, and an offsets accessor that can
-// decode a single segment.
+// per-segment offset upper bounds, and accessors that can decode or
+// fused-scan a single segment. All slices are borrowed from a Scratch
+// and the pruner itself is pooled; pair newFORPruner with release.
 type forPruner struct {
 	refs    []int64
 	segLen  int
 	n       int
 	bounds  []int64 // per-segment max offset (inclusive upper bound)
 	offsets *core.Form
+	// nsWidth is the fused-scan width of NS offsets; valid when
+	// nsFused is set.
+	nsWidth uint
+	nsFused bool
 	// decoded caches the fully decompressed offsets when the child
 	// supports no partial decoding.
 	decoded []int64
@@ -187,102 +414,162 @@ type forPruner struct {
 	// each block's starting word within the packed payload.
 	vnsWidths   []int64
 	vnsBlock    int
-	vnsWordOffs []int
+	vnsWordOffs []int64
 }
 
-// SegmentsDecoded counts segments whose offsets were actually
-// decoded; benchmarks report it to show pruning at work.
+// SelectStats counts segments whose offsets were actually decoded (or
+// fused-scanned); benchmarks report it to show pruning at work.
 type SelectStats struct {
 	Segments        int
 	DecodedSegments int
 }
 
-func newFORPruner(f *core.Form) (*forPruner, error) {
-	refs, err := core.DecompressChild(f, "refs")
+var prunerPool = sync.Pool{New: func() any { return new(forPruner) }}
+
+func newFORPruner(f *core.Form, s *core.Scratch) (*forPruner, error) {
+	refs, err := core.ChildScratch(f, "refs", s)
 	if err != nil {
 		return nil, err
 	}
 	offsets, err := f.Child("offsets")
 	if err != nil {
+		s.PutI64(refs)
 		return nil, err
 	}
-	p := &forPruner{
+	p := prunerPool.Get().(*forPruner)
+	*p = forPruner{
 		refs:    refs,
 		segLen:  int(f.Params["seglen"]),
 		n:       f.N,
 		offsets: offsets,
 	}
 	nseg := len(refs)
-	p.bounds = make([]int64, nseg)
+	p.bounds = s.I64(nseg)
 	switch offsets.Scheme {
 	case scheme.NSName:
-		if offsets.Params["zigzag"] == 1 {
-			// FOR offsets are non-negative by construction; a zigzag
-			// flag means a foreign form — fall back to decoding.
-			if err := p.materialize(); err != nil {
-				return nil, err
-			}
-		} else {
-			bound := int64(bitpack.Mask(uint(offsets.Params["width"])))
-			for s := range p.bounds {
-				p.bounds[s] = bound
-			}
-		}
-	case scheme.VNSName:
-		if offsets.Params["zigzag"] == 1 {
-			if err := p.materialize(); err != nil {
+		w, ok := fusedNSWidth(offsets)
+		if !ok {
+			// Zigzag offsets mean a foreign form (FOR offsets are
+			// non-negative by construction) — fall back to decoding.
+			if err := p.materialize(s); err != nil {
+				p.release(s)
 				return nil, err
 			}
 			break
 		}
-		widths, err := core.DecompressChild(offsets, "widths")
+		p.nsWidth, p.nsFused = w, true
+		bound := int64(bitpack.Mask(w))
+		for i := range p.bounds {
+			p.bounds[i] = bound
+		}
+	case scheme.VNSName:
+		if offsets.Params["zigzag"] == 1 {
+			if err := p.materialize(s); err != nil {
+				p.release(s)
+				return nil, err
+			}
+			break
+		}
+		widths, err := core.ChildScratch(offsets, "widths", s)
 		if err != nil {
+			p.release(s)
 			return nil, err
 		}
 		block := int(offsets.Params["block"])
+		nblocks := 0
+		if block >= 1 {
+			nblocks = (p.n + block - 1) / block
+		}
+		// The fused walk requires a sane layout: a positive block
+		// length, widths covering every block, and widths ≤ 63. On
+		// anything else — including a corrupt short widths child —
+		// fall back to materializing, which answers correctly or
+		// surfaces the decode's ErrCorruptForm rather than silently
+		// dropping the uncovered rows.
+		wide := block < 1 || len(widths) < nblocks
+		for _, w := range widths {
+			if w < 0 || w > 63 {
+				wide = true
+				break
+			}
+		}
+		if wide {
+			s.PutI64(widths)
+			if err := p.materialize(s); err != nil {
+				p.release(s)
+				return nil, err
+			}
+			break
+		}
 		p.vnsWidths = widths
 		p.vnsBlock = block
 		// Per-block starting words, for partial decode.
-		p.vnsWordOffs = make([]int, len(widths)+1)
-		for b, w := range widths {
+		p.vnsWordOffs = s.I64(nblocks + 1)
+		p.vnsWordOffs[0] = 0
+		for b := 0; b < nblocks; b++ {
 			blockLen := block
 			if (b+1)*block > p.n {
 				blockLen = p.n - b*block
 			}
-			p.vnsWordOffs[b+1] = p.vnsWordOffs[b] + bitpack.PackedWords(blockLen, uint(w))
+			p.vnsWordOffs[b+1] = p.vnsWordOffs[b] + int64(bitpack.PackedWords(blockLen, uint(widths[b])))
 		}
-		for s := range p.bounds {
-			segLo := s * p.segLen
+		if int(p.vnsWordOffs[nblocks]) > len(offsets.Packed) {
+			// Truncated payload: same fallback as above.
+			s.PutI64(p.vnsWordOffs)
+			s.PutI64(p.vnsWidths)
+			p.vnsWordOffs, p.vnsWidths = nil, nil
+			if err := p.materialize(s); err != nil {
+				p.release(s)
+				return nil, err
+			}
+			break
+		}
+		for seg := range p.bounds {
+			segLo := seg * p.segLen
 			segHi := segLo + p.segLen
 			if segHi > p.n {
 				segHi = p.n
 			}
 			var maxW int64
-			for b := segLo / block; b*block < segHi && b < len(widths); b++ {
+			for b := segLo / block; b*block < segHi; b++ {
 				if widths[b] > maxW {
 					maxW = widths[b]
 				}
 			}
-			p.bounds[s] = int64(bitpack.Mask(uint(maxW)))
+			p.bounds[seg] = int64(bitpack.Mask(uint(maxW)))
 		}
 	default:
-		if err := p.materialize(); err != nil {
+		if err := p.materialize(s); err != nil {
+			p.release(s)
 			return nil, err
 		}
 	}
 	return p, nil
 }
 
-// materialize decompresses the offsets and computes exact per-segment
-// bounds from the data.
-func (p *forPruner) materialize() error {
-	col, err := core.Decompress(p.offsets)
-	if err != nil {
+// release returns the pruner's borrowed slices to s and the pruner to
+// its pool.
+func (p *forPruner) release(s *core.Scratch) {
+	s.PutI64(p.refs)
+	s.PutI64(p.bounds)
+	s.PutI64(p.decoded)
+	s.PutI64(p.vnsWidths)
+	s.PutI64(p.vnsWordOffs)
+	*p = forPruner{}
+	prunerPool.Put(p)
+}
+
+// materialize decompresses the offsets into scratch storage and
+// computes exact per-segment bounds from the data.
+func (p *forPruner) materialize(s *core.Scratch) error {
+	col := s.I64(p.offsets.N)
+	if err := core.DecompressInto(p.offsets, col, s); err != nil {
+		s.PutI64(col)
 		return err
 	}
 	p.decoded = col
-	for s := range p.bounds {
-		lo := s * p.segLen
+	for seg := range p.bounds {
+		lo := seg * p.segLen
 		hi := lo + p.segLen
 		if hi > p.n {
 			hi = p.n
@@ -293,7 +580,7 @@ func (p *forPruner) materialize() error {
 				m = v
 			}
 		}
-		p.bounds[s] = m
+		p.bounds[seg] = m
 	}
 	return nil
 }
@@ -311,38 +598,139 @@ func (p *forPruner) classify(s int, lo, hi int64) segmentClass {
 	return segStraddle
 }
 
-// segmentOffsets decodes the offsets of segment s only.
-func (p *forPruner) segmentOffsets(s int) ([]int64, error) {
+// segRange clamps segment s to [0, n) and returns its row range.
+func (p *forPruner) segRange(s int) (int, int) {
 	segLo := s * p.segLen
 	segHi := segLo + p.segLen
 	if segHi > p.n {
 		segHi = p.n
 	}
+	return segLo, segHi
+}
+
+// selectSegment emits the matching rows of straddling segment seg
+// into dst (offset by base) without materializing the segment when
+// the offsets are fused-scannable.
+func (p *forPruner) selectSegment(seg int, lo, hi int64, dst *sel.Selection, base int) error {
+	segLo, segHi := p.segRange(seg)
+	ref := p.refs[seg]
+	if p.decoded != nil {
+		emitOffsetMatches(p.decoded[segLo:segHi], ref, lo, hi, dst, base+segLo)
+		return nil
+	}
+	ulo, uhi, any := offsetBounds(ref, lo, hi)
+	if !any {
+		return nil
+	}
+	if p.nsFused {
+		return bitpack.SelectRangeU(p.offsets.Packed, segLo, segHi-segLo, p.nsWidth, ulo, uhi,
+			func(pos int, m uint64) { dst.OrWord(base+pos, m) })
+	}
+	return p.vnsSegment(segLo, segHi, func(words []uint64, w uint, blockLo, relStart, relCount int) error {
+		return bitpack.SelectRangeU(words, relStart, relCount, w, ulo, uhi,
+			func(pos int, m uint64) { dst.OrWord(base+blockLo+pos, m) })
+	})
+}
+
+// countSegment counts the matching rows of straddling segment seg.
+func (p *forPruner) countSegment(seg int, lo, hi int64) (int64, error) {
+	segLo, segHi := p.segRange(seg)
+	ref := p.refs[seg]
+	if p.decoded != nil {
+		var count int64
+		for _, o := range p.decoded[segLo:segHi] {
+			v := ref + o
+			if v >= lo && v <= hi {
+				count++
+			}
+		}
+		return count, nil
+	}
+	ulo, uhi, any := offsetBounds(ref, lo, hi)
+	if !any {
+		return 0, nil
+	}
+	if p.nsFused {
+		return bitpack.CountRangeU(p.offsets.Packed, segLo, segHi-segLo, p.nsWidth, ulo, uhi)
+	}
+	var total int64
+	err := p.vnsSegment(segLo, segHi, func(words []uint64, w uint, blockLo, relStart, relCount int) error {
+		n, err := bitpack.CountRangeU(words, relStart, relCount, w, ulo, uhi)
+		total += n
+		return err
+	})
+	return total, err
+}
+
+// vnsSegment visits the VNS mini-blocks overlapping rows
+// [segLo, segHi), handing visit each block's words, width, logical
+// start and the overlap range relative to the block.
+func (p *forPruner) vnsSegment(segLo, segHi int, visit func(words []uint64, w uint, blockLo, relStart, relCount int) error) error {
+	block := p.vnsBlock
+	// newFORPruner validated that widths and word offsets cover every
+	// block, so the loop bound needs no widths-length guard.
+	for b := segLo / block; b*block < segHi; b++ {
+		blockLo := b * block
+		blockHi := blockLo + block
+		if blockHi > p.n {
+			blockHi = p.n
+		}
+		lo := segLo
+		if blockLo > lo {
+			lo = blockLo
+		}
+		hi := segHi
+		if blockHi < hi {
+			hi = blockHi
+		}
+		words := p.offsets.Packed[p.vnsWordOffs[b]:p.vnsWordOffs[b+1]]
+		if err := visit(words, uint(p.vnsWidths[b]), blockLo, lo-blockLo, hi-lo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitOffsetMatches scans materialized offsets against [lo, hi] with
+// reference ref, ORing chunk masks into dst at base.
+func emitOffsetMatches(offs []int64, ref, lo, hi int64, dst *sel.Selection, base int) {
+	for chunk := 0; chunk < len(offs); chunk += 64 {
+		end := chunk + 64
+		if end > len(offs) {
+			end = len(offs)
+		}
+		var m uint64
+		for j, o := range offs[chunk:end] {
+			v := ref + o
+			if v >= lo && v <= hi {
+				m |= 1 << uint(j)
+			}
+		}
+		if m != 0 {
+			dst.OrWord(base+chunk, m)
+		}
+	}
+}
+
+// segmentOffsets decodes the offsets of segment s only (allocating;
+// the instrumented WithStats path uses it).
+func (p *forPruner) segmentOffsets(s int) ([]int64, error) {
+	segLo, segHi := p.segRange(s)
 	if p.decoded != nil {
 		return p.decoded[segLo:segHi], nil
 	}
 	if p.vnsWidths != nil {
 		out := make([]int64, 0, segHi-segLo)
-		for b := segLo / p.vnsBlock; b*p.vnsBlock < segHi; b++ {
-			blockLo := b * p.vnsBlock
-			blockHi := blockLo + p.vnsBlock
-			if blockHi > p.n {
-				blockHi = p.n
-			}
-			lo := segLo
-			if blockLo > lo {
-				lo = blockLo
-			}
-			hi := segHi
-			if blockHi < hi {
-				hi = blockHi
-			}
-			words := p.offsets.Packed[p.vnsWordOffs[b]:p.vnsWordOffs[b+1]]
-			u, err := bitpack.UnpackRange(words, lo-blockLo, hi-lo, uint(p.vnsWidths[b]))
+		err := p.vnsSegment(segLo, segHi, func(words []uint64, w uint, blockLo, relStart, relCount int) error {
+			u, err := bitpack.UnpackRange(words, relStart, relCount, w)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			out = append(out, bitpack.SignedSlice(u)...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
@@ -353,9 +741,25 @@ func (p *forPruner) segmentOffsets(s int) ([]int64, error) {
 	return bitpack.SignedSlice(u), nil
 }
 
-func selectRangeFOR(f *core.Form, lo, hi int64) ([]int64, error) {
-	rows, _, err := selectRangeFORWithStats(f, lo, hi)
-	return rows, err
+func selectRangeSelFOR(f *core.Form, lo, hi int64, dst *sel.Selection, base int, s *core.Scratch) error {
+	p, err := newFORPruner(f, s)
+	if err != nil {
+		return err
+	}
+	defer p.release(s)
+	for seg := 0; seg*p.segLen < p.n; seg++ {
+		switch p.classify(seg, lo, hi) {
+		case segOutside:
+		case segInside:
+			segLo, segHi := p.segRange(seg)
+			dst.AddRun(base+segLo, segHi-segLo)
+		case segStraddle:
+			if err := p.selectSegment(seg, lo, hi, dst, base); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // SelectRangeFORWithStats is the instrumented variant benchmarks use
@@ -364,24 +768,19 @@ func SelectRangeFORWithStats(f *core.Form, lo, hi int64) ([]int64, SelectStats, 
 	if f.Scheme != scheme.FORName {
 		return nil, SelectStats{}, fmt.Errorf("query: SelectRangeFORWithStats on scheme %q", f.Scheme)
 	}
-	return selectRangeFORWithStats(f, lo, hi)
-}
-
-func selectRangeFORWithStats(f *core.Form, lo, hi int64) ([]int64, SelectStats, error) {
-	p, err := newFORPruner(f)
+	s := core.GetScratch()
+	defer s.Release()
+	p, err := newFORPruner(f, s)
 	if err != nil {
 		return nil, SelectStats{}, err
 	}
+	defer p.release(s)
 	var st SelectStats
 	st.Segments = len(p.refs)
 	out := []int64{}
-	for s := 0; s*p.segLen < p.n; s++ {
-		segLo := s * p.segLen
-		segHi := segLo + p.segLen
-		if segHi > p.n {
-			segHi = p.n
-		}
-		switch p.classify(s, lo, hi) {
+	for seg := 0; seg*p.segLen < p.n; seg++ {
+		segLo, segHi := p.segRange(seg)
+		switch p.classify(seg, lo, hi) {
 		case segOutside:
 		case segInside:
 			for r := segLo; r < segHi; r++ {
@@ -389,11 +788,11 @@ func selectRangeFORWithStats(f *core.Form, lo, hi int64) ([]int64, SelectStats, 
 			}
 		case segStraddle:
 			st.DecodedSegments++
-			offs, err := p.segmentOffsets(s)
+			offs, err := p.segmentOffsets(seg)
 			if err != nil {
 				return nil, st, err
 			}
-			ref := p.refs[s]
+			ref := p.refs[seg]
 			for j, o := range offs {
 				v := ref + o
 				if v >= lo && v <= hi {
@@ -405,44 +804,26 @@ func selectRangeFORWithStats(f *core.Form, lo, hi int64) ([]int64, SelectStats, 
 	return out, st, nil
 }
 
-func countRangeFOR(f *core.Form, lo, hi int64) (int64, error) {
-	p, err := newFORPruner(f)
+func countRangeFOR(f *core.Form, lo, hi int64, s *core.Scratch) (int64, error) {
+	p, err := newFORPruner(f, s)
 	if err != nil {
 		return 0, err
 	}
+	defer p.release(s)
 	var count int64
-	for s := 0; s*p.segLen < p.n; s++ {
-		segLo := s * p.segLen
-		segHi := segLo + p.segLen
-		if segHi > p.n {
-			segHi = p.n
-		}
-		switch p.classify(s, lo, hi) {
+	for seg := 0; seg*p.segLen < p.n; seg++ {
+		switch p.classify(seg, lo, hi) {
 		case segOutside:
 		case segInside:
+			segLo, segHi := p.segRange(seg)
 			count += int64(segHi - segLo)
 		case segStraddle:
-			offs, err := p.segmentOffsets(s)
+			n, err := p.countSegment(seg, lo, hi)
 			if err != nil {
 				return 0, err
 			}
-			ref := p.refs[s]
-			for _, o := range offs {
-				v := ref + o
-				if v >= lo && v <= hi {
-					count++
-				}
-			}
+			count += n
 		}
 	}
 	return count, nil
-}
-
-// allRows returns [0..n).
-func allRows(n int) []int64 {
-	out := make([]int64, n)
-	for i := range out {
-		out[i] = int64(i)
-	}
-	return out
 }

@@ -1,0 +1,323 @@
+package scheme
+
+import (
+	"fmt"
+
+	"lwcomp/internal/bitpack"
+	"lwcomp/internal/core"
+	"lwcomp/internal/vec"
+)
+
+// This file implements core.IntoDecompressor for every scheme on the
+// hot decode path. Each DecompressInto mirrors the scheme's
+// Decompress but fills caller storage and borrows temporaries from a
+// core.Scratch, so steady-state block decode performs zero heap
+// allocations (asserted by the allocation-regression tests in the
+// repository root). Cold codecs (varint, elias, poly) keep only the
+// allocating path and go through core.DecompressInto's fallback.
+
+// Compile-time checks that the hot schemes stay on the fast path.
+var (
+	_ core.IntoDecompressor = ID{}
+	_ core.IntoDecompressor = Const{}
+	_ core.IntoDecompressor = NS{}
+	_ core.IntoDecompressor = VNS{}
+	_ core.IntoDecompressor = FOR{}
+	_ core.IntoDecompressor = Step{}
+	_ core.IntoDecompressor = Delta{}
+	_ core.IntoDecompressor = RLE{}
+	_ core.IntoDecompressor = RPE{}
+	_ core.IntoDecompressor = Plus{}
+	_ core.IntoDecompressor = Dict{}
+	_ core.IntoDecompressor = Patch{}
+	_ core.IntoDecompressor = Linear{}
+)
+
+// DecompressInto implements core.IntoDecompressor: a copy.
+func (ID) DecompressInto(f *core.Form, dst []int64, _ *core.Scratch) error {
+	if err := checkID(f); err != nil {
+		return err
+	}
+	copy(dst, f.Leaf)
+	return nil
+}
+
+// DecompressInto implements core.IntoDecompressor: a fill.
+func (Const) DecompressInto(f *core.Form, dst []int64, _ *core.Scratch) error {
+	if err := checkConst(f); err != nil {
+		return err
+	}
+	vec.ConstantInto(dst, f.Params["value"])
+	return nil
+}
+
+// DecompressInto implements core.IntoDecompressor: unpack into a
+// scratch word buffer, then widen into dst.
+func (NS) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
+	if err := checkNS(f); err != nil {
+		return err
+	}
+	u := s.U64(f.N)
+	defer s.PutU64(u)
+	if err := bitpack.UnpackInto(u, f.Packed, uint(f.Params["width"])); err != nil {
+		return fmt.Errorf("ns: %w", err)
+	}
+	if f.Params["zigzag"] == 1 {
+		bitpack.UnzigzagInto(dst, u)
+	} else {
+		bitpack.SignedInto(dst, u)
+	}
+	return nil
+}
+
+// DecompressInto implements core.IntoDecompressor: per-mini-block
+// unpack at the recorded widths.
+func (VNS) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
+	if err := checkVNS(f); err != nil {
+		return err
+	}
+	block := int(f.Params["block"])
+	widths, err := core.ChildScratch(f, "widths", s)
+	if err != nil {
+		return err
+	}
+	defer s.PutI64(widths)
+	u := s.U64(f.N)
+	defer s.PutU64(u)
+	wordPos := 0
+	for bIdx := 0; bIdx*block < f.N; bIdx++ {
+		lo := bIdx * block
+		hi := lo + block
+		if hi > f.N {
+			hi = f.N
+		}
+		if bIdx >= len(widths) {
+			return fmt.Errorf("%w: vns widths child exhausted at block %d", core.ErrCorruptForm, bIdx)
+		}
+		w := widths[bIdx]
+		if w < 0 || w > 64 {
+			return fmt.Errorf("%w: vns block %d declares width %d", core.ErrCorruptForm, bIdx, w)
+		}
+		need := bitpack.PackedWords(hi-lo, uint(w))
+		if wordPos+need > len(f.Packed) {
+			return fmt.Errorf("%w: vns payload exhausted at block %d", core.ErrCorruptForm, bIdx)
+		}
+		if err := bitpack.UnpackInto(u[lo:hi], f.Packed[wordPos:wordPos+need], uint(w)); err != nil {
+			return fmt.Errorf("vns: block %d: %w", bIdx, err)
+		}
+		wordPos += need
+	}
+	if f.Params["zigzag"] == 1 {
+		bitpack.UnzigzagInto(dst, u)
+	} else {
+		bitpack.SignedInto(dst, u)
+	}
+	return nil
+}
+
+// DecompressInto implements core.IntoDecompressor: offsets decode
+// straight into dst, then each segment's reference is added in place.
+func (FOR) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
+	if err := checkFOR(f); err != nil {
+		return err
+	}
+	refs, err := core.ChildScratch(f, "refs", s)
+	if err != nil {
+		return err
+	}
+	defer s.PutI64(refs)
+	if err := core.DecompressChildInto(f, "offsets", dst, s); err != nil {
+		return err
+	}
+	addSegmentRefs(dst, refs, int(f.Params["seglen"]))
+	return nil
+}
+
+// DecompressInto implements core.IntoDecompressor: replicate refs.
+func (Step) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
+	if err := checkStep(f); err != nil {
+		return err
+	}
+	refs, err := core.ChildScratch(f, "refs", s)
+	if err != nil {
+		return err
+	}
+	defer s.PutI64(refs)
+	vec.ConstantInto(dst, 0)
+	addSegmentRefs(dst, refs, int(f.Params["seglen"]))
+	return nil
+}
+
+// addSegmentRefs adds refs[i/segLen] to every element of dst.
+func addSegmentRefs(dst, refs []int64, segLen int) {
+	for seg := 0; seg*segLen < len(dst); seg++ {
+		lo := seg * segLen
+		hi := lo + segLen
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		ref := refs[seg]
+		for i := lo; i < hi; i++ {
+			dst[i] += ref
+		}
+	}
+}
+
+// DecompressInto implements core.IntoDecompressor: decode deltas into
+// dst, then integrate in place.
+func (Delta) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
+	if err := checkDelta(f); err != nil {
+		return err
+	}
+	if err := core.DecompressChildInto(f, "deltas", dst, s); err != nil {
+		return err
+	}
+	_, err := vec.PrefixSumInclusiveInto(dst, dst)
+	return err
+}
+
+// DecompressInto implements core.IntoDecompressor: run expansion into
+// dst.
+func (RLE) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
+	if err := checkRLE(f); err != nil {
+		return err
+	}
+	lengths, err := core.ChildScratch(f, "lengths", s)
+	if err != nil {
+		return err
+	}
+	defer s.PutI64(lengths)
+	values, err := core.ChildScratch(f, "values", s)
+	if err != nil {
+		return err
+	}
+	defer s.PutI64(values)
+	if _, err := vec.RunExpandInto(dst, values, lengths); err != nil {
+		return fmt.Errorf("rle: %w", err)
+	}
+	return nil
+}
+
+// DecompressInto implements core.IntoDecompressor: boundary expansion
+// into dst.
+func (RPE) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
+	if err := checkRPE(f); err != nil {
+		return err
+	}
+	positions, err := core.ChildScratch(f, "positions", s)
+	if err != nil {
+		return err
+	}
+	defer s.PutI64(positions)
+	values, err := core.ChildScratch(f, "values", s)
+	if err != nil {
+		return err
+	}
+	defer s.PutI64(values)
+	if _, err := vec.ExpandByBoundariesInto(dst, values, positions); err != nil {
+		return fmt.Errorf("rpe: %w", err)
+	}
+	return nil
+}
+
+// DecompressInto implements core.IntoDecompressor: model into dst,
+// residual into scratch, summed in place.
+func (Plus) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
+	if err := checkPlus(f); err != nil {
+		return err
+	}
+	if err := core.DecompressChildInto(f, "model", dst, s); err != nil {
+		return err
+	}
+	residual, err := core.ChildScratch(f, "residual", s)
+	if err != nil {
+		return err
+	}
+	defer s.PutI64(residual)
+	for i, r := range residual {
+		dst[i] += r
+	}
+	return nil
+}
+
+// DecompressInto implements core.IntoDecompressor: codes decode into
+// dst, then the gather rewrites dst in place (reading dst[i] before
+// writing it is safe element-wise).
+func (Dict) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
+	if err := checkDict(f); err != nil {
+		return err
+	}
+	if err := core.DecompressChildInto(f, "codes", dst, s); err != nil {
+		return err
+	}
+	dict, err := core.ChildScratch(f, "dict", s)
+	if err != nil {
+		return err
+	}
+	defer s.PutI64(dict)
+	n := int64(len(dict))
+	for i, c := range dst {
+		if c < 0 || c >= n {
+			return fmt.Errorf("%w: dict code %d out of range at position %d", core.ErrCorruptForm, c, i)
+		}
+		dst[i] = dict[c]
+	}
+	return nil
+}
+
+// DecompressInto implements core.IntoDecompressor: base into dst,
+// exceptions scattered over it.
+func (Patch) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
+	if err := checkPatch(f); err != nil {
+		return err
+	}
+	if err := core.DecompressChildInto(f, "base", dst, s); err != nil {
+		return err
+	}
+	positions, err := core.ChildScratch(f, "positions", s)
+	if err != nil {
+		return err
+	}
+	defer s.PutI64(positions)
+	values, err := core.ChildScratch(f, "values", s)
+	if err != nil {
+		return err
+	}
+	defer s.PutI64(values)
+	if _, err := vec.ScatterInto(dst, values, positions); err != nil {
+		return fmt.Errorf("patch: %w", err)
+	}
+	return nil
+}
+
+// DecompressInto implements core.IntoDecompressor: per-segment line
+// evaluation into dst.
+func (Linear) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
+	if err := checkLinear(f); err != nil {
+		return err
+	}
+	segLen := int(f.Params["seglen"])
+	frac := uint(f.Params["frac"])
+	bases, err := core.ChildScratch(f, "bases", s)
+	if err != nil {
+		return err
+	}
+	defer s.PutI64(bases)
+	slopes, err := core.ChildScratch(f, "slopes", s)
+	if err != nil {
+		return err
+	}
+	defer s.PutI64(slopes)
+	for seg := 0; seg*segLen < f.N; seg++ {
+		lo := seg * segLen
+		hi := lo + segLen
+		if hi > f.N {
+			hi = f.N
+		}
+		base, slope := bases[seg], slopes[seg]
+		for i := lo; i < hi; i++ {
+			dst[i] = LinearPredict(base, slope, i-lo, frac)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package scheme
+
+import (
+	"testing"
+
+	"lwcomp/internal/core"
+	"lwcomp/internal/vec"
+	"lwcomp/internal/workload"
+)
+
+// TestDecompressIntoMatchesDecompress round-trips every hot scheme
+// (and representative composites) through both decode paths and
+// requires identical output, with a reused scratch across calls to
+// exercise buffer reuse.
+func TestDecompressIntoMatchesDecompress(t *testing.T) {
+	const n = 10000
+	inputs := map[string][]int64{
+		"dates":   workload.OrderShipDates(n, 64, 730120, 1),
+		"walk":    workload.RandomWalk(n, 10, 1<<30, 2),
+		"neg":     workload.RandomWalk(n, 10, -(1 << 20), 3),
+		"lowcard": workload.LowCardinality(n, 32, 5),
+		"runs":    workload.Runs(n, 64, 1<<16, 7),
+		"sorted":  workload.Sorted(n, 1<<40, 8),
+		"trend":   workload.TrendNoise(n, 8, 12, 4),
+	}
+	schemes := []core.Scheme{
+		NS{}, VNS{}, FOR{}, Delta{}, RLE{}, RPEComposite(),
+		DeltaNS(), RLEComposite(), RLEDeltaComposite(), FORComposite(1024),
+		FORVNSComposite(1024, 128), DictComposite(), LinearNS(1024),
+		PFOR{SegLen: 1024},
+	}
+	s := core.GetScratch()
+	defer s.Release()
+	for name, data := range inputs {
+		for _, sc := range schemes {
+			form, err := sc.Compress(data)
+			if err != nil {
+				continue // not representable for this input; fine
+			}
+			want, err := core.Decompress(form)
+			if err != nil {
+				t.Fatalf("%s/%s: Decompress: %v", name, sc.Name(), err)
+			}
+			dst := make([]int64, form.N)
+			if err := core.DecompressInto(form, dst, s); err != nil {
+				t.Fatalf("%s/%s: DecompressInto: %v", name, sc.Name(), err)
+			}
+			if !vec.Equal(dst, want) {
+				t.Fatalf("%s/%s: DecompressInto diverges from Decompress", name, sc.Name())
+			}
+			// nil scratch must work too.
+			dst2 := make([]int64, form.N)
+			if err := core.DecompressInto(form, dst2, nil); err != nil {
+				t.Fatalf("%s/%s: DecompressInto(nil scratch): %v", name, sc.Name(), err)
+			}
+			if !vec.Equal(dst2, want) {
+				t.Fatalf("%s/%s: nil-scratch decode diverges", name, sc.Name())
+			}
+		}
+	}
+}
+
+// TestDecompressIntoLengthMismatch: a destination of the wrong length
+// is rejected before any scheme code runs.
+func TestDecompressIntoLengthMismatch(t *testing.T) {
+	form, err := NS{}.Compress([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.DecompressInto(form, make([]int64, 2), nil); err == nil {
+		t.Fatal("short dst must error")
+	}
+}

@@ -1,0 +1,221 @@
+// Package sel implements bitmap-backed selection vectors.
+//
+// A Selection is the result of a predicate over a column: one bit per
+// row position. The representation is chosen for the compressed-scan
+// path (see DESIGN.md, "Selection vectors and scratch pooling"):
+//
+//   - whole runs of matching rows — RLE runs, fully-inside FOR
+//     segments, blocks whose [min, max] sits inside the query range —
+//     are emitted with word fills in O(rows/64), not one append per
+//     row;
+//   - the fused unpack-and-compare kernels of package bitpack produce
+//     one 64-bit match mask per packed block, which lands in the
+//     bitmap with a single OrWord call;
+//   - per-block selections computed by parallel workers merge into the
+//     column-level selection with word-granular ORs, independent of
+//     how many rows matched.
+//
+// Selections are pooled (Get/Release) so steady-state scans allocate
+// nothing. Conversion to an explicit row-position column ([]int64)
+// happens once, at the public API boundary.
+package sel
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Selection is a set of row positions drawn from the domain [0, n).
+// The zero value is an empty selection over an empty domain; use New
+// or Get for a sized one.
+type Selection struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty selection over the domain [0, n).
+func New(n int) *Selection {
+	s := &Selection{}
+	s.Reset(n)
+	return s
+}
+
+var pool = sync.Pool{New: func() any { return &Selection{} }}
+
+// Get returns an empty pooled selection over the domain [0, n).
+// Release it when done to keep steady-state scans allocation-free.
+func Get(n int) *Selection {
+	s := pool.Get().(*Selection)
+	s.Reset(n)
+	return s
+}
+
+// Release clears s and returns it to the pool. The caller must not
+// use s afterwards.
+func (s *Selection) Release() {
+	pool.Put(s)
+}
+
+// Reset clears the selection and resizes its domain to [0, n).
+// Capacity is retained, so pooled selections reach a steady state
+// with no allocation.
+func (s *Selection) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.n = n
+	nw := (n + 63) / 64
+	if cap(s.words) < nw {
+		s.words = make([]uint64, nw)
+		return
+	}
+	s.words = s.words[:nw]
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Len returns the domain size n.
+func (s *Selection) Len() int { return s.n }
+
+// Add selects row i.
+func (s *Selection) Add(i int) {
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Contains reports whether row i is selected.
+func (s *Selection) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// AddRun selects the contiguous rows [start, start+count). Interior
+// words are filled whole, so the cost is O(count/64), not O(count) —
+// this is the operation run-structured emitters (RLE runs, inside FOR
+// segments, whole blocks) use.
+func (s *Selection) AddRun(start, count int) {
+	if count <= 0 {
+		return
+	}
+	end := start + count
+	firstWord := start >> 6
+	lastWord := (end - 1) >> 6
+	startBit := uint(start) & 63
+	endBits := uint(end-1)&63 + 1 // bits used in the last word
+	if firstWord == lastWord {
+		s.words[firstWord] |= (allOnes >> (64 - endBits + startBit)) << startBit
+		return
+	}
+	s.words[firstWord] |= allOnes << startBit
+	for w := firstWord + 1; w < lastWord; w++ {
+		s.words[w] = allOnes
+	}
+	s.words[lastWord] |= allOnes >> (64 - endBits)
+}
+
+const allOnes = ^uint64(0)
+
+// OrWord ORs mask into the selection at bit offset pos: mask bit j
+// selects row pos+j. pos need not be word-aligned; bits beyond the
+// domain must be zero in mask. This is how the fused
+// unpack-and-compare kernels emit one packed block's matches.
+func (s *Selection) OrWord(pos int, mask uint64) {
+	if mask == 0 {
+		return
+	}
+	word := pos >> 6
+	off := uint(pos) & 63
+	s.words[word] |= mask << off
+	if off != 0 && word+1 < len(s.words) {
+		s.words[word+1] |= mask >> (64 - off)
+	}
+}
+
+// OrAt ORs the whole of o into s with its rows shifted by offset:
+// row i of o selects row offset+i of s. It is the block-merge
+// operation of the parallel scan: cost O(len(o)/64) regardless of how
+// many rows are selected.
+func (s *Selection) OrAt(o *Selection, offset int) {
+	for w, m := range o.words {
+		s.OrWord(offset+w*64, m)
+	}
+}
+
+// Union ORs o into s. The domains must match.
+func (s *Selection) Union(o *Selection) error {
+	if o.n != s.n {
+		return fmt.Errorf("sel: Union domains differ: %d vs %d", s.n, o.n)
+	}
+	for w, m := range o.words {
+		s.words[w] |= m
+	}
+	return nil
+}
+
+// Count returns the number of selected rows (the rank of the full
+// domain), one popcount per word.
+func (s *Selection) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Rank returns the number of selected rows strictly below position i.
+func (s *Selection) Rank(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > s.n {
+		i = s.n
+	}
+	word := i >> 6
+	c := 0
+	for _, w := range s.words[:word] {
+		c += bits.OnesCount64(w)
+	}
+	if off := uint(i) & 63; off != 0 {
+		c += bits.OnesCount64(s.words[word] & (allOnes >> (64 - off)))
+	}
+	return c
+}
+
+// Iterate visits the selected rows in ascending order, stopping early
+// if visit returns false.
+func (s *Selection) Iterate(visit func(i int) bool) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !visit(base + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// AppendRows appends the selected rows, each offset by base, to dst
+// in ascending order and returns the extended slice. It is the
+// conversion to the public []int64 row-position representation.
+func (s *Selection) AppendRows(dst []int64, base int64) []int64 {
+	for wi, w := range s.words {
+		rowBase := base + int64(wi<<6)
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, rowBase+int64(b))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Rows returns the selected rows as a fresh ascending row-position
+// column (empty, non-nil for an empty selection).
+func (s *Selection) Rows() []int64 {
+	return s.AppendRows(make([]int64, 0, s.Count()), 0)
+}

@@ -1,0 +1,170 @@
+package sel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// reference mirrors a Selection with a plain bool slice.
+type reference []bool
+
+func (r reference) rows() []int64 {
+	out := []int64{}
+	for i, b := range r {
+		if b {
+			out = append(out, int64(i))
+		}
+	}
+	return out
+}
+
+func equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAddRunRandom cross-checks AddRun/Add/OrWord against a bool-slice
+// model over random operations and domain sizes that exercise word
+// boundaries.
+func TestAddRunRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		s := New(n)
+		ref := make(reference, n)
+		for op := 0; op < 200 && n > 0; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				i := rng.Intn(n)
+				s.Add(i)
+				ref[i] = true
+			case 1:
+				start := rng.Intn(n)
+				count := rng.Intn(n - start + 1)
+				s.AddRun(start, count)
+				for i := start; i < start+count; i++ {
+					ref[i] = true
+				}
+			case 2:
+				pos := rng.Intn(n)
+				width := n - pos
+				if width > 64 {
+					width = 64
+				}
+				var mask uint64
+				for b := 0; b < width; b++ {
+					if rng.Intn(4) == 0 {
+						mask |= 1 << b
+						ref[pos+b] = true
+					}
+				}
+				s.OrWord(pos, mask)
+			}
+		}
+		if got, want := s.Rows(), ref.rows(); !equal(got, want) {
+			t.Fatalf("n=%d: rows mismatch: got %d rows, want %d", n, len(got), len(want))
+		}
+		if got, want := s.Count(), len(ref.rows()); got != want {
+			t.Fatalf("n=%d: Count = %d, want %d", n, got, want)
+		}
+		if n == 0 {
+			continue
+		}
+		for _, i := range []int{0, n / 2, n - 1} {
+			if s.Contains(i) != ref[i] {
+				t.Fatalf("n=%d: Contains(%d) = %v", n, i, s.Contains(i))
+			}
+			wantRank := 0
+			for _, b := range ref[:i] {
+				if b {
+					wantRank++
+				}
+			}
+			if got := s.Rank(i); got != wantRank {
+				t.Fatalf("n=%d: Rank(%d) = %d, want %d", n, i, got, wantRank)
+			}
+		}
+	}
+}
+
+// TestOrAt checks the parallel-merge operation: per-block selections
+// shifted into a column-level one, including non-word-aligned offsets.
+func TestOrAt(t *testing.T) {
+	for _, offset := range []int{0, 1, 63, 64, 100} {
+		local := New(130)
+		local.AddRun(0, 3)
+		local.Add(129)
+		dst := New(offset + 130)
+		dst.OrAt(local, offset)
+		want := []int64{int64(offset), int64(offset + 1), int64(offset + 2), int64(offset + 129)}
+		if got := dst.Rows(); !equal(got, want) {
+			t.Fatalf("offset %d: got %v, want %v", offset, got, want)
+		}
+	}
+}
+
+// TestUnionAndIterate covers Union, early-exit Iterate and AppendRows
+// with a base offset.
+func TestUnionAndIterate(t *testing.T) {
+	a := New(200)
+	a.AddRun(10, 5)
+	b := New(200)
+	b.AddRun(100, 70)
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 75 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	if err := a.Union(New(100)); err == nil {
+		t.Fatal("Union with mismatched domain must error")
+	}
+	var visited []int
+	a.Iterate(func(i int) bool {
+		visited = append(visited, i)
+		return len(visited) < 6
+	})
+	if len(visited) != 6 || visited[5] != 100 {
+		t.Fatalf("Iterate early exit: %v", visited)
+	}
+	rows := a.AppendRows(nil, 1000)
+	if rows[0] != 1010 || rows[len(rows)-1] != 1169 {
+		t.Fatalf("AppendRows base offset: first %d last %d", rows[0], rows[len(rows)-1])
+	}
+}
+
+// TestPoolReuse: a released selection comes back empty at the new
+// domain size with no stale bits.
+func TestPoolReuse(t *testing.T) {
+	s := Get(128)
+	s.AddRun(0, 128)
+	s.Release()
+	for i := 0; i < 10; i++ {
+		s2 := Get(64)
+		if s2.Count() != 0 {
+			t.Fatal("pooled selection not cleared")
+		}
+		s2.AddRun(0, 64)
+		s2.Release()
+	}
+}
+
+// TestEmptyAndBounds covers degenerate shapes.
+func TestEmptyAndBounds(t *testing.T) {
+	s := New(0)
+	if s.Count() != 0 || len(s.Rows()) != 0 {
+		t.Fatal("empty selection not empty")
+	}
+	s.AddRun(0, 0) // no-op, must not panic
+	s2 := New(64)
+	s2.AddRun(0, 64)
+	if s2.Count() != 64 || s2.Rank(64) != 64 {
+		t.Fatalf("full word: count %d rank %d", s2.Count(), s2.Rank(64))
+	}
+}

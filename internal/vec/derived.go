@@ -94,6 +94,34 @@ func ExpandByBoundaries(values, bounds []int64) ([]int64, error) {
 	return out, nil
 }
 
+// ExpandByBoundariesInto is the into-destination form of
+// ExpandByBoundaries; dst must have length equal to the final
+// boundary (or 0 for no runs).
+func ExpandByBoundariesInto(dst, values, bounds []int64) ([]int64, error) {
+	if len(values) != len(bounds) {
+		return nil, fmt.Errorf("%w: values %d, bounds %d", ErrLengthMismatch, len(values), len(bounds))
+	}
+	total := int64(0)
+	if len(bounds) > 0 {
+		total = bounds[len(bounds)-1]
+	}
+	if total != int64(len(dst)) {
+		return nil, fmt.Errorf("%w: boundaries total %d, destination length %d", ErrLengthMismatch, total, len(dst))
+	}
+	var start int64
+	for i, end := range bounds {
+		if end < start {
+			return nil, fmt.Errorf("vec: ExpandByBoundariesInto: decreasing boundary %d after %d at run %d", end, start, i)
+		}
+		v := values[i]
+		for j := start; j < end; j++ {
+			dst[j] = v
+		}
+		start = end
+	}
+	return dst, nil
+}
+
 // ReplicateSegments returns out[i] = refs[i/segLen] for i in [0, n).
 // It is the Gather(refs, id ÷ ℓ) idiom of Algorithm 2 — the evaluation
 // of a fixed-segment-length step function — fused into one pass.

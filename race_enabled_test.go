@@ -1,0 +1,8 @@
+//go:build race
+
+package lwcomp_test
+
+// raceEnabled reports whether the race detector is active. Under the
+// detector sync.Pool deliberately bypasses reuse to expose races, so
+// allocation-count assertions are skipped.
+const raceEnabled = true
