@@ -10,6 +10,8 @@
 package lwcomp_test
 
 import (
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -747,4 +749,80 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkLazyOpen measures the file-backed path of PR 3: cold open
+// + point lookup (header, index and one block read per iteration),
+// the warm cached lookup, and the eager whole-file baseline it
+// replaces. See EXP-P for the recorded full-scale numbers.
+func BenchmarkLazyOpen(b *testing.B) {
+	src := workload.OrderShipDates(1<<20, 64, 730120, 42)
+	col, err := lwcomp.Encode(src, lwcomp.WithBlockSize(1<<16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.lwc")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := lwcomp.WriteColumns(f, []lwcomp.NamedColumn{{Name: "c", Col: col}}); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	row := int64(len(src) - 3)
+	want := src[row]
+
+	b.Run("cold-open-point", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, err := lwcomp.OpenFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, err := c.PointLookup(row)
+			if err != nil || v != want {
+				b.Fatalf("lookup = %d, %v", v, err)
+			}
+			c.Close()
+		}
+	})
+	b.Run("warm-point", func(b *testing.B) {
+		c, err := lwcomp.OpenFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.PointLookup(row); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := c.PointLookup(row)
+			if err != nil || v != want {
+				b.Fatalf("lookup = %d, %v", v, err)
+			}
+		}
+	})
+	b.Run("eager-read-point", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rf, err := os.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cols, err := lwcomp.ReadColumns(rf)
+			rf.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, err := cols[0].Col.PointLookup(row)
+			if err != nil || v != want {
+				b.Fatalf("lookup = %d, %v", v, err)
+			}
+		}
+	})
 }

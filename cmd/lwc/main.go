@@ -13,13 +13,18 @@
 //	lwc compress -i dates.raw -o dates.lwc -scheme auto
 //	lwc compress -i dates.raw -o dates.lwc --block-size 65536 --parallel 8
 //	lwc compress -i dates.raw -o dates.lwc -scheme 'rle(lengths=ns, values=delta(deltas=vns[32]))'
+//	lwc stat -i dates.lwc
 //	lwc inspect -i dates.lwc
 //	lwc decompress -i dates.lwc -o back.raw
 //	lwc query -i dates.lwc -sum
-//	lwc query -i dates.lwc -range 730200:730400
+//	lwc query -i dates.lwc -range 730200:730400 --mmap
 //
-// compress writes blocked (v2) containers; every command also reads
-// v1 containers written by older builds.
+// compress writes lazily openable (v3) containers; every command also
+// reads v2/v1 containers written by older builds. stat, query and
+// decompress open containers lazily — header and block index only,
+// block payloads on demand (--mmap maps the file instead of reading
+// it) — so stat never decodes a payload and query reads only the
+// blocks the query touches.
 package main
 
 import (
@@ -49,6 +54,8 @@ func main() {
 		err = cmdCompress(os.Args[2:])
 	case "decompress":
 		err = cmdDecompress(os.Args[2:])
+	case "stat":
+		err = cmdStat(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
 	case "query":
@@ -74,6 +81,7 @@ commands:
   stats       analyze a raw column
   compress    compress a raw column into a container
   decompress  decompress a container back to a raw column
+  stat        print a container's block index without decoding payloads
   inspect     show the scheme tree and sizes of a container
   query       run sum/range queries directly on a container
 
@@ -240,13 +248,15 @@ func cmdDecompress(args []string) error {
 	in := fs.String("i", "", "input container")
 	out := fs.String("o", "column.raw", "output raw column")
 	col := fs.String("col", "", "column name (default: first)")
+	mmap := fs.Bool("mmap", false, "memory-map the container instead of reading it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	column, name, err := loadColumn(*in, *col)
+	column, name, closeCol, err := loadColumn(*in, *col, *mmap)
 	if err != nil {
 		return err
 	}
+	defer closeCol()
 	data, err := column.Decompress()
 	if err != nil {
 		return err
@@ -327,14 +337,20 @@ func cmdQuery(args []string) error {
 	doApprox := fs.Bool("approx-sum", false, "bound SUM from the model only")
 	rangeExpr := fs.String("range", "", "count rows in lo:hi")
 	point := fs.Int64("point", -1, "look up one row")
+	mmap := fs.Bool("mmap", false, "memory-map the container instead of reading it")
+	describe := fs.Bool("describe", false, "print per-block schemes (decodes every block)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	column, name, err := loadColumn(*in, *col)
+	column, name, closeCol, err := loadColumn(*in, *col, *mmap)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("column %q (%d block(s))\n%s\n", name, column.NumBlocks(), column.Describe())
+	defer closeCol()
+	fmt.Printf("column %q (%d block(s))\n", name, column.NumBlocks())
+	if *describe {
+		fmt.Println(column.Describe())
+	}
 	if *doSum {
 		s, err := column.Sum()
 		if err != nil {
@@ -379,28 +395,74 @@ func cmdQuery(args []string) error {
 	return nil
 }
 
-// loadColumn reads one column from a container of either generation
-// (v1 single forms come back as single-block columns).
-func loadColumn(path, name string) (*lwcomp.Column, string, error) {
-	f, err := os.Open(path)
+// loadColumn lazily opens one column from a container of any
+// generation (v3 serves blocks on demand; v2/v1 fall back to an eager
+// read). The returned func releases the container.
+func loadColumn(path, name string, mmap bool) (*lwcomp.Column, string, func() error, error) {
+	opts := []lwcomp.Option{lwcomp.WithMmap(mmap)}
+	cf, err := lwcomp.OpenContainer(path, opts...)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
-	defer f.Close()
-	cols, err := lwcomp.ReadColumns(f)
-	if err != nil {
-		return nil, "", err
-	}
+	cols := cf.Columns()
 	if len(cols) == 0 {
-		return nil, "", errors.New("container has no columns")
+		cf.Close()
+		return nil, "", nil, errors.New("container has no columns")
 	}
 	if name == "" {
-		return cols[0].Col, cols[0].Name, nil
+		return cols[0].Col, cols[0].Name, cf.Close, nil
 	}
 	for _, c := range cols {
 		if c.Name == name {
-			return c.Col, c.Name, nil
+			return c.Col, c.Name, cf.Close, nil
 		}
 	}
-	return nil, "", fmt.Errorf("column %q not found", name)
+	cf.Close()
+	return nil, "", nil, fmt.Errorf("column %q not found", name)
+}
+
+// cmdStat prints a container's block index — column layout, per-block
+// row spans, [min, max] stats and payload extents — without decoding
+// a single block payload. On a lazily opened (v3) container this
+// reads only the file header and index.
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	in := fs.String("i", "", "input container")
+	mmap := fs.Bool("mmap", false, "memory-map the container instead of reading it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cf, err := lwcomp.OpenContainer(*in, lwcomp.WithMmap(*mmap))
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	mode := "eager (v1/v2 compatibility)"
+	if cf.Lazy() {
+		mode = "lazy (v3)"
+		if cf.Mapped() {
+			mode = "lazy (v3, mmap)"
+		}
+	}
+	fmt.Printf("%s: %d column(s), %s\n", *in, len(cf.Columns()), mode)
+	for ci, c := range cf.Columns() {
+		fmt.Printf("column %q: n=%d, block-size=%d, %d block(s)\n",
+			c.Name, c.Col.N, c.Col.BlockSize, c.Col.NumBlocks())
+		extents := cf.Extents(ci)
+		for bi := range c.Col.Blocks {
+			b := &c.Col.Blocks[bi]
+			stats := ""
+			if b.HasStats {
+				stats = fmt.Sprintf(" [%d, %d]", b.Min, b.Max)
+			}
+			extent := ""
+			if extents != nil {
+				e := extents[bi]
+				extent = fmt.Sprintf(" payload %d bytes @ %d (crc %08x)", e.Bytes, e.Offset, e.CRC)
+			}
+			fmt.Printf("  block %d: rows %d..%d%s%s\n",
+				bi, b.Start, b.Start+int64(b.Count)-1, stats, extent)
+		}
+	}
+	return nil
 }

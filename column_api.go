@@ -57,7 +57,7 @@ type NamedColumn = storage.BlockedColumn
 // the column end up under different composite schemes (the paper's
 // re-composition argument applied per data region).
 func Encode(src []int64, opts ...Option) (*Column, error) {
-	return blocked.Encode(src, buildOptions(opts))
+	return blocked.Encode(src, buildOptions(opts).enc)
 }
 
 // NewColumnBuilder returns a streaming ingest handle:
@@ -73,7 +73,7 @@ func Encode(src []int64, opts ...Option) (*Column, error) {
 // DefaultBlockSize (a streaming builder cannot defer to "the whole
 // column").
 func NewColumnBuilder(opts ...Option) *ColumnBuilder {
-	return blocked.NewBuilder(buildOptions(opts))
+	return blocked.NewBuilder(buildOptions(opts).enc)
 }
 
 // ColumnFromForm adopts a v1-style compressed Form as a single-block
@@ -84,15 +84,22 @@ func ColumnFromForm(f *Form) (*Column, error) {
 	return blocked.FromForm(f, true)
 }
 
-// WriteColumns writes named columns as a checksummed v2 container
-// carrying the block index and per-block stats.
+// WriteColumns writes named columns as a v3 container: a
+// self-contained block index up front (per-block [min, max] stats,
+// payload extents, and CRC-32C checksums) followed by the block
+// payloads, so OpenFile can later serve queries without reading the
+// payloads it does not touch. Columns may themselves be lazily
+// opened handles — their blocks are fetched through their source as
+// they are written.
 func WriteColumns(w io.Writer, cols []NamedColumn) error {
-	return storage.WriteContainerV2(w, cols)
+	return storage.WriteContainerV3(w, cols)
 }
 
-// ReadColumns reads a container written by WriteColumns — or a v1
-// container written by WriteContainer, whose single forms come back
-// as single-block Columns.
+// ReadColumns eagerly reads a container of any generation — v3 or v2
+// written by WriteColumns past or present, or a v1 container written
+// by WriteContainer, whose single forms come back as single-block
+// Columns. Prefer OpenFile/OpenContainer to query a v3 container
+// without materializing it.
 func ReadColumns(r io.Reader) ([]NamedColumn, error) {
 	return storage.ReadAnyContainer(r)
 }

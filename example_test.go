@@ -1,0 +1,105 @@
+package lwcomp_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"lwcomp"
+)
+
+// ExampleEncode compresses a column under per-block scheme selection
+// and queries it without decompressing.
+func ExampleEncode() {
+	src := make([]int64, 100000)
+	for i := range src {
+		src[i] = int64(i / 100) // long runs: the analyzer will pick an RLE composite
+	}
+	col, err := lwcomp.Encode(src, lwcomp.WithBlockSize(1<<14))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, _ := col.Sum()
+	fmt.Println(col.N, col.NumBlocks(), sum)
+	// Output: 100000 7 49950000
+}
+
+// ExampleOpenFile writes a container, reopens it lazily, and queries
+// it: only the header, the block index, and the touched blocks are
+// read from disk.
+func ExampleOpenFile() {
+	src := make([]int64, 1<<16)
+	for i := range src {
+		src[i] = int64(i)
+	}
+	col, err := lwcomp.Encode(src, lwcomp.WithBlockSize(4096))
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.CreateTemp("", "lwcomp-example-*.lwc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(f.Name())
+	if err := lwcomp.WriteColumns(f, []lwcomp.NamedColumn{{Name: "rows", Col: col}}); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	opened, err := lwcomp.OpenFile(f.Name(), lwcomp.WithBlockCache(8<<20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer opened.Close()
+	v, err := opened.PointLookup(31000) // reads exactly one block
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := opened.CountRange(100, 199) // [min,max] stats skip 15 of 16 blocks
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v, n)
+	// Output: 31000 100
+}
+
+// ExampleColumn_SelectRange evaluates a range predicate on the
+// compressed column; blocks whose [min, max] stats miss the range are
+// never decoded.
+func ExampleColumn_SelectRange() {
+	src := []int64{5, 12, 7, 30, 12, 3, 25, 12}
+	col, err := lwcomp.Encode(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := col.SelectRange(10, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rows)
+	// Output: [1 4 7]
+}
+
+// ExampleColumnBuilder streams values in batches; full blocks
+// compress in the background while ingest continues.
+func ExampleColumnBuilder() {
+	b := lwcomp.NewColumnBuilder(lwcomp.WithBlockSize(1<<12), lwcomp.WithParallelism(2))
+	for batch := 0; batch < 16; batch++ {
+		vals := make([]int64, 1000)
+		for i := range vals {
+			vals[i] = int64(batch)
+		}
+		if err := b.Append(vals); err != nil {
+			log.Fatal(err)
+		}
+	}
+	col, err := b.Flush()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, _ := col.Sum()
+	fmt.Println(col.N, sum)
+	// Output: 16000 120000
+}

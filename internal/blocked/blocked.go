@@ -1,20 +1,8 @@
-// Package blocked implements the block-partitioned column handle
-// behind the public lwcomp.Column API.
-//
-// The paper argues that compression schemes decompose into
-// constituents so the right composite can be re-composed per data
-// region. This package applies that thesis at storage granularity:
-// the input column is partitioned into fixed-size blocks, the
-// composite-scheme analyzer runs independently on every block
-// (concurrently, bounded by a worker count), and each block records
-// the [min, max] of its raw values. Queries then aggregate across
-// blocks and use the stats to skip blocks entirely — a SelectRange
-// that misses a block's [min, max] never decodes it, and a
-// PointLookup binary-searches the block index.
 package blocked
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"strings"
@@ -53,6 +41,23 @@ type Block struct {
 	HasStats bool
 }
 
+// BlockSource supplies block forms on demand for columns whose
+// payloads live outside memory (file-backed containers). A column
+// with a Source may leave Block.Form nil; query paths then fetch the
+// form through the source at first touch and drop it afterwards, so
+// cold blocks never stay resident.
+//
+// Implementations must be safe for concurrent use: the parallel scan
+// paths fetch straddling blocks from multiple goroutines. An
+// implementation that also satisfies io.Closer is closed by
+// Column.Close.
+type BlockSource interface {
+	// BlockForm returns the decoded form of block i. The returned
+	// form must not be mutated by the caller; the source may hand the
+	// same form to concurrent callers.
+	BlockForm(i int) (*core.Form, error)
+}
+
 // Column is a compressed column partitioned into blocks.
 type Column struct {
 	// N is the total logical length.
@@ -60,11 +65,60 @@ type Column struct {
 	// BlockSize is the partition size used at encode time; 0 means
 	// the column is a single unpartitioned block.
 	BlockSize int
-	// Blocks holds the per-block forms in row order.
+	// Blocks holds the per-block index in row order. For in-memory
+	// columns every Block carries its Form; for lazily opened columns
+	// the forms are nil and fetched through Source.
 	Blocks []Block
 	// Parallelism is the worker bound used for encode, kept so
 	// Decompress can mirror it. 0 means GOMAXPROCS.
 	Parallelism int
+	// Source, when non-nil, supplies forms for blocks whose Form is
+	// nil (the lazy, file-backed path). In-memory columns leave it
+	// nil.
+	Source BlockSource
+}
+
+// form returns block i's form: the resident one when present,
+// otherwise fetched from the column's Source. The resident branch is
+// the hot path and stays allocation-free.
+func (c *Column) form(i int) (*core.Form, error) {
+	b := &c.Blocks[i]
+	if b.Form != nil {
+		return b.Form, nil
+	}
+	if c.Source == nil {
+		return nil, fmt.Errorf("%w: block %d has no form and the column has no source",
+			core.ErrCorruptForm, i)
+	}
+	f, err := c.Source.BlockForm(i)
+	if err != nil {
+		return nil, err
+	}
+	if f == nil || f.N != b.Count {
+		return nil, fmt.Errorf("%w: block %d fetched form does not match index count %d",
+			core.ErrCorruptForm, i, b.Count)
+	}
+	return f, nil
+}
+
+// BlockForm returns the decoded form of block i — the resident form
+// for in-memory columns, a fetch through the source for lazily
+// opened ones. Callers must not mutate the result.
+func (c *Column) BlockForm(i int) (*core.Form, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("blocked: block %d out of range [0, %d)", i, len(c.Blocks))
+	}
+	return c.form(i)
+}
+
+// Close releases the column's backing source (an open container
+// file, for example). It is a no-op for in-memory columns, so callers
+// can defer it unconditionally.
+func (c *Column) Close() error {
+	if closer, ok := c.Source.(io.Closer); ok {
+		return closer.Close()
+	}
+	return nil
 }
 
 // EncodeOptions controls Encode and Builder.
@@ -260,11 +314,15 @@ func (c *Column) DecompressInto(dst []int64) error {
 
 func (c *Column) decompressBlockInto(out []int64, i int, s *core.Scratch) error {
 	b := &c.Blocks[i]
-	if b.Form == nil || b.Form.N != b.Count {
+	f, err := c.form(i)
+	if err != nil {
+		return err
+	}
+	if f.N != b.Count {
 		return fmt.Errorf("%w: block %d form does not match index count %d",
 			core.ErrCorruptForm, i, b.Count)
 	}
-	if err := core.DecompressInto(b.Form, out[b.Start:b.Start+int64(b.Count)], s); err != nil {
+	if err := core.DecompressInto(f, out[b.Start:b.Start+int64(b.Count)], s); err != nil {
 		return fmt.Errorf("blocked: block %d: %w", i, err)
 	}
 	return nil
@@ -282,7 +340,11 @@ func (c *Column) Sum() (int64, error) {
 	if workers <= 1 {
 		var total int64
 		for i := range c.Blocks {
-			s, err := query.Sum(c.Blocks[i].Form)
+			f, err := c.form(i)
+			if err != nil {
+				return 0, err
+			}
+			s, err := query.Sum(f)
 			if err != nil {
 				return 0, err
 			}
@@ -292,7 +354,11 @@ func (c *Column) Sum() (int64, error) {
 	}
 	var total int64
 	err := parallelFor(workers, len(c.Blocks), func(i int) error {
-		s, err := query.Sum(c.Blocks[i].Form)
+		f, err := c.form(i)
+		if err != nil {
+			return err
+		}
+		s, err := query.Sum(f)
 		if err != nil {
 			return err
 		}
@@ -320,8 +386,11 @@ func (c *Column) Min() (int64, error) {
 		}
 		v := b.Min
 		if !b.HasStats {
-			var err error
-			v, err = query.Min(b.Form)
+			f, err := c.form(i)
+			if err != nil {
+				return 0, err
+			}
+			v, err = query.Min(f)
 			if err != nil {
 				return 0, err
 			}
@@ -350,8 +419,11 @@ func (c *Column) Max() (int64, error) {
 		}
 		v := b.Max
 		if !b.HasStats {
-			var err error
-			v, err = query.Max(b.Form)
+			f, err := c.form(i)
+			if err != nil {
+				return 0, err
+			}
+			v, err = query.Max(f)
 			if err != nil {
 				return 0, err
 			}
@@ -524,7 +596,11 @@ func (c *Column) CountRange(lo, hi int64) (int64, error) {
 		// by-reference total would escape to the heap on every call,
 		// including pure-miss queries).
 		err := c.forEachPart(st, func(i int) error {
-			n, err := query.CountRange(c.Blocks[i].Form, lo, hi)
+			f, err := c.form(i)
+			if err != nil {
+				return err
+			}
+			n, err := query.CountRange(f, lo, hi)
 			if err != nil {
 				return err
 			}
@@ -579,8 +655,12 @@ func (c *Column) SelectRangeSel(lo, hi int64) (*sel.Selection, error) {
 		// selection; the merge below ORs them in block order.
 		err := c.forEachPart(st, func(i int) error {
 			b := &c.Blocks[i]
+			f, err := c.form(i)
+			if err != nil {
+				return err
+			}
 			local := sel.Get(b.Count)
-			if err := query.SelectRangeSel(b.Form, lo, hi, local, 0); err != nil {
+			if err := query.SelectRangeSel(f, lo, hi, local, 0); err != nil {
 				local.Release()
 				return err
 			}
@@ -617,7 +697,12 @@ func (c *Column) SelectRangeSel(lo, hi int64) (*sel.Selection, error) {
 		case blockAll:
 			dst.AddRun(int(b.Start), b.Count)
 		case blockPart:
-			if err := query.SelectRangeSel(b.Form, lo, hi, dst, int(b.Start)); err != nil {
+			f, err := c.form(i)
+			if err != nil {
+				dst.Release()
+				return nil, err
+			}
+			if err := query.SelectRangeSel(f, lo, hi, dst, int(b.Start)); err != nil {
 				dst.Release()
 				return nil, err
 			}
@@ -654,7 +739,11 @@ func (c *Column) PointLookup(row int64) (int64, error) {
 	if i < 0 || row >= c.Blocks[i].Start+int64(c.Blocks[i].Count) {
 		return 0, fmt.Errorf("%w: block index does not cover row %d", core.ErrCorruptForm, row)
 	}
-	return query.PointLookup(c.Blocks[i].Form, row-c.Blocks[i].Start)
+	f, err := c.form(i)
+	if err != nil {
+		return 0, err
+	}
+	return query.PointLookup(f, row-c.Blocks[i].Start)
 }
 
 // ApproxSum brackets the column sum by aggregating per-block model
@@ -662,7 +751,11 @@ func (c *Column) PointLookup(row int64) (int64, error) {
 func (c *Column) ApproxSum() (query.Interval, error) {
 	var total query.Interval
 	for i := range c.Blocks {
-		iv, err := query.ApproxSum(c.Blocks[i].Form)
+		f, err := c.form(i)
+		if err != nil {
+			return query.Interval{}, err
+		}
+		iv, err := query.ApproxSum(f)
 		if err != nil {
 			return query.Interval{}, err
 		}
@@ -673,21 +766,40 @@ func (c *Column) ApproxSum() (query.Interval, error) {
 }
 
 // EncodedBits sums the analytic payload size of every block form.
+// On a lazily opened column this decodes every block; blocks whose
+// payload cannot be read contribute zero.
 func (c *Column) EncodedBits() uint64 {
 	var total uint64
 	for i := range c.Blocks {
-		total += c.Blocks[i].Form.PayloadBits()
+		f, err := c.form(i)
+		if err != nil {
+			continue
+		}
+		total += f.PayloadBits()
 	}
 	return total
 }
 
 // BlockSchemes returns each block's scheme expression, in row order.
+// On a lazily opened column this decodes every block; an unreadable
+// block renders as an error note instead of a scheme.
 func (c *Column) BlockSchemes() []string {
 	out := make([]string, len(c.Blocks))
 	for i := range c.Blocks {
-		out[i] = c.Blocks[i].Form.Describe()
+		out[i] = c.describeBlock(i)
 	}
 	return out
+}
+
+// describeBlock renders block i's scheme expression, degrading to an
+// error note when the block's payload cannot be fetched (Describe and
+// BlockSchemes have no error to return).
+func (c *Column) describeBlock(i int) string {
+	f, err := c.form(i)
+	if err != nil {
+		return fmt.Sprintf("<unreadable: %v>", err)
+	}
+	return f.Describe()
 }
 
 // Describe renders the column's structure. A single-block column
@@ -696,7 +808,7 @@ func (c *Column) BlockSchemes() []string {
 // making per-block re-composition directly observable.
 func (c *Column) Describe() string {
 	if len(c.Blocks) == 1 && c.BlockSize == 0 {
-		return c.Blocks[0].Form.Describe()
+		return c.describeBlock(0)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "blocked(n=%d, block=%d, blocks=%d)", c.N, c.BlockSize, len(c.Blocks))
@@ -720,7 +832,7 @@ type schemeRun struct {
 func (c *Column) schemeRuns() []schemeRun {
 	var runs []schemeRun
 	for i := range c.Blocks {
-		desc := c.Blocks[i].Form.Describe()
+		desc := c.describeBlock(i)
 		if len(runs) > 0 && runs[len(runs)-1].desc == desc {
 			runs[len(runs)-1].to = i
 			continue
@@ -731,7 +843,10 @@ func (c *Column) schemeRuns() []schemeRun {
 }
 
 // Validate checks the handle structurally: the block index must tile
-// [0, N) exactly and every form must validate.
+// [0, N) exactly and every resident form must validate. On a lazily
+// opened column, blocks whose forms are not resident are validated by
+// index only — their payloads are checked (CRC, shape) at first touch
+// by the source.
 func (c *Column) Validate() error {
 	var next int64
 	for i := range c.Blocks {
@@ -742,18 +857,20 @@ func (c *Column) Validate() error {
 		if b.Count < 0 {
 			return fmt.Errorf("%w: block %d has negative count", core.ErrCorruptForm, i)
 		}
-		if b.Form == nil {
+		if b.Form == nil && c.Source == nil {
 			return fmt.Errorf("%w: block %d has no form", core.ErrCorruptForm, i)
 		}
-		if b.Form.N != b.Count {
-			return fmt.Errorf("%w: block %d form length %d, index says %d",
-				core.ErrCorruptForm, i, b.Form.N, b.Count)
+		if b.Form != nil {
+			if b.Form.N != b.Count {
+				return fmt.Errorf("%w: block %d form length %d, index says %d",
+					core.ErrCorruptForm, i, b.Form.N, b.Count)
+			}
+			if err := b.Form.Validate(); err != nil {
+				return err
+			}
 		}
 		if b.HasStats && b.Min > b.Max {
 			return fmt.Errorf("%w: block %d stats min %d > max %d", core.ErrCorruptForm, i, b.Min, b.Max)
-		}
-		if err := b.Form.Validate(); err != nil {
-			return err
 		}
 		next += int64(b.Count)
 	}

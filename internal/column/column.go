@@ -1,12 +1,3 @@
-// Package column provides column statistics for the lwcomp framework.
-//
-// The paper's "richer view of the space of lightweight compression
-// schemes" requires deciding, per column, which (composite) scheme
-// fits: run structure favours RLE/RPE, bounded local variation favours
-// FOR, monotone data favours DELTA, low cardinality favours DICT,
-// linear trends favour the piecewise-linear model. Stats gathers the
-// features those decisions need in a single pass (plus a bounded-size
-// distinct sample).
 package column
 
 import (

@@ -1,16 +1,3 @@
-// Package exec is a miniature columnar execution engine.
-//
-// Its operator vocabulary is exactly the one the paper uses to express
-// decompression (Algorithms 1 and 2): prefix sums, constants, pop-back,
-// scatter, gather and element-wise arithmetic — "the same columnar
-// operations which show up in query execution plans". Compression
-// schemes emit their decompression as a Plan over their constituent
-// columns; the engine evaluates it, optionally after recognizing and
-// fusing well-known idioms (run expansion, segment replication).
-//
-// Plans are straight-line dataflow programs: a slice of nodes in
-// topological order, each producing either a column or a scalar, with
-// the final node designated as the output.
 package exec
 
 import (

@@ -1,0 +1,21 @@
+// Package query evaluates analytic operations directly on compressed
+// forms.
+//
+// It operationalizes the paper's Lessons 1: "there is no clear
+// distinction between decompression and analytic query execution".
+// Because a compressed form is just a set of pure constituent columns,
+// aggregates and selections can often be answered from the
+// constituents without materializing the column:
+//
+//   - SUM over RLE is Σ lengths·values — a dot product over the runs;
+//   - range selections over FOR prune whole segments using the refs
+//     column and the offsets' width bound, the paper's "rough
+//     correspondence of the column data to a simple model can be used
+//     to speed up selections";
+//   - SUM over FOR-like forms splits into an exact model part and a
+//     bounded residual part, enabling the paper's "approximate or
+//     gradual-refinement query processing" (package approx side).
+//
+// Every operation falls back to full decompression for forms it has
+// no shortcut for, so results are always exact and always available.
+package query

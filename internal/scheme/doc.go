@@ -1,0 +1,10 @@
+// Package scheme implements the concrete lightweight compression
+// schemes of the lwcomp framework, in the paper's decomposed columnar
+// view: each scheme's compressed form is a set of pure constituent
+// columns plus scalar parameters (a core.Form), and where the paper
+// gives one (Algorithms 1 and 2), decompression is also available as
+// an operator plan.
+//
+// Form layouts are the canonical contracts used by the rewrite rules
+// and the storage format; they are documented per scheme.
+package scheme

@@ -1,23 +1,3 @@
-// Package sel implements bitmap-backed selection vectors.
-//
-// A Selection is the result of a predicate over a column: one bit per
-// row position. The representation is chosen for the compressed-scan
-// path (see DESIGN.md, "Selection vectors and scratch pooling"):
-//
-//   - whole runs of matching rows — RLE runs, fully-inside FOR
-//     segments, blocks whose [min, max] sits inside the query range —
-//     are emitted with word fills in O(rows/64), not one append per
-//     row;
-//   - the fused unpack-and-compare kernels of package bitpack produce
-//     one 64-bit match mask per packed block, which lands in the
-//     bitmap with a single OrWord call;
-//   - per-block selections computed by parallel workers merge into the
-//     column-level selection with word-granular ORs, independent of
-//     how many rows matched.
-//
-// Selections are pooled (Get/Release) so steady-state scans allocate
-// nothing. Conversion to an explicit row-position column ([]int64)
-// happens once, at the public API boundary.
 package sel
 
 import (

@@ -1,0 +1,427 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"lwcomp/internal/blocked"
+	"lwcomp/internal/core"
+)
+
+// This file is the lazy, file-backed read path: OpenContainer parses
+// only a container's prefix and block index, and hands back column
+// handles whose block payloads are fetched — and CRC-verified — on
+// first touch. The BlockReader abstraction separates "where payload
+// bytes come from" (mmap, io.ReaderAt, resident memory) from the
+// query layer above, which only ever asks for decoded block forms.
+
+// BlockReader supplies the raw payload bytes of one column's blocks.
+// It is the seam between the container layout and the query engine:
+// the in-memory implementation serves from a resident byte slice, the
+// file-backed one from an io.ReaderAt or an mmap window. Payload
+// returns either a view into the source (mmap) or the provided
+// scratch buffer filled (ReadAt), so callers can pool scratch.
+// Implementations must be safe for concurrent use.
+type BlockReader interface {
+	// NumBlocks returns the column's block count.
+	NumBlocks() int
+	// Payload returns block i's raw encoded-form bytes. When the
+	// source can hand out a stable view (mmap, resident memory) it
+	// does so without copying; otherwise it fills and returns scratch
+	// (growing it if needed).
+	Payload(i int, scratch []byte) ([]byte, error)
+}
+
+// OpenOptions configures lazy container opening.
+type OpenOptions struct {
+	// CacheBytes is the byte budget of the container's shared block
+	// cache (raw verified payloads, LRU). Zero or negative disables
+	// caching; OpenFile's public wrapper defaults it to
+	// DefaultBlockCacheBytes.
+	CacheBytes int64
+	// Mmap maps the file instead of issuing ReadAt calls. Ignored
+	// (with a silent fallback to ReadAt) when the platform does not
+	// support it or the mapping fails. Only honored by
+	// OpenContainerFile — OpenContainer has no file to map.
+	Mmap bool
+}
+
+// byteSource abstracts where a lazy container's bytes live.
+type byteSource interface {
+	// view returns n bytes at off — either a direct slice (mmap) or
+	// scratch filled (ReadAt). scratch always has length >= n.
+	view(off int64, n int, scratch []byte) ([]byte, error)
+	io.Closer
+}
+
+// readerAtSource serves views by ReadAt; closer (the underlying file,
+// when the container owns one) is closed with the container.
+type readerAtSource struct {
+	ra     io.ReaderAt
+	closer io.Closer
+}
+
+func (s *readerAtSource) view(off int64, n int, scratch []byte) ([]byte, error) {
+	m, err := s.ra.ReadAt(scratch[:n], off)
+	// The io.ReaderAt contract permits a full read to return io.EOF
+	// when it ends exactly at end-of-file — which every container's
+	// last block payload does. Short reads and other errors are
+	// reported as the underlying I/O failure, not as corruption: the
+	// bytes were never seen, so nothing can be said about them.
+	if err != nil && !(m == n && err == io.EOF) {
+		return nil, fmt.Errorf("storage: reading %d bytes at offset %d: %w", n, off, err)
+	}
+	return scratch[:n], nil
+}
+
+func (s *readerAtSource) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	return s.closer.Close()
+}
+
+// mmapSource serves views as subslices of a read-only mapping.
+type mmapSource struct {
+	data []byte
+}
+
+func (s *mmapSource) view(off int64, n int, _ []byte) ([]byte, error) {
+	if off < 0 || off+int64(n) > int64(len(s.data)) {
+		return nil, fmt.Errorf("%w: view %d+%d outside mapping of %d bytes", ErrCorrupt, off, n, len(s.data))
+	}
+	return s.data[off : off+int64(n)], nil
+}
+
+func (s *mmapSource) Close() error { return munmap(s.data) }
+
+// ContainerFile is an open container whose block payloads load on
+// demand: only the prefix and block index are resident. All columns
+// share one byte source and one block cache, so hot blocks decode
+// from cached verified bytes while cold blocks never enter memory.
+//
+// Containers of earlier generations (v1, v2) open eagerly — their
+// layouts cannot be read incrementally — and behave identically
+// afterwards, with every form resident.
+type ContainerFile struct {
+	src          byteSource
+	cache        *blockCache
+	payloadStart int64
+	cols         []BlockedColumn
+	locs         [][]blockLoc // nil for eagerly opened generations
+	mapped       bool
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// OpenContainerFile opens a container file lazily: for v3 it reads
+// only the prefix and block index (optionally mmapping the file when
+// opt.Mmap is set); v1 and v2 files are read eagerly as a fallback.
+// Close the container (or any of its columns) when done.
+func OpenContainerFile(path string, opt OpenOptions) (*ContainerFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if opt.Mmap && mmapSupported && size > 0 {
+		if data, merr := mmapFile(f, size); merr == nil {
+			// The mapping survives the descriptor; drop it now.
+			f.Close()
+			cf, err := openSource(&mmapSource{data: data}, size, opt)
+			if err != nil {
+				munmap(data)
+				return nil, err
+			}
+			// The eager v1/v2 fallback has already released the
+			// mapping; only a lazy container is still backed by it.
+			cf.mapped = cf.Lazy()
+			return cf, nil
+		}
+		// Mapping failed: fall through to ReadAt on the open file.
+	}
+	cf, err := OpenContainer(f, size, opt)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return cf, nil
+}
+
+// OpenContainer opens a container from any io.ReaderAt (a file, a
+// bytes.Reader, a counting test wrapper). For v3 sources only the
+// prefix and index are read; earlier generations fall back to one
+// eager full read. If ra also implements io.Closer, Close closes it.
+func OpenContainer(ra io.ReaderAt, size int64, opt OpenOptions) (*ContainerFile, error) {
+	closer, _ := ra.(io.Closer)
+	return openSource(&readerAtSource{ra: ra, closer: closer}, size, opt)
+}
+
+// openSource dispatches on the container generation behind src.
+func openSource(src byteSource, size int64, opt OpenOptions) (*ContainerFile, error) {
+	if size < 4 {
+		return nil, fmt.Errorf("%w: container too short", ErrCorrupt)
+	}
+	var scratch [v3PrefixLen]byte
+	magic, err := src.view(0, 4, scratch[:])
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != string(MagicV3[:]) {
+		// v1/v2 (or garbage — the eager reader reports it): slurp.
+		return openEager(src, size)
+	}
+	if size < v3PrefixLen+4 {
+		return nil, fmt.Errorf("%w: container too short", ErrCorrupt)
+	}
+	prefix, err := src.view(0, v3PrefixLen, scratch[:])
+	if err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint16(prefix[4:]); v != VersionV3 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	indexLen := binary.LittleEndian.Uint64(prefix[6:])
+	if indexLen < 4 || indexLen > uint64(size-v3PrefixLen) {
+		return nil, fmt.Errorf("%w: index length %d out of range", ErrCorrupt, indexLen)
+	}
+	indexBuf := getPayloadBuf(int(indexLen))
+	defer putPayloadBuf(indexBuf)
+	index, err := src.view(v3PrefixLen, int(indexLen), indexBuf)
+	if err != nil {
+		return nil, err
+	}
+	payloadStart := int64(v3PrefixLen) + int64(indexLen)
+	p, err := parseIndexV3(index, size-payloadStart)
+	if err != nil {
+		return nil, err
+	}
+	cf := &ContainerFile{
+		src:          src,
+		cache:        newBlockCache(opt.CacheBytes),
+		payloadStart: payloadStart,
+		cols:         p.cols,
+		locs:         p.locs,
+	}
+	for ci := range cf.cols {
+		cf.cols[ci].Col.Source = &colReader{cf: cf, colIdx: ci}
+	}
+	return cf, nil
+}
+
+// openEager reads an entire v1/v2 container through the source and
+// closes it — the compatibility path for generations whose layout
+// interleaves index and payloads under one whole-body checksum.
+func openEager(src byteSource, size int64) (*ContainerFile, error) {
+	var data []byte
+	var err error
+	if ms, ok := src.(*mmapSource); ok {
+		// An mmap source ignores scratch; read straight from the
+		// mapping instead of allocating a file-sized buffer.
+		data = ms.data
+	} else {
+		data, err = src.view(0, int(size), make([]byte, size))
+		if err != nil {
+			return nil, err
+		}
+	}
+	var cols []BlockedColumn
+	if string(data[:4]) == string(MagicV2[:]) {
+		cols, err = decodeContainerV2(data)
+	} else {
+		var v1 []Column
+		v1, err = readContainerBytes(data)
+		if err == nil {
+			cols = make([]BlockedColumn, 0, len(v1))
+			for _, c := range v1 {
+				bc, ferr := blocked.FromForm(c.Form, false)
+				if ferr != nil {
+					return nil, ferr
+				}
+				cols = append(cols, BlockedColumn{Name: c.Name, Col: bc})
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Everything is resident; the source is no longer needed.
+	if cerr := src.Close(); cerr != nil {
+		return nil, cerr
+	}
+	return &ContainerFile{cols: cols}, nil
+}
+
+// Columns returns the container's column handles in file order. On a
+// lazily opened container the handles share the container's source
+// and cache; closing the container invalidates them.
+func (cf *ContainerFile) Columns() []BlockedColumn { return cf.cols }
+
+// Column returns the named column's handle.
+func (cf *ContainerFile) Column(name string) (*blocked.Column, error) {
+	for i := range cf.cols {
+		if cf.cols[i].Name == name {
+			return cf.cols[i].Col, nil
+		}
+	}
+	return nil, fmt.Errorf("storage: column %q not found", name)
+}
+
+// Lazy reports whether the container serves block payloads on demand
+// (v3) rather than holding every form resident (v1/v2 fallback).
+func (cf *ContainerFile) Lazy() bool { return cf.locs != nil }
+
+// Mapped reports whether the container is backed by a memory mapping.
+func (cf *ContainerFile) Mapped() bool { return cf.mapped }
+
+// CacheStats snapshots the shared block cache's counters.
+func (cf *ContainerFile) CacheStats() CacheStats { return cf.cache.stats() }
+
+// BlockExtent describes one block's payload location inside a lazily
+// opened container — what `lwc stat` prints without decoding.
+type BlockExtent struct {
+	// Offset is the payload's position relative to the payload
+	// region's start.
+	Offset int64
+	// Bytes is the payload's encoded length.
+	Bytes int64
+	// CRC is the payload's expected CRC-32C.
+	CRC uint32
+}
+
+// Extents returns the payload extents of column ci's blocks, or nil
+// when the container was opened eagerly (v1/v2) and has no extent
+// table.
+func (cf *ContainerFile) Extents(ci int) []BlockExtent {
+	if cf.locs == nil || ci < 0 || ci >= len(cf.locs) {
+		return nil
+	}
+	out := make([]BlockExtent, len(cf.locs[ci]))
+	for i, loc := range cf.locs[ci] {
+		out[i] = BlockExtent{Offset: loc.off, Bytes: loc.length, CRC: loc.crc}
+	}
+	return out
+}
+
+// Close releases the container's byte source (file handle or
+// mapping). It is idempotent, and closing any column of the container
+// forwards here.
+func (cf *ContainerFile) Close() error {
+	cf.closeOnce.Do(func() {
+		if cf.src != nil {
+			cf.closeErr = cf.src.Close()
+		}
+	})
+	return cf.closeErr
+}
+
+// colReader adapts one column of a lazy container to both the
+// blocked.BlockSource the query layer fetches forms through and the
+// BlockReader raw-payload view.
+type colReader struct {
+	cf     *ContainerFile
+	colIdx int
+}
+
+// NumBlocks implements BlockReader.
+func (r *colReader) NumBlocks() int { return len(r.cf.locs[r.colIdx]) }
+
+// Payload implements BlockReader: it returns block i's raw encoded
+// bytes without CRC verification or decoding.
+func (r *colReader) Payload(i int, scratch []byte) ([]byte, error) {
+	loc := r.cf.locs[r.colIdx][i]
+	n := int(loc.length)
+	if cap(scratch) < n {
+		scratch = make([]byte, n)
+	}
+	return r.cf.src.view(r.cf.payloadStart+loc.off, n, scratch[:n])
+}
+
+// BlockForm implements blocked.BlockSource: fetch block i's payload
+// (from the cache when hot), verify its CRC on first touch, and
+// decode it. The decoded form does not alias the payload buffer, so
+// ReadAt scratch recycles through the pool.
+func (r *colReader) BlockForm(i int) (*core.Form, error) {
+	cf := r.cf
+	loc := cf.locs[r.colIdx][i]
+	name := cf.cols[r.colIdx].Name
+	count := cf.cols[r.colIdx].Col.Blocks[i].Count
+	key := cacheKey{col: r.colIdx, block: i}
+
+	if cf.cache != nil {
+		if data, ok := cf.cache.get(key); ok {
+			// Cached bytes were verified when inserted.
+			f, consumed, err := DecodeForm(data)
+			if err != nil {
+				return nil, fmt.Errorf("column %q block %d: %w", name, i, err)
+			}
+			if consumed != len(data) || f.N != count {
+				return nil, fmt.Errorf("%w: column %q block %d cached payload mismatch",
+					ErrCorrupt, name, i)
+			}
+			return f, nil
+		}
+	}
+
+	n := int(loc.length)
+	scratch := getPayloadBuf(n)
+	data, err := cf.src.view(cf.payloadStart+loc.off, n, scratch)
+	if err != nil {
+		putPayloadBuf(scratch)
+		return nil, err
+	}
+	f, err := decodeBlockPayload(data, loc, name, i, count)
+	if err != nil {
+		putPayloadBuf(scratch)
+		return nil, err
+	}
+	// ReadAt filled our scratch; an mmap source returned a view into
+	// the mapping and left scratch untouched.
+	owned := len(data) > 0 && &data[0] == &scratch[0]
+	if !owned {
+		putPayloadBuf(scratch)
+	}
+	if cf.cache != nil && cf.cache.add(key, data) {
+		// Ownership moved to the cache for good: cached slices are
+		// handed to concurrent readers, so the buffer is never pooled
+		// again (mmap views just keep aliasing the mapping).
+		return f, nil
+	}
+	if owned {
+		putPayloadBuf(scratch)
+	}
+	return f, nil
+}
+
+// Close forwards to the container: the column handle and the
+// container share one lifetime.
+func (r *colReader) Close() error { return r.cf.Close() }
+
+// MemBlockReader is the in-memory BlockReader: a column's encoded
+// payloads held as byte slices. It mirrors the file-backed reader for
+// tests and for code that builds containers in memory.
+type MemBlockReader struct {
+	// Payloads holds each block's encoded form bytes.
+	Payloads [][]byte
+}
+
+// NumBlocks implements BlockReader.
+func (m *MemBlockReader) NumBlocks() int { return len(m.Payloads) }
+
+// Payload implements BlockReader, returning the resident slice
+// without copying.
+func (m *MemBlockReader) Payload(i int, _ []byte) ([]byte, error) {
+	if i < 0 || i >= len(m.Payloads) {
+		return nil, fmt.Errorf("storage: block %d out of range [0, %d)", i, len(m.Payloads))
+	}
+	return m.Payloads[i], nil
+}

@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultBlockCacheBytes is the block-cache budget used when a
+// container is opened lazily without an explicit cache size.
+const DefaultBlockCacheBytes = 32 << 20
+
+// payloadPool recycles the scratch buffers non-mmap block fetches
+// read payloads into. A fetch that inserts its buffer into the block
+// cache hands ownership over permanently: the cache returns cached
+// slices to concurrent readers outside its lock, so an evicted
+// buffer may still be mid-decode elsewhere and must be left to the
+// garbage collector, never recycled.
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getPayloadBuf returns a pooled buffer of length n.
+func getPayloadBuf(n int) []byte {
+	bp := payloadPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	return (*bp)[:n]
+}
+
+// putPayloadBuf returns a buffer to the pool.
+func putPayloadBuf(b []byte) {
+	payloadPool.Put(&b)
+}
+
+// cacheKey addresses one block of one column inside a container.
+type cacheKey struct {
+	col, block int
+}
+
+// cacheEntry is one cached raw block payload. The cache owns data
+// exclusively among writers — nothing mutates it after insertion —
+// so get can hand it to readers outside the lock; eviction merely
+// drops the reference (see payloadPool).
+type cacheEntry struct {
+	key  cacheKey
+	data []byte
+}
+
+// blockCache is a byte-budgeted LRU over raw (CRC-verified) block
+// payloads, shared by every query on a container. It is safe for
+// concurrent use.
+type blockCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used
+	m      map[cacheKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+// newBlockCache returns a cache with the given byte budget, or nil
+// when the budget admits nothing (caching disabled).
+func newBlockCache(budget int64) *blockCache {
+	if budget <= 0 {
+		return nil
+	}
+	return &blockCache{budget: budget, ll: list.New(), m: make(map[cacheKey]*list.Element)}
+}
+
+// get returns the cached payload for key, promoting it to most
+// recently used.
+func (c *blockCache) get(key cacheKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).data, true
+}
+
+// add inserts a verified payload, evicting least-recently-used
+// entries until the budget holds. It reports whether the cache took
+// ownership of data: a false return (entry too large, or the key
+// raced in from another goroutine) leaves the buffer with the caller.
+// A true return transfers data to the cache for good — it may be
+// handed to concurrent readers at any later point, so the caller
+// must not reuse or pool it.
+func (c *blockCache) add(key cacheKey, data []byte) bool {
+	size := int64(len(data))
+	if size > c.budget {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.m[key]; dup {
+		return false
+	}
+	for c.used+size > c.budget {
+		c.evictOldestLocked()
+	}
+	e := c.ll.PushFront(&cacheEntry{key: key, data: data})
+	c.m[key] = e
+	c.used += size
+	return true
+}
+
+// evictOldestLocked drops the least-recently-used entry. Callers hold
+// c.mu and have ensured the cache is non-empty. The entry's buffer is
+// only dereferenced, never recycled: a reader that got it from get
+// may still be decoding it.
+func (c *blockCache) evictOldestLocked() {
+	e := c.ll.Back()
+	if e == nil {
+		return
+	}
+	ent := e.Value.(*cacheEntry)
+	c.ll.Remove(e)
+	delete(c.m, ent.key)
+	c.used -= int64(len(ent.data))
+	c.evictions++
+}
+
+// CacheStats reports a container's block-cache traffic. Zero values
+// when the container was opened without a cache.
+type CacheStats struct {
+	// Hits and Misses count cache lookups by outcome.
+	Hits, Misses int64
+	// Evictions counts entries dropped to make room.
+	Evictions int64
+	// BytesUsed is the current resident payload total.
+	BytesUsed int64
+	// BytesBudget is the configured capacity.
+	BytesBudget int64
+}
+
+// stats snapshots the cache counters.
+func (c *blockCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		BytesUsed:   c.used,
+		BytesBudget: c.budget,
+	}
+}

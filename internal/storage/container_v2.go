@@ -220,13 +220,18 @@ func decodeContainerV2(data []byte) ([]BlockedColumn, error) {
 	return cols, nil
 }
 
-// ReadAnyContainer reads either container generation: v2 natively,
-// v1 by adopting each single form as an unpartitioned blocked column
-// (no stats, so queries delegate rather than skip).
+// ReadAnyContainer reads any container generation eagerly: v3 and v2
+// natively, v1 by adopting each single form as an unpartitioned
+// blocked column (no stats, so queries delegate rather than skip).
+// Use OpenContainer / OpenContainerFile to open a v3 container
+// without reading its payloads.
 func ReadAnyContainer(r io.Reader) ([]BlockedColumn, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
+	}
+	if len(data) >= 4 && string(data[:4]) == string(MagicV3[:]) {
+		return decodeContainerV3(data)
 	}
 	if len(data) >= 4 && string(data[:4]) == string(MagicV2[:]) {
 		return decodeContainerV2(data)

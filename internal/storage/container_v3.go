@@ -1,0 +1,333 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"lwcomp/internal/bitpack"
+	"lwcomp/internal/blocked"
+	"lwcomp/internal/core"
+)
+
+// Container format v3 ("LWC3") is the lazily openable generation: the
+// block index is self-contained at the front of the file and every
+// block payload carries its own CRC-32C, so a reader can open a
+// container by reading only the fixed prefix and the index, then
+// fetch and verify individual block payloads on demand. v2 kept one
+// CRC over the whole body, which forced ReadAnyContainer to slurp the
+// entire file before the first query; v3 is what makes OpenContainer
+// O(index) instead of O(file).
+//
+// v3 layout (all little-endian, varints LEB128, signed zigzagged):
+//
+//	magic    "LWC3"
+//	version  u16 (= 3)
+//	indexLen u64 (bytes of the index section, including its CRC)
+//	index section:
+//	  ncols varint
+//	  per column:
+//	    name      u8-len + bytes
+//	    blockSize varint (0 = single unpartitioned block)
+//	    n         varint (total rows)
+//	    nblocks   varint
+//	    per block:
+//	      count      varint
+//	      hasStats   u8 (0|1)
+//	      min,max    zigzag varints (present only when hasStats = 1)
+//	      payloadOff varint (relative to the payload region start)
+//	      payloadLen varint
+//	      payloadCRC u32 (CRC-32C of the block's encoded form)
+//	  crc32c u32 of the index bytes above
+//	payload region: concatenated EncodeForm bytes
+//
+// Invariants a reader enforces: payload extents lie inside the
+// payload region, and the largest extent end equals the region size
+// exactly (so a truncated or padded file fails at open, not at first
+// touch). Block payload corruption, by contrast, is detected lazily:
+// the per-block CRC is checked when the block is first fetched.
+
+// MagicV3 identifies v3 (lazily openable) container files.
+var MagicV3 = [4]byte{'L', 'W', 'C', '3'}
+
+// VersionV3 is the lazily openable container format version.
+const VersionV3 uint16 = 3
+
+// v3PrefixLen is the fixed byte length of magic + version + indexLen.
+const v3PrefixLen = 4 + 2 + 8
+
+// blockLoc is one block's payload extent inside the payload region.
+type blockLoc struct {
+	off, length int64
+	crc         uint32
+}
+
+// WriteContainerV3 writes named blocked columns as one v3 container.
+// Columns may be lazily opened handles: their block payloads are
+// fetched through the source as they are written. The writer buffers
+// the encoded index and payload region in memory before writing
+// (offsets must be known up front), so writing costs O(container)
+// memory — same bound as the v1/v2 writers; a spooling writer is
+// future work if containers outgrow RAM.
+func WriteContainerV3(w io.Writer, cols []BlockedColumn) error {
+	var index []byte
+	var payload []byte
+	index = binary.AppendUvarint(index, uint64(len(cols)))
+	for _, c := range cols {
+		if len(c.Name) == 0 || len(c.Name) > maxNameLen {
+			return fmt.Errorf("%w: column name %q", ErrCorrupt, c.Name)
+		}
+		if c.Col == nil {
+			return fmt.Errorf("%w: column %q has no data", ErrCorrupt, c.Name)
+		}
+		if err := c.Col.Validate(); err != nil {
+			return err
+		}
+		index = append(index, byte(len(c.Name)))
+		index = append(index, c.Name...)
+		index = binary.AppendUvarint(index, uint64(c.Col.BlockSize))
+		index = binary.AppendUvarint(index, uint64(c.Col.N))
+		index = binary.AppendUvarint(index, uint64(len(c.Col.Blocks)))
+		for i := range c.Col.Blocks {
+			b := &c.Col.Blocks[i]
+			index = binary.AppendUvarint(index, uint64(b.Count))
+			if b.HasStats {
+				index = append(index, 1)
+				index = binary.AppendUvarint(index, bitpack.Zigzag(b.Min))
+				index = binary.AppendUvarint(index, bitpack.Zigzag(b.Max))
+			} else {
+				index = append(index, 0)
+			}
+			f, err := c.Col.BlockForm(i)
+			if err != nil {
+				return err
+			}
+			enc, err := EncodeForm(f)
+			if err != nil {
+				return err
+			}
+			index = binary.AppendUvarint(index, uint64(len(payload)))
+			index = binary.AppendUvarint(index, uint64(len(enc)))
+			index = binary.LittleEndian.AppendUint32(index, crc32.Checksum(enc, castagnoli))
+			payload = append(payload, enc...)
+		}
+	}
+	var prefix [v3PrefixLen]byte
+	copy(prefix[:], MagicV3[:])
+	binary.LittleEndian.PutUint16(prefix[4:], VersionV3)
+	binary.LittleEndian.PutUint64(prefix[6:], uint64(len(index)+4))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(index); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(index, castagnoli))
+	if _, err := w.Write(crc[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// parsedIndex is a decoded v3 index: the form-less column handles and
+// each block's payload extent.
+type parsedIndex struct {
+	cols []BlockedColumn
+	locs [][]blockLoc
+}
+
+// parseIndexV3 decodes and verifies an index section (including its
+// trailing CRC) against the given payload region size.
+func parseIndexV3(index []byte, payloadSize int64) (*parsedIndex, error) {
+	if len(index) < 4 {
+		return nil, fmt.Errorf("%w: index too short", ErrCorrupt)
+	}
+	body := index[:len(index)-4]
+	wantCRC := binary.LittleEndian.Uint32(index[len(index)-4:])
+	if crc32.Checksum(body, castagnoli) != wantCRC {
+		return nil, fmt.Errorf("%w (block index)", ErrChecksum)
+	}
+	d := &decoder{data: body}
+	ncols, err := d.count(2)
+	if err != nil {
+		return nil, err
+	}
+	p := &parsedIndex{
+		cols: make([]BlockedColumn, 0, ncols),
+		locs: make([][]blockLoc, 0, ncols),
+	}
+	var maxEnd int64
+	for ci := 0; ci < ncols; ci++ {
+		name, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		blockSize, err := d.count(0)
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.count(0)
+		if err != nil {
+			return nil, err
+		}
+		nblocks, err := d.count(2)
+		if err != nil {
+			return nil, err
+		}
+		col := &blocked.Column{N: n, BlockSize: blockSize, Blocks: make([]blocked.Block, 0, nblocks)}
+		locs := make([]blockLoc, 0, nblocks)
+		var start int64
+		for bi := 0; bi < nblocks; bi++ {
+			count, err := d.count(0)
+			if err != nil {
+				return nil, err
+			}
+			hasStats, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			if hasStats > 1 {
+				return nil, fmt.Errorf("%w: bad stats flag %d", ErrCorrupt, hasStats)
+			}
+			blk := blocked.Block{Start: start, Count: count, HasStats: hasStats == 1}
+			if blk.HasStats {
+				zzMin, err := d.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				zzMax, err := d.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				blk.Min = bitpack.Unzigzag(zzMin)
+				blk.Max = bitpack.Unzigzag(zzMax)
+				if blk.Min > blk.Max {
+					return nil, fmt.Errorf("%w: block stats min %d > max %d", ErrCorrupt, blk.Min, blk.Max)
+				}
+			}
+			off, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			length, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if off > math.MaxInt64 || length > math.MaxInt32 {
+				return nil, fmt.Errorf("%w: block extent %d+%d out of range", ErrCorrupt, off, length)
+			}
+			end := int64(off) + int64(length)
+			if end < int64(off) || end > payloadSize {
+				return nil, fmt.Errorf("%w: column %q block %d payload extends past region (%d+%d > %d)",
+					ErrCorrupt, name, bi, off, length, payloadSize)
+			}
+			if end > maxEnd {
+				maxEnd = end
+			}
+			var crcBytes [4]byte
+			for k := range crcBytes {
+				b, err := d.u8()
+				if err != nil {
+					return nil, err
+				}
+				crcBytes[k] = b
+			}
+			locs = append(locs, blockLoc{
+				off:    int64(off),
+				length: int64(length),
+				crc:    binary.LittleEndian.Uint32(crcBytes[:]),
+			})
+			col.Blocks = append(col.Blocks, blk)
+			start += int64(count)
+		}
+		if start != int64(n) {
+			return nil, fmt.Errorf("%w: column %q blocks cover %d rows, header says %d",
+				ErrCorrupt, name, start, n)
+		}
+		p.cols = append(p.cols, BlockedColumn{Name: name, Col: col})
+		p.locs = append(p.locs, locs)
+	}
+	if d.pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in index", ErrCorrupt, len(body)-d.pos)
+	}
+	if maxEnd != payloadSize {
+		return nil, fmt.Errorf("%w: payload region is %d bytes, index covers %d (truncated or padded file)",
+			ErrCorrupt, payloadSize, maxEnd)
+	}
+	return p, nil
+}
+
+// decodeBlockPayload verifies a block payload's CRC and decodes it
+// into a form with the expected element count.
+func decodeBlockPayload(data []byte, loc blockLoc, name string, blockIdx, count int) (*core.Form, error) {
+	if crc32.Checksum(data, castagnoli) != loc.crc {
+		return nil, fmt.Errorf("column %q block %d: %w", name, blockIdx, ErrChecksum)
+	}
+	f, consumed, err := DecodeForm(data)
+	if err != nil {
+		return nil, fmt.Errorf("column %q block %d: %w", name, blockIdx, err)
+	}
+	if consumed != len(data) {
+		return nil, fmt.Errorf("%w: column %q block %d has %d trailing bytes",
+			ErrCorrupt, name, blockIdx, len(data)-consumed)
+	}
+	if f.N != count {
+		return nil, fmt.Errorf("%w: column %q block %d form length %d, index says %d",
+			ErrCorrupt, name, blockIdx, f.N, count)
+	}
+	return f, nil
+}
+
+// decodeContainerV3 decodes a v3 container held fully in memory —
+// the eager path ReadAnyContainer uses; every block form comes back
+// resident.
+func decodeContainerV3(data []byte) ([]BlockedColumn, error) {
+	if len(data) < v3PrefixLen+4 {
+		return nil, fmt.Errorf("%w: container too short", ErrCorrupt)
+	}
+	for i := range MagicV3 {
+		if data[i] != MagicV3[i] {
+			return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		}
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != VersionV3 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	indexLen := binary.LittleEndian.Uint64(data[6:])
+	if indexLen < 4 || indexLen > uint64(len(data)-v3PrefixLen) {
+		return nil, fmt.Errorf("%w: index length %d out of range", ErrCorrupt, indexLen)
+	}
+	index := data[v3PrefixLen : v3PrefixLen+int(indexLen)]
+	payload := data[v3PrefixLen+int(indexLen):]
+	p, err := parseIndexV3(index, int64(len(payload)))
+	if err != nil {
+		return nil, err
+	}
+	for ci := range p.cols {
+		col := p.cols[ci].Col
+		for bi := range col.Blocks {
+			loc := p.locs[ci][bi]
+			f, err := decodeBlockPayload(payload[loc.off:loc.off+loc.length], loc,
+				p.cols[ci].Name, bi, col.Blocks[bi].Count)
+			if err != nil {
+				return nil, err
+			}
+			col.Blocks[bi].Form = f
+		}
+	}
+	return p.cols, nil
+}
+
+// ReadContainerV3 reads a v3 container written by WriteContainerV3,
+// decoding every block eagerly. Use OpenContainer for the lazy path.
+func ReadContainerV3(r io.Reader) ([]BlockedColumn, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return decodeContainerV3(data)
+}

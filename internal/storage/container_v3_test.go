@@ -1,0 +1,360 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"lwcomp/internal/blocked"
+)
+
+// encodeBlocked builds a deterministic multi-block column.
+func encodeBlockedV3(t *testing.T, n, blockSize int) (*blocked.Column, []int64) {
+	t.Helper()
+	src := make([]int64, n)
+	for i := range src {
+		src[i] = int64(i % 7000)
+	}
+	col, err := blocked.Encode(src, blocked.EncodeOptions{BlockSize: blockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, src
+}
+
+func TestContainerV3RoundTrip(t *testing.T) {
+	colA, srcA := encodeBlockedV3(t, 10000, 2048)
+	colB, srcB := encodeBlockedV3(t, 3000, 1024)
+	var buf bytes.Buffer
+	err := WriteContainerV3(&buf, []BlockedColumn{{Name: "a", Col: colA}, {Name: "b", Col: colB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Eager read.
+	cols, err := ReadContainerV3(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0].Name != "a" || cols[1].Name != "b" {
+		t.Fatalf("columns: %+v", cols)
+	}
+	for i, want := range [][]int64{srcA, srcB} {
+		got, err := cols[i].Col.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("column %d length %d, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("column %d element %d: %d != %d", i, j, got[j], want[j])
+			}
+		}
+	}
+
+	// ReadAnyContainer dispatches on the v3 magic too.
+	cols, err = ReadAnyContainer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 {
+		t.Fatalf("ReadAnyContainer found %d columns", len(cols))
+	}
+}
+
+func TestOpenContainerLazyAndCacheCounters(t *testing.T) {
+	col, src := encodeBlockedV3(t, 1<<14, 4096)
+	var buf bytes.Buffer
+	if err := WriteContainerV3(&buf, []BlockedColumn{{Name: "c", Col: col}}); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenContainer(bytes.NewReader(buf.Bytes()), int64(buf.Len()),
+		OpenOptions{CacheBytes: DefaultBlockCacheBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if !cf.Lazy() {
+		t.Fatal("v3 container opened eagerly")
+	}
+	lazy := cf.Columns()[0].Col
+	if lazy.Source == nil {
+		t.Fatal("lazy column has no source")
+	}
+	for i := range lazy.Blocks {
+		if lazy.Blocks[i].Form != nil {
+			t.Fatalf("block %d resident after open", i)
+		}
+		if !lazy.Blocks[i].HasStats {
+			t.Fatalf("block %d lost its stats", i)
+		}
+	}
+	if err := lazy.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cf.Extents(0)); got != len(lazy.Blocks) {
+		t.Fatalf("%d extents for %d blocks", got, len(lazy.Blocks))
+	}
+
+	// Cold pass misses every block, warm pass hits every block.
+	out := make([]int64, lazy.N)
+	if err := lazy.DecompressInto(out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if out[i] != src[i] {
+			t.Fatalf("element %d: %d != %d", i, out[i], src[i])
+		}
+	}
+	cold := cf.CacheStats()
+	if cold.Misses == 0 || cold.BytesUsed == 0 {
+		t.Fatalf("cold stats: %+v", cold)
+	}
+	if err := lazy.DecompressInto(out); err != nil {
+		t.Fatal(err)
+	}
+	warm := cf.CacheStats()
+	if warm.Hits < int64(len(lazy.Blocks)) {
+		t.Fatalf("warm pass hit %d of %d blocks", warm.Hits, len(lazy.Blocks))
+	}
+	if warm.Misses != cold.Misses {
+		t.Fatalf("warm pass missed: %+v -> %+v", cold, warm)
+	}
+}
+
+func TestOpenContainerTinyCacheEvicts(t *testing.T) {
+	// Incompressible values make every block's payload comparable in
+	// size, so a budget of roughly one payload forces the LRU to
+	// evict on every fetch of a round-robin scan.
+	src := make([]int64, 1<<13)
+	state := uint64(42)
+	for i := range src {
+		state = state*6364136223846793005 + 1442695040888963407
+		src[i] = int64(state >> 34)
+	}
+	col, err := blocked.Encode(src, blocked.EncodeOptions{BlockSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteContainerV3(&buf, []BlockedColumn{{Name: "c", Col: col}}); err != nil {
+		t.Fatal(err)
+	}
+	var maxExtent int64
+	cfProbe, err := OpenContainer(bytes.NewReader(buf.Bytes()), int64(buf.Len()), OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range cfProbe.Extents(0) {
+		if e.Bytes > maxExtent {
+			maxExtent = e.Bytes
+		}
+	}
+	cfProbe.Close()
+
+	cf, err := OpenContainer(bytes.NewReader(buf.Bytes()), int64(buf.Len()),
+		OpenOptions{CacheBytes: maxExtent + maxExtent/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	lazy := cf.Columns()[0].Col
+	lazy.Parallelism = 1
+	want, err := col.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		got, err := lazy.Sum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("pass %d sum = %d, want %d", pass, got, want)
+		}
+	}
+	st := cf.CacheStats()
+	if st.BytesUsed > st.BytesBudget {
+		t.Fatalf("cache over budget: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("three passes over a one-block cache evicted nothing: %+v", st)
+	}
+}
+
+func TestOpenContainerFileMmap(t *testing.T) {
+	col, src := encodeBlockedV3(t, 1<<13, 2048)
+	var buf bytes.Buffer
+	if err := WriteContainerV3(&buf, []BlockedColumn{{Name: "c", Col: col}}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.lwc")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenContainerFile(path, OpenOptions{Mmap: true, CacheBytes: DefaultBlockCacheBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if mmapSupported && !cf.Mapped() {
+		t.Fatal("mmap requested and supported but not used")
+	}
+	got, err := cf.Columns()[0].Col.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("element %d: %d != %d", i, got[i], src[i])
+		}
+	}
+	// Close is idempotent, and closing a column forwards to the
+	// container.
+	if err := cf.Columns()[0].Col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockReaderPayloads(t *testing.T) {
+	col, _ := encodeBlockedV3(t, 1<<13, 2048)
+	var buf bytes.Buffer
+	if err := WriteContainerV3(&buf, []BlockedColumn{{Name: "c", Col: col}}); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenContainer(bytes.NewReader(buf.Bytes()), int64(buf.Len()), OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	lazy := cf.Columns()[0].Col
+	br, ok := lazy.Source.(BlockReader)
+	if !ok {
+		t.Fatal("lazy source does not expose BlockReader")
+	}
+	if br.NumBlocks() != len(lazy.Blocks) {
+		t.Fatalf("NumBlocks = %d, want %d", br.NumBlocks(), len(lazy.Blocks))
+	}
+	extents := cf.Extents(0)
+	var scratch []byte
+	for i := 0; i < br.NumBlocks(); i++ {
+		payload, err := br.Payload(i, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(payload)) != extents[i].Bytes {
+			t.Fatalf("block %d payload %d bytes, extent says %d", i, len(payload), extents[i].Bytes)
+		}
+		// The payload decodes standalone — the re-composition
+		// property the lazy path depends on.
+		f, consumed, err := DecodeForm(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if consumed != len(payload) || f.N != lazy.Blocks[i].Count {
+			t.Fatalf("block %d decodes to n=%d (%d consumed)", i, f.N, consumed)
+		}
+		scratch = payload[:0]
+	}
+
+	// The in-memory mirror behaves identically.
+	mem := &MemBlockReader{}
+	for i := 0; i < br.NumBlocks(); i++ {
+		p, err := br.Payload(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem.Payloads = append(mem.Payloads, append([]byte(nil), p...))
+	}
+	if mem.NumBlocks() != br.NumBlocks() {
+		t.Fatalf("mem reader has %d blocks", mem.NumBlocks())
+	}
+	p, err := mem.Payload(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(p)) != extents[0].Bytes {
+		t.Fatalf("mem payload %d bytes", len(p))
+	}
+	if _, err := mem.Payload(99, nil); err == nil {
+		t.Fatal("out-of-range payload accepted")
+	}
+}
+
+// TestConcurrentQueriesUnderCachePressure hammers a lazily opened
+// container from many goroutines with a cache small enough to evict
+// constantly. This pins the ownership contract the cache relies on:
+// an evicted payload buffer may still be mid-decode in a concurrent
+// reader, so it must never be recycled into the fetch pool (caught
+// by -race, and by corrupt decodes, if violated).
+func TestConcurrentQueriesUnderCachePressure(t *testing.T) {
+	src := make([]int64, 1<<13)
+	state := uint64(7)
+	for i := range src {
+		state = state*6364136223846793005 + 1442695040888963407
+		src[i] = int64(state >> 40)
+	}
+	col, err := blocked.Encode(src, blocked.EncodeOptions{BlockSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteContainerV3(&buf, []BlockedColumn{{Name: "c", Col: col}}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := col.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget ≈ two payloads: every scan evicts while others decode.
+	cf, err := OpenContainer(bytes.NewReader(buf.Bytes()), int64(buf.Len()),
+		OpenOptions{CacheBytes: 2 * int64(buf.Len()) / int64(col.NumBlocks())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	lazy := cf.Columns()[0].Col
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < 20; it++ {
+				got, err := lazy.Sum()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want {
+					errs <- fmt.Errorf("worker %d iter %d: sum %d != %d", w, it, got, want)
+					return
+				}
+				row := int64((w*2048 + it*131) % len(src))
+				v, err := lazy.PointLookup(row)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v != src[row] {
+					errs <- fmt.Errorf("worker %d: lookup(%d) = %d, want %d", w, row, v, src[row])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

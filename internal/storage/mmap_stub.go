@@ -1,0 +1,22 @@
+//go:build !unix
+
+package storage
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform can memory-map
+// container files; openers fall back to ReadAt when it is false.
+const mmapSupported = false
+
+// mmapFile is unavailable on this platform; callers fall back to the
+// ReadAt source.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+// munmap matches the unix signature; it is never reached because
+// mmapFile always fails here.
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,33 @@
+//go:build unix
+
+package storage
+
+import (
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can memory-map
+// container files; openers fall back to ReadAt when it is false.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only. The mapping stays valid
+// after f is closed.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	if size > math.MaxInt {
+		return nil, syscall.ENOMEM
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmap releases a mapping from mmapFile.
+func munmap(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,15 +1,3 @@
-// Package storage serializes compressed Form trees to bytes and
-// container files.
-//
-// The format mirrors the paper's columnar view directly: a form is a
-// scheme tag, scalar parameters, named child forms, and (at leaves) a
-// physical payload. Nothing else — no block headers, no padding —
-// matching the paper's "pure columns, stripped bare of
-// implementation-specific adornments". The file container adds a
-// magic, a version and a CRC-32C footer.
-//
-// All integers are little-endian; lengths and parameters are LEB128
-// varints (zigzagged where signed).
 package storage
 
 import (

@@ -1,22 +1,3 @@
-// Package vec provides the columnar operator substrate on which the
-// lwcomp compression framework is built.
-//
-// The central observation of Rozenberg (ICDE 2018) is that the
-// decompression of lightweight compression schemes can be expressed
-// with "very few" of the straightforward columnar operations that
-// already appear in analytic query execution plans: prefix sums,
-// gathers, scatters, constant columns and element-wise arithmetic.
-// This package implements exactly that operator vocabulary, plus the
-// handful of derived operators (run expansion, selections, compaction)
-// a small columnar engine needs.
-//
-// All operators work on logical columns represented as []int64 — the
-// "pure columns, stripped bare of implementation-specific adornments"
-// of the paper. Physical narrowing is the concern of package bitpack.
-//
-// Every operator comes in two forms: an allocating convenience form
-// and an into-destination form that reuses caller-provided storage so
-// that hot decompression loops stay allocation-free.
 package vec
 
 import (

@@ -1,28 +1,3 @@
-// Package workload generates the deterministic, seeded synthetic
-// columns the experiments run on.
-//
-// The paper evaluates nothing itself (it is a two-page vision paper),
-// but its arguments name the workloads precisely; each generator
-// below corresponds to one of them (see DESIGN.md §2):
-//
-//   - OrderShipDates — §I's motivating example: "a table holds
-//     shipped order details, with a date column. Data accrues over
-//     time, so the dates form a monotone-increasing sequence with
-//     long runs".
-//   - RandomWalk — "limited local variation despite potentially
-//     larger global variation", FOR's domain (§II-B).
-//   - OutlierWalk — the L0-patches workload: "'really' a step
-//     function, but with the occasional divergent arbitrary-value
-//     element".
-//   - TrendNoise — the piecewise-linear workload: offsets from "a
-//     diagonal line at some slope".
-//   - SkewedMagnitude — the bit-metric workload: element widths vary,
-//     so variable-width coding beats any single fixed width.
-//   - LowCardinality, StepData, UniformBits — DICT, STEP and NS
-//     calibration workloads.
-//
-// All generators take explicit seeds and are reproducible across
-// runs and platforms (math/rand with fixed seeds).
 package workload
 
 import (

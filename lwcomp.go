@@ -27,8 +27,25 @@
 // WithScheme pins the scheme, WithCostBudget bounds decompression
 // cost, WithParallelism bounds concurrent block encodes, and a
 // streaming ColumnBuilder (Append/Flush) covers ingest. Containers
-// written by WriteColumns carry the block index (format v2);
-// ReadColumns also accepts v1 containers.
+// written by WriteColumns carry a self-contained block index with
+// per-block checksums (format v3); ReadColumns also accepts v2 and
+// v1 containers.
+//
+// # On-disk columns
+//
+// Because every block is independently decodable, a container need
+// not be read to be queried. OpenFile opens one by reading only the
+// header and block index, then fetches, verifies and decodes
+// individual block payloads at first touch:
+//
+//	col, err := lwcomp.OpenFile("dates.lwc",
+//	    lwcomp.WithBlockCache(64<<20),   // LRU over verified block payloads
+//	    lwcomp.WithMmap(true))           // optional, where the platform allows
+//	defer col.Close()
+//	v, err := col.PointLookup(1_000_000) // reads exactly one block
+//
+// OpenContainer is the multi-column variant, OpenReader the
+// io.ReaderAt one; see open.go.
 //
 // The original free functions (Compress, CompressBest, Sum,
 // SelectRange, ...) remain and are thin wrappers over a single-block

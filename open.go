@@ -1,0 +1,136 @@
+package lwcomp
+
+import (
+	"fmt"
+	"io"
+
+	"lwcomp/internal/storage"
+)
+
+// This file is the on-disk query surface: opening a container lazily
+// — header and block index only — and serving queries by fetching
+// individual block payloads on demand. A point lookup on a multi-GB
+// container reads O(1) blocks; a range scan reads only the blocks its
+// [min, max] stats cannot rule out.
+
+// Container is an open container file whose block payloads load on
+// demand. Only the header and block index are resident after opening;
+// every column handle it returns shares the container's byte source
+// and its bounded LRU block cache. Close it (or any column obtained
+// from it) exactly once when done — the handles share one lifetime.
+//
+// Containers of earlier generations (v1, v2) open eagerly, because
+// their layouts interleave payloads with the index under a whole-file
+// checksum; afterwards they behave identically with every block
+// resident and Close a no-op on the file (it is already released).
+type Container = storage.ContainerFile
+
+// BlockExtent locates one block's payload inside a lazily opened
+// container: offset, encoded byte length, and expected CRC-32C. The
+// `lwc stat` subcommand prints these without decoding any payload.
+type BlockExtent = storage.BlockExtent
+
+// CacheStats reports an open container's block-cache traffic —
+// lookups by outcome, evictions, and resident bytes against budget.
+type CacheStats = storage.CacheStats
+
+// OpenFile opens an LWC container file and returns its column
+// without reading any block payload: only the header and the block
+// index are read (O(index), not O(file)). Queries on the returned
+// Column fetch, checksum-verify, and decode individual blocks at
+// first touch, so a PointLookup touches exactly one block and a
+// SelectRange only the blocks its [min, max] stats admit.
+//
+//	col, err := lwcomp.OpenFile("dates.lwc",
+//	    lwcomp.WithBlockCache(64<<20), // verified payload LRU, shared across queries
+//	    lwcomp.WithMmap(true))         // let the page cache own residency
+//	defer col.Close()
+//	v, err := col.PointLookup(123_456) // reads header + index + one block
+//
+// The container must hold exactly one column unless WithColumn picks
+// one by name. Close the column to release the file. v1 and v2
+// containers open too, eagerly (their formats cannot be read
+// incrementally); the returned column then has every block resident.
+func OpenFile(path string, opts ...Option) (*Column, error) {
+	o := buildOptions(opts)
+	cf, err := storage.OpenContainerFile(path, o.openOptions())
+	if err != nil {
+		return nil, err
+	}
+	applyColumnOptions(cf, &o)
+	col, err := pickColumn(cf, &o)
+	if err != nil {
+		cf.Close()
+		return nil, err
+	}
+	return col, nil
+}
+
+// OpenReader opens a container from any io.ReaderAt covering size
+// bytes — an *os.File, a bytes.Reader, or a counting wrapper in a
+// test asserting how little a query reads. Semantics match OpenFile
+// except WithMmap is ignored (there is no file to map). If r also
+// implements io.Closer, closing the column closes it.
+func OpenReader(r io.ReaderAt, size int64, opts ...Option) (*Column, error) {
+	o := buildOptions(opts)
+	cf, err := storage.OpenContainer(r, size, o.openOptions())
+	if err != nil {
+		return nil, err
+	}
+	applyColumnOptions(cf, &o)
+	col, err := pickColumn(cf, &o)
+	if err != nil {
+		cf.Close()
+		return nil, err
+	}
+	return col, nil
+}
+
+// OpenContainer opens a container file lazily and returns the
+// multi-column handle: Columns lists the handles, Column fetches one
+// by name, Extents exposes the raw block layout, and CacheStats the
+// shared cache's counters. Use it when a container holds several
+// columns or when the tooling needs the layout; OpenFile is the
+// single-column convenience over it.
+func OpenContainer(path string, opts ...Option) (*Container, error) {
+	o := buildOptions(opts)
+	cf, err := storage.OpenContainerFile(path, o.openOptions())
+	if err != nil {
+		return nil, err
+	}
+	applyColumnOptions(cf, &o)
+	return cf, nil
+}
+
+// applyColumnOptions threads open-time knobs that live on the column
+// handle (today just the scan parallelism bound) onto every column of
+// a freshly opened container.
+func applyColumnOptions(cf *Container, o *options) {
+	if o.enc.Parallelism > 0 {
+		for _, c := range cf.Columns() {
+			c.Col.Parallelism = o.enc.Parallelism
+		}
+	}
+}
+
+// pickColumn resolves which column an OpenFile/OpenReader call
+// returns: the WithColumn choice, or the sole column.
+func pickColumn(cf *Container, o *options) (*Column, error) {
+	cols := cf.Columns()
+	if o.columnChosen {
+		return cf.Column(o.columnName)
+	}
+	switch len(cols) {
+	case 1:
+		return cols[0].Col, nil
+	case 0:
+		return nil, fmt.Errorf("lwcomp: container has no columns")
+	default:
+		names := make([]string, len(cols))
+		for i := range cols {
+			names[i] = cols[i].Name
+		}
+		return nil, fmt.Errorf("lwcomp: container has %d columns %q; pick one with WithColumn or use OpenContainer",
+			len(cols), names)
+	}
+}

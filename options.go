@@ -1,14 +1,40 @@
 package lwcomp
 
-import "lwcomp/internal/blocked"
+import (
+	"lwcomp/internal/blocked"
+	"lwcomp/internal/storage"
+)
 
 // DefaultBlockSize is the block length Encode uses when blocking is
 // requested without an explicit size (WithBlockSize(0) on a
 // ColumnBuilder, for example).
 const DefaultBlockSize = blocked.DefaultBlockSize
 
-// Option configures Encode and NewColumnBuilder.
-type Option func(*blocked.EncodeOptions)
+// DefaultBlockCacheBytes is the block-cache budget OpenFile and
+// OpenContainer use when WithBlockCache is not given.
+const DefaultBlockCacheBytes = storage.DefaultBlockCacheBytes
+
+// options is the merged configuration the functional Options fold
+// into: encode-time knobs for Encode / NewColumnBuilder and open-time
+// knobs for OpenFile / OpenContainer. One Option type serves both
+// call sites; options irrelevant to a call are simply ignored by it.
+type options struct {
+	enc blocked.EncodeOptions
+	// open mirrors storage.OpenOptions plus the column selector.
+	cacheBytes   int64
+	mmap         bool
+	columnName   string
+	columnChosen bool
+}
+
+// Option configures Encode, NewColumnBuilder, OpenFile and
+// OpenContainer. Encode-time options (WithBlockSize, WithScheme, ...)
+// are ignored by the open functions, and open-time options
+// (WithBlockCache, WithMmap, WithColumn) are ignored by the encode
+// functions — except WithParallelism, which both honor: at encode
+// time it bounds concurrent block encoders, and on an opened column
+// it bounds concurrent block scans.
+type Option func(*options)
 
 // WithBlockSize partitions the input into blocks of n values, each
 // compressed with its own independently chosen composite scheme.
@@ -16,14 +42,14 @@ type Option func(*blocked.EncodeOptions)
 // behavior). Smaller blocks adapt the scheme to local structure and
 // sharpen block skipping; larger blocks amortize per-block headers.
 func WithBlockSize(n int) Option {
-	return func(o *blocked.EncodeOptions) { o.BlockSize = n }
+	return func(o *options) { o.enc.BlockSize = n }
 }
 
 // WithScheme fixes the compression scheme for every block, skipping
 // the analyzer. Use ParseScheme or the scheme constructors (RLENS,
 // FORNS, ...) to build s.
 func WithScheme(s Scheme) Option {
-	return func(o *blocked.EncodeOptions) { o.Scheme = s }
+	return func(o *options) { o.enc.Scheme = s }
 }
 
 // WithCostBudget disqualifies candidate schemes whose abstract
@@ -31,32 +57,65 @@ func WithScheme(s Scheme) Option {
 // size-vs-decompression-cost knob. A plain copy costs about 1.0; NS
 // about 1.5; Elias about 6.0. Zero means unbounded.
 func WithCostBudget(budget float64) Option {
-	return func(o *blocked.EncodeOptions) { o.CostBudget = budget }
+	return func(o *options) { o.enc.CostBudget = budget }
 }
 
 // WithParallelism bounds the number of blocks encoded (and decoded)
 // concurrently. p <= 0 means GOMAXPROCS.
 func WithParallelism(p int) Option {
-	return func(o *blocked.EncodeOptions) { o.Parallelism = p }
+	return func(o *options) { o.enc.Parallelism = p }
 }
 
 // WithSampleSize caps the prefix sample the per-block analyzer
 // evaluates candidates on; 0 means 65536.
 func WithSampleSize(n int) Option {
-	return func(o *blocked.EncodeOptions) { o.SampleSize = n }
+	return func(o *options) { o.enc.SampleSize = n }
 }
 
 // WithExtraCandidates appends hand-built composites to every block's
 // analyzer search space.
 func WithExtraCandidates(extra ...Candidate) Option {
-	return func(o *blocked.EncodeOptions) { o.Extra = append(o.Extra, extra...) }
+	return func(o *options) { o.enc.Extra = append(o.enc.Extra, extra...) }
 }
 
-// buildOptions folds opts into a blocked.EncodeOptions.
-func buildOptions(opts []Option) blocked.EncodeOptions {
-	var o blocked.EncodeOptions
+// WithBlockCache sets the byte budget of an opened container's block
+// cache: raw, checksum-verified block payloads kept under an LRU
+// policy and shared across every query on the container, so hot
+// blocks decode from cached bytes while cold blocks never enter
+// memory. bytes <= 0 disables caching entirely; without this option,
+// OpenFile and OpenContainer use DefaultBlockCacheBytes.
+func WithBlockCache(bytes int64) Option {
+	return func(o *options) { o.cacheBytes = bytes }
+}
+
+// WithMmap asks OpenFile / OpenContainer to memory-map the container
+// instead of issuing positioned reads, letting the OS page cache own
+// residency. On platforms without mmap support (or if the mapping
+// fails) the open silently falls back to positioned reads; OpenReader
+// ignores the option, having no file to map.
+func WithMmap(enabled bool) Option {
+	return func(o *options) { o.mmap = enabled }
+}
+
+// WithColumn selects which named column OpenFile returns from a
+// multi-column container. Without it, OpenFile requires the container
+// to hold exactly one column.
+func WithColumn(name string) Option {
+	return func(o *options) { o.columnName = name; o.columnChosen = true }
+}
+
+// buildOptions folds opts into the merged options, applying open-path
+// defaults.
+func buildOptions(opts []Option) options {
+	o := options{cacheBytes: DefaultBlockCacheBytes}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	return o
+}
+
+// openOptions projects the merged options onto the storage layer's
+// open configuration.
+func (o *options) openOptions() storage.OpenOptions {
+	return storage.OpenOptions{CacheBytes: o.cacheBytes, Mmap: o.mmap}
 }
