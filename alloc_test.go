@@ -121,6 +121,58 @@ func TestFusedScanAllocs(t *testing.T) {
 	})
 }
 
+// TestTableScanAllocs: the steady-state two-predicate table scan —
+// per-block cross-column planning, fused leaf evaluation, word-
+// granular bitmap intersection, pooled scan handle — allocates
+// nothing once the pools are warm, and neither does the
+// late-materialized aggregation over the surviving selection (ISSUE
+// 4's acceptance criteria: bitmap intersection must not allocate).
+func TestTableScanAllocs(t *testing.T) {
+	const n, bs = 1 << 15, 1 << 12
+	date := workload.Sorted(n, 1<<40, 21)
+	status := workload.LowCardinality(n, 4, 22)
+	amount := workload.RandomWalk(n, 10, 1<<30, 23)
+	var cols []lwcomp.NamedColumn
+	for _, c := range []struct {
+		name string
+		data []int64
+	}{{"date", date}, {"status", status}, {"amount", amount}} {
+		col, err := lwcomp.Encode(c.data, lwcomp.WithBlockSize(bs), lwcomp.WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols = append(cols, lwcomp.NamedColumn{Name: c.name, Col: col})
+	}
+	tbl, err := lwcomp.NewTable(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := date[n/4], date[3*n/4]
+	expr := lwcomp.And(lwcomp.Range("date", lo, hi), lwcomp.Eq("status", status[n/3]))
+
+	mustZeroAllocs(t, "table-scan-two-predicate", func() {
+		s, err := tbl.Scan(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Count() == 0 {
+			t.Fatal("scan found nothing; the fixture is broken")
+		}
+		s.Release()
+	})
+
+	s, err := tbl.Scan(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	mustZeroAllocs(t, "table-scan-sum", func() {
+		if _, err := s.Sum("amount"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // TestSelectRangeSelMatchesRows: the bitmap boundary conversion and
 // the selection itself agree with SelectRange on a mixed column.
 func TestSelectRangeSelMatchesRows(t *testing.T) {

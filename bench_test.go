@@ -826,3 +826,75 @@ func BenchmarkLazyOpen(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkTableScan measures the PR-4 two-predicate table scan —
+// cross-column per-block planning, fused leaf evaluation, bitmap
+// intersection, late-materialized sum — against decompress-then-
+// filter over the same columns (table: lwcbench -exp Q).
+func BenchmarkTableScan(b *testing.B) {
+	date := workload.OrderShipDates(benchN, 64, 730120, 42)
+	status := workload.LowCardinality(benchN, 8, 43)
+	amount := workload.RandomWalk(benchN, 10, 1<<30, 44)
+	var cols []lwcomp.NamedColumn
+	for _, c := range []struct {
+		name string
+		data []int64
+	}{{"date", date}, {"status", status}, {"amount", amount}} {
+		col, err := lwcomp.Encode(c.data, lwcomp.WithBlockSize(1<<14))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cols = append(cols, lwcomp.NamedColumn{Name: c.name, Col: col})
+	}
+	tbl, err := lwcomp.NewTable(cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := date[benchN/2], date[benchN/2+benchN/10]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	expr := lwcomp.And(lwcomp.Range("date", lo, hi), lwcomp.Eq("status", status[benchN/2]))
+
+	b.Run("pushdown-count-sum", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := tbl.Scan(expr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Count() == 0 {
+				b.Fatal("scan matched nothing")
+			}
+			if _, err := s.Sum("amount"); err != nil {
+				b.Fatal(err)
+			}
+			s.Release()
+		}
+		reportElems(b, benchN)
+	})
+	b.Run("decompress-then-filter", func(b *testing.B) {
+		bufs := [3][]int64{make([]int64, benchN), make([]int64, benchN), make([]int64, benchN)}
+		sv := status[benchN/2]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for ci := range cols {
+				if err := cols[ci].Col.DecompressInto(bufs[ci]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var count, sum int64
+			for r := 0; r < benchN; r++ {
+				if bufs[0][r] >= lo && bufs[0][r] <= hi && bufs[1][r] == sv {
+					count++
+					sum += bufs[2][r]
+				}
+			}
+			if count == 0 && sum == 0 {
+				b.Fatal("filter matched nothing")
+			}
+		}
+		reportElems(b, benchN)
+	})
+}

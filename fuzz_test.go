@@ -6,6 +6,175 @@ import (
 	"lwcomp"
 )
 
+// FuzzTableScanEquivalence asserts the table-scan subsystem — the
+// expression tree, the per-block cross-column planner, the bitmap
+// intersection ops, the misaligned whole-column fallback and the
+// late-materialized aggregation — answers identically to
+// decompress-all-then-filter on random multi-column data and random
+// expression trees. raw seeds three columns of different character
+// (low-cardinality, signed walk, widened), shape steers block sizes
+// (aligned and misaligned), worker counts and value derivation, and
+// prog is a byte program the expression generator consumes.
+func FuzzTableScanEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0), []byte{4, 0, 1, 2, 5})
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint8(7), []byte{5, 3, 0, 1, 2, 3, 4})
+	f.Add([]byte{255, 0, 255, 0, 9, 9, 9, 9}, uint8(129), []byte{3, 4, 1, 1, 2, 2, 9})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(64), []byte{2, 0, 7, 7, 7})
+
+	f.Fuzz(func(t *testing.T, raw []byte, shape uint8, prog []byte) {
+		if len(raw) == 0 || len(raw) > 1024 || len(prog) == 0 || len(prog) > 48 {
+			return
+		}
+		n := len(raw)
+		data := [3][]int64{make([]int64, n), make([]int64, n), make([]int64, n)}
+		var acc int64
+		for i, b := range raw {
+			data[0][i] = int64(b & 7) // low cardinality
+			acc += int64(int8(b))
+			data[1][i] = acc // signed walk
+			data[2][i] = int64(b) << 20
+		}
+		names := [3]string{"a", "b", "c"}
+
+		blockSizes := []int{0, 7, 64, 100}
+		baseBS := blockSizes[int(shape)%len(blockSizes)]
+		workers := 1 + int(shape>>6) // 1..4
+		var cols []lwcomp.NamedColumn
+		for ci := 0; ci < 3; ci++ {
+			bs := baseBS
+			if shape&0x20 != 0 {
+				// Misaligned table: per-column block sizes.
+				bs = blockSizes[(int(shape)+ci)%len(blockSizes)]
+			}
+			col, err := lwcomp.Encode(data[ci],
+				lwcomp.WithBlockSize(bs), lwcomp.WithParallelism(workers))
+			if err != nil {
+				t.Fatalf("Encode %s: %v", names[ci], err)
+			}
+			cols = append(cols, lwcomp.NamedColumn{Name: names[ci], Col: col})
+		}
+		tbl, err := lwcomp.NewTable(cols)
+		if err != nil {
+			t.Fatalf("NewTable: %v", err)
+		}
+
+		// Build the expression and its naive row-filter reference in
+		// lockstep from the program bytes.
+		pos := 0
+		read := func() byte {
+			if pos < len(prog) {
+				v := prog[pos]
+				pos++
+				return v
+			}
+			return 0
+		}
+		// value derives a comparison bound near the column's actual
+		// values, so predicates are neither always-false nor
+		// always-true.
+		value := func(ci int) int64 {
+			return data[ci][int(read())%n] + int64(int8(read()))
+		}
+		var gen func(depth int) (lwcomp.Expr, func(i int) bool)
+		gen = func(depth int) (lwcomp.Expr, func(i int) bool) {
+			op := int(read()) % 6
+			if depth >= 3 {
+				op %= 3 // force a leaf
+			}
+			ci := int(read()) % 3
+			col, d := names[ci], data[ci]
+			switch op {
+			case 0: // range (possibly inverted: matches nothing)
+				lo, hi := value(ci), value(ci)
+				return lwcomp.Range(col, lo, hi),
+					func(i int) bool { return d[i] >= lo && d[i] <= hi }
+			case 1:
+				v := value(ci)
+				return lwcomp.Eq(col, v), func(i int) bool { return d[i] == v }
+			case 2:
+				k := 1 + int(read())%4
+				vals := make([]int64, k)
+				for j := range vals {
+					vals[j] = value(ci)
+				}
+				return lwcomp.In(col, vals...), func(i int) bool {
+					for _, v := range vals {
+						if d[i] == v {
+							return true
+						}
+					}
+					return false
+				}
+			case 3:
+				k, kr := gen(depth + 1)
+				return lwcomp.Not(k), func(i int) bool { return !kr(i) }
+			case 4:
+				k1, r1 := gen(depth + 1)
+				k2, r2 := gen(depth + 1)
+				return lwcomp.And(k1, k2), func(i int) bool { return r1(i) && r2(i) }
+			default:
+				k1, r1 := gen(depth + 1)
+				k2, r2 := gen(depth + 1)
+				return lwcomp.Or(k1, k2), func(i int) bool { return r1(i) || r2(i) }
+			}
+		}
+		expr, ref := gen(0)
+
+		wantRows := []int64{}
+		var wantSum int64
+		wantVals := []int64{}
+		for i := 0; i < n; i++ {
+			if ref(i) {
+				wantRows = append(wantRows, int64(i))
+				wantSum += data[2][i]
+				wantVals = append(wantVals, data[2][i])
+			}
+		}
+
+		scan, err := tbl.Scan(expr)
+		if err != nil {
+			t.Fatalf("Scan(%s): %v", expr, err)
+		}
+		defer scan.Release()
+		if got := scan.Rows(); !equal(got, wantRows) {
+			t.Fatalf("Scan(%s): got %d rows, want %d (bs=%d workers=%d aligned=%v)",
+				expr, len(got), len(wantRows), baseBS, workers, tbl.Aligned())
+		}
+		if got := scan.Count(); got != len(wantRows) {
+			t.Fatalf("Count = %d, want %d", got, len(wantRows))
+		}
+		gotSum, err := scan.Sum("c")
+		if err != nil {
+			t.Fatalf("Sum: %v", err)
+		}
+		if gotSum != wantSum {
+			t.Fatalf("Sum(%s) = %d, want %d", expr, gotSum, wantSum)
+		}
+		gotVals, err := scan.Materialize("c")
+		if err != nil {
+			t.Fatalf("Materialize: %v", err)
+		}
+		if !equal(gotVals, wantVals) {
+			t.Fatalf("Materialize(%s): %d values, want %d", expr, len(gotVals), len(wantVals))
+		}
+
+		// The parser round-trips the rendered expression to the same
+		// row set.
+		back, err := lwcomp.ParsePredicate(expr.String())
+		if err != nil {
+			t.Fatalf("ParsePredicate(%q): %v", expr, err)
+		}
+		scan2, err := tbl.Scan(back)
+		if err != nil {
+			t.Fatalf("Scan(parsed %q): %v", expr, err)
+		}
+		defer scan2.Release()
+		if scan2.Count() != len(wantRows) {
+			t.Fatalf("parsed scan = %d rows, want %d", scan2.Count(), len(wantRows))
+		}
+	})
+}
+
 // FuzzSelectRangeEquivalence asserts the compressed-scan subsystem —
 // bitmap selections, fused unpack-and-compare kernels, block
 // skipping, parallel block merge — answers range queries identically

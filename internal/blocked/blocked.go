@@ -305,7 +305,7 @@ func (c *Column) DecompressInto(dst []int64) error {
 		}
 		return nil
 	}
-	return parallelFor(workers, len(c.Blocks), func(i int) error {
+	return ParallelFor(workers, len(c.Blocks), func(i int) error {
 		s := core.GetScratch()
 		defer s.Release()
 		return c.decompressBlockInto(dst, i, s)
@@ -353,7 +353,7 @@ func (c *Column) Sum() (int64, error) {
 		return total, nil
 	}
 	var total int64
-	err := parallelFor(workers, len(c.Blocks), func(i int) error {
+	err := ParallelFor(workers, len(c.Blocks), func(i int) error {
 		f, err := c.form(i)
 		if err != nil {
 			return err
@@ -438,33 +438,48 @@ func (c *Column) Max() (int64, error) {
 	return m, nil
 }
 
-// blockClass is the stat-pruning trichotomy for a range query.
-type blockClass uint8
+// RangeClass is the stat-pruning trichotomy for a range predicate
+// against a block's [min, max]: refuted, proved, or undecided. The
+// table-scan planner consumes it to skip block fetches per conjunct.
+type RangeClass uint8
 
 const (
-	blockMiss blockClass = iota // [min,max] disjoint from [lo,hi]
-	blockAll                    // [min,max] inside [lo,hi]
-	blockPart                   // must consult the form
+	// RangeMiss: the stats refute the predicate — no row can match.
+	RangeMiss RangeClass = iota
+	// RangeAll: the stats prove the predicate — every row matches.
+	RangeAll
+	// RangePart: the stats cannot decide; the payload must be
+	// consulted. Blocks without recorded stats always classify here.
+	RangePart
 )
 
-func (b *Block) classify(lo, hi int64) blockClass {
+// ClassifyRange places the value range [lo, hi] against the block's
+// stats. An empty range (lo > hi) is always a miss.
+func (b *Block) ClassifyRange(lo, hi int64) RangeClass {
+	if lo > hi {
+		return RangeMiss
+	}
 	if !b.HasStats {
-		return blockPart
+		return RangePart
 	}
 	if b.Max < lo || b.Min > hi {
-		return blockMiss
+		return RangeMiss
 	}
 	if b.Min >= lo && b.Max <= hi {
-		return blockAll
+		return RangeAll
 	}
-	return blockPart
+	return RangePart
+}
+
+func (b *Block) classify(lo, hi int64) RangeClass {
+	return b.ClassifyRange(lo, hi)
 }
 
 // scanState is the pooled per-query state of the parallel scan paths:
 // block classifications, the indices of straddling blocks, and the
 // per-block selections parallel workers fill.
 type scanState struct {
-	classes []blockClass
+	classes []RangeClass
 	parts   []int
 	counts  []int64
 	sels    []*sel.Selection
@@ -477,7 +492,7 @@ var scanPool = sync.Pool{New: func() any { return new(scanState) }}
 func getScanState(nblocks int) *scanState {
 	st := scanPool.Get().(*scanState)
 	if cap(st.classes) < nblocks {
-		st.classes = make([]blockClass, nblocks)
+		st.classes = make([]RangeClass, nblocks)
 	} else {
 		st.classes = st.classes[:nblocks]
 	}
@@ -505,20 +520,20 @@ func (st *scanState) release() { scanPool.Put(st) }
 func (c *Column) classifyBlocks(st *scanState, lo, hi int64) {
 	for i := range c.Blocks {
 		st.classes[i] = c.Blocks[i].classify(lo, hi)
-		if st.classes[i] == blockPart {
+		if st.classes[i] == RangePart {
 			st.parts = append(st.parts, i)
 		}
 	}
 }
 
-// parallelFor fans fn out over indices [0, n) from the given number
+// ParallelFor fans fn out over indices [0, n) from the given number
 // of goroutines, drawing work from an atomic counter, and returns the
 // first error (workers drain remaining indices after an error —
 // blocks are independent and bounded, so cancellation plumbing is not
 // worth its cost). Callers keep their workers<=1 loops inline:
 // constructing the fn closure allocates, which the serial zero-alloc
 // scan paths must avoid.
-func parallelFor(workers, n int, fn func(i int) error) error {
+func ParallelFor(workers, n int, fn func(i int) error) error {
 	var (
 		wg    sync.WaitGroup
 		next  int64 = -1
@@ -563,7 +578,7 @@ func (c *Column) forEachPart(st *scanState, fn func(blockIdx int) error) error {
 		}
 		return nil
 	}
-	return parallelFor(workers, len(st.parts), func(i int) error {
+	return ParallelFor(workers, len(st.parts), func(i int) error {
 		return fn(st.parts[i])
 	})
 }
@@ -583,10 +598,10 @@ func (c *Column) CountRange(lo, hi int64) (int64, error) {
 	for i := range c.Blocks {
 		b := &c.Blocks[i]
 		switch b.classify(lo, hi) {
-		case blockMiss:
-		case blockAll:
+		case RangeMiss:
+		case RangeAll:
 			total += int64(b.Count)
-		case blockPart:
+		case RangePart:
 			st.parts = append(st.parts, i)
 		}
 	}
@@ -679,9 +694,9 @@ func (c *Column) SelectRangeSel(lo, hi int64) (*sel.Selection, error) {
 		for i := range c.Blocks {
 			b := &c.Blocks[i]
 			switch st.classes[i] {
-			case blockAll:
+			case RangeAll:
 				dst.AddRun(int(b.Start), b.Count)
-			case blockPart:
+			case RangePart:
 				dst.OrAt(st.sels[i], int(b.Start))
 				st.sels[i].Release()
 				st.sels[i] = nil
@@ -694,9 +709,9 @@ func (c *Column) SelectRangeSel(lo, hi int64) (*sel.Selection, error) {
 	for i := range c.Blocks {
 		b := &c.Blocks[i]
 		switch st.classes[i] {
-		case blockAll:
+		case RangeAll:
 			dst.AddRun(int(b.Start), b.Count)
-		case blockPart:
+		case RangePart:
 			f, err := c.form(i)
 			if err != nil {
 				dst.Release()
@@ -711,17 +726,138 @@ func (c *Column) SelectRangeSel(lo, hi int64) (*sel.Selection, error) {
 	return dst, nil
 }
 
+// SelectBlockRangeSel evaluates the predicate lo ≤ v ≤ hi on block i
+// alone, ORing the block's matches into dst at bit offset base (row r
+// of the block sets bit base+r). Stats prune first: a refuted block
+// touches nothing and a proved block emits its whole span as one run,
+// neither fetching the payload — only RangePart blocks decode,
+// through the fused kernels where the form allows. It is the leaf
+// evaluation hook of the table-scan planner, which drives one call
+// per undecided block per predicate leaf and intersects the results.
+func (c *Column) SelectBlockRangeSel(i int, lo, hi int64, dst *sel.Selection, base int) error {
+	if i < 0 || i >= len(c.Blocks) {
+		return fmt.Errorf("blocked: block %d out of range [0, %d)", i, len(c.Blocks))
+	}
+	b := &c.Blocks[i]
+	if b.Count == 0 {
+		return nil
+	}
+	switch b.ClassifyRange(lo, hi) {
+	case RangeMiss:
+		return nil
+	case RangeAll:
+		dst.AddRun(base, b.Count)
+		return nil
+	}
+	f, err := c.form(i)
+	if err != nil {
+		return err
+	}
+	return query.SelectRangeSel(f, lo, hi, dst, base)
+}
+
+// DecompressBlock decodes block i alone into dst, whose length must
+// equal the block's count. The table scan's late-materialization
+// paths use it to decode only the blocks holding surviving rows;
+// temporaries come from the pooled scratch arena, so a reused dst
+// keeps the steady state allocation-free.
+func (c *Column) DecompressBlock(i int, dst []int64) error {
+	if i < 0 || i >= len(c.Blocks) {
+		return fmt.Errorf("blocked: block %d out of range [0, %d)", i, len(c.Blocks))
+	}
+	b := &c.Blocks[i]
+	if len(dst) != b.Count {
+		return fmt.Errorf("%w: DecompressBlock dst length %d, block %d holds %d",
+			core.ErrCorruptForm, len(dst), i, b.Count)
+	}
+	f, err := c.form(i)
+	if err != nil {
+		return err
+	}
+	s := core.GetScratch()
+	defer s.Release()
+	if err := core.DecompressInto(f, dst, s); err != nil {
+		return fmt.Errorf("blocked: block %d: %w", i, err)
+	}
+	return nil
+}
+
+// SumBlock returns the exact sum of block i, computed on the
+// compressed form (runs and models sum without materializing). The
+// table scan uses it for blocks whose every row survives the
+// predicate, where decoding would be pure waste.
+func (c *Column) SumBlock(i int) (int64, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return 0, fmt.Errorf("blocked: block %d out of range [0, %d)", i, len(c.Blocks))
+	}
+	f, err := c.form(i)
+	if err != nil {
+		return 0, err
+	}
+	return query.Sum(f)
+}
+
+// BoundariesEqual reports whether c and o partition their rows
+// identically: same length, same block count, and the same
+// (start, count) for every block. Identical boundaries are what lets
+// the table-scan planner intersect per-column block verdicts
+// block-by-block; columns encoded from equal-length inputs with the
+// same block size always align.
+func (c *Column) BoundariesEqual(o *Column) bool {
+	if c.N != o.N || len(c.Blocks) != len(o.Blocks) {
+		return false
+	}
+	for i := range c.Blocks {
+		if c.Blocks[i].Start != o.Blocks[i].Start || c.Blocks[i].Count != o.Blocks[i].Count {
+			return false
+		}
+	}
+	return true
+}
+
+// CacheStats reports the block-cache traffic a cached block source
+// has served — lookups by outcome, evictions, and resident bytes
+// against budget.
+type CacheStats struct {
+	// Hits and Misses count cache lookups by outcome.
+	Hits, Misses int64
+	// Evictions counts entries dropped to make room.
+	Evictions int64
+	// BytesUsed is the current resident payload total.
+	BytesUsed int64
+	// BytesBudget is the configured capacity.
+	BytesBudget int64
+}
+
+// CacheStatsSource is implemented by block sources backed by a shared
+// payload cache (the lazily opened container's per-column readers).
+type CacheStatsSource interface {
+	// CacheStats snapshots the source's cache counters.
+	CacheStats() CacheStats
+}
+
+// CacheStats snapshots the block-cache counters behind a lazily
+// opened column — the same shared cache the owning container reports,
+// reachable here without holding the container handle. ok is false
+// for in-memory columns and sources without a cache.
+func (c *Column) CacheStats() (stats CacheStats, ok bool) {
+	if s, isCached := c.Source.(CacheStatsSource); isCached {
+		return s.CacheStats(), true
+	}
+	return CacheStats{}, false
+}
+
 // SkipStats reports how block skipping would treat a range query:
 // blocks skipped outright, emitted whole, and consulted. Benchmarks
 // and Describe use it to make pruning observable.
 func (c *Column) SkipStats(lo, hi int64) (skipped, whole, consulted int) {
 	for i := range c.Blocks {
 		switch c.Blocks[i].classify(lo, hi) {
-		case blockMiss:
+		case RangeMiss:
 			skipped++
-		case blockAll:
+		case RangeAll:
 			whole++
-		case blockPart:
+		case RangePart:
 			consulted++
 		}
 	}

@@ -135,6 +135,83 @@ func (s *Selection) Union(o *Selection) error {
 	return nil
 }
 
+// And intersects s with o in place: a row stays selected only if both
+// selections hold it. One AND per word, no allocation — this is the
+// conjunction operation of the table scan's per-block predicate
+// intersection. The domains must match.
+func (s *Selection) And(o *Selection) error {
+	if o.n != s.n {
+		return fmt.Errorf("sel: And domains differ: %d vs %d", s.n, o.n)
+	}
+	for w, m := range o.words {
+		s.words[w] &= m
+	}
+	return nil
+}
+
+// AndNot removes o's rows from s in place (set difference s \ o), one
+// AND-NOT per word. The domains must match.
+func (s *Selection) AndNot(o *Selection) error {
+	if o.n != s.n {
+		return fmt.Errorf("sel: AndNot domains differ: %d vs %d", s.n, o.n)
+	}
+	for w, m := range o.words {
+		s.words[w] &^= m
+	}
+	return nil
+}
+
+// Not complements s in place over its whole domain [0, n): every
+// selected row is dropped and every unselected row selected. Bits
+// beyond the domain in the last word stay zero, preserving the
+// invariant Count relies on. It is how NOT nodes of a predicate tree
+// evaluate once their operand's selection is known.
+func (s *Selection) Not() {
+	for w := range s.words {
+		s.words[w] = ^s.words[w]
+	}
+	if tail := uint(s.n) & 63; tail != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= allOnes >> (64 - tail)
+	}
+}
+
+// CountRange returns the number of selected rows in [lo, hi), reading
+// only the words the range covers (edge words under a mask). It is
+// the per-block cardinality probe of the table scan's aggregation
+// paths: a block whose range counts zero is never fetched.
+func (s *Selection) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	firstWord := lo >> 6
+	lastWord := (hi - 1) >> 6
+	startBit := uint(lo) & 63
+	endBits := uint(hi-1)&63 + 1
+	if firstWord == lastWord {
+		m := (allOnes >> (64 - endBits + startBit)) << startBit
+		return bits.OnesCount64(s.words[firstWord] & m)
+	}
+	c := bits.OnesCount64(s.words[firstWord] & (allOnes << startBit))
+	for w := firstWord + 1; w < lastWord; w++ {
+		c += bits.OnesCount64(s.words[w])
+	}
+	return c + bits.OnesCount64(s.words[lastWord]&(allOnes>>(64-endBits)))
+}
+
+// Words returns the selection's backing bitmap: word w holds rows
+// [64w, 64w+64), row i at bit i&63, and bits at or beyond n are
+// always zero. The slice is a live view — callers must treat it as
+// read-only and must not retain it past the selection's Release. It
+// exists for word-at-a-time consumers (masked aggregation over a
+// decoded block) that cannot afford a per-row callback.
+func (s *Selection) Words() []uint64 { return s.words }
+
 // Count returns the number of selected rows (the rank of the full
 // domain), one popcount per word.
 func (s *Selection) Count() int {

@@ -155,6 +155,122 @@ func TestPoolReuse(t *testing.T) {
 	}
 }
 
+// TestAndAndNotRandom pins the word-granular intersection operations
+// against naive row-set intersection/difference on random selections
+// across word-boundary domain sizes (the satellite acceptance test of
+// the table-scan PR: And/AndNot must agree with set algebra exactly).
+func TestAndAndNotRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 129, 1000, 4096} {
+		for trial := 0; trial < 20; trial++ {
+			a, b := Get(n), Get(n)
+			refA, refB := make(reference, n), make(reference, n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(3) == 0 {
+					a.Add(i)
+					refA[i] = true
+				}
+				if rng.Intn(3) == 0 {
+					b.Add(i)
+					refB[i] = true
+				}
+			}
+
+			and := Get(n)
+			and.Union(a)
+			if err := and.And(b); err != nil {
+				t.Fatal(err)
+			}
+			wantAnd := []int64{}
+			for i := range refA {
+				if refA[i] && refB[i] {
+					wantAnd = append(wantAnd, int64(i))
+				}
+			}
+			if got := and.Rows(); !equal(got, wantAnd) {
+				t.Fatalf("n=%d: And mismatch: got %d rows, want %d", n, len(got), len(wantAnd))
+			}
+
+			diff := Get(n)
+			diff.Union(a)
+			if err := diff.AndNot(b); err != nil {
+				t.Fatal(err)
+			}
+			wantDiff := []int64{}
+			for i := range refA {
+				if refA[i] && !refB[i] {
+					wantDiff = append(wantDiff, int64(i))
+				}
+			}
+			if got := diff.Rows(); !equal(got, wantDiff) {
+				t.Fatalf("n=%d: AndNot mismatch: got %d rows, want %d", n, len(got), len(wantDiff))
+			}
+
+			not := Get(n)
+			not.Union(a)
+			not.Not()
+			wantNot := []int64{}
+			for i := range refA {
+				if !refA[i] {
+					wantNot = append(wantNot, int64(i))
+				}
+			}
+			if got := not.Rows(); !equal(got, wantNot) {
+				t.Fatalf("n=%d: Not mismatch: got %d rows, want %d", n, len(got), len(wantNot))
+			}
+			if not.Count() != n-a.Count() {
+				t.Fatalf("n=%d: Not count %d, want %d", n, not.Count(), n-a.Count())
+			}
+
+			// CountRange against Rank over random sub-ranges.
+			for probe := 0; probe < 8; probe++ {
+				lo := rng.Intn(n + 1)
+				hi := lo + rng.Intn(n-lo+1)
+				if got, want := a.CountRange(lo, hi), a.Rank(hi)-a.Rank(lo); got != want {
+					t.Fatalf("n=%d: CountRange(%d, %d) = %d, want %d", n, lo, hi, got, want)
+				}
+			}
+
+			not.Release()
+			diff.Release()
+			and.Release()
+			b.Release()
+			a.Release()
+		}
+	}
+}
+
+// TestAndDomainMismatch: And/AndNot refuse mismatched domains like
+// Union does.
+func TestAndDomainMismatch(t *testing.T) {
+	a, b := New(100), New(101)
+	if err := a.And(b); err == nil {
+		t.Fatal("And with mismatched domain must error")
+	}
+	if err := a.AndNot(b); err == nil {
+		t.Fatal("AndNot with mismatched domain must error")
+	}
+}
+
+// TestCountRangeEdges covers clamping and single-word ranges.
+func TestCountRangeEdges(t *testing.T) {
+	s := New(130)
+	s.AddRun(60, 10) // straddles the word 0/1 boundary
+	for _, tc := range []struct{ lo, hi, want int }{
+		{0, 130, 10}, {60, 70, 10}, {61, 69, 8}, {64, 66, 2},
+		{-5, 1000, 10}, {70, 60, 0}, {0, 0, 0}, {129, 130, 0},
+	} {
+		if got := s.CountRange(tc.lo, tc.hi); got != tc.want {
+			t.Fatalf("CountRange(%d, %d) = %d, want %d", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+	empty := New(0)
+	empty.Not() // must not panic on a zero-word domain
+	if empty.CountRange(0, 0) != 0 {
+		t.Fatal("empty CountRange")
+	}
+}
+
 // TestEmptyAndBounds covers degenerate shapes.
 func TestEmptyAndBounds(t *testing.T) {
 	s := New(0)

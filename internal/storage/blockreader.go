@@ -406,6 +406,13 @@ func (r *colReader) BlockForm(i int) (*core.Form, error) {
 // container share one lifetime.
 func (r *colReader) Close() error { return r.cf.Close() }
 
+// CacheStats implements blocked.CacheStatsSource: it snapshots the
+// container's shared block cache, so a column handle can report cache
+// traffic without holding the ContainerFile. All columns of one
+// container share one cache; per-column fetches land in the same
+// counters.
+func (r *colReader) CacheStats() blocked.CacheStats { return r.cf.cache.stats() }
+
 // MemBlockReader is the in-memory BlockReader: a column's encoded
 // payloads held as byte slices. It mirrors the file-backed reader for
 // tests and for code that builds containers in memory.

@@ -3,6 +3,8 @@ package storage
 import (
 	"container/list"
 	"sync"
+
+	"lwcomp/internal/blocked"
 )
 
 // DefaultBlockCacheBytes is the block-cache budget used when a
@@ -125,17 +127,10 @@ func (c *blockCache) evictOldestLocked() {
 }
 
 // CacheStats reports a container's block-cache traffic. Zero values
-// when the container was opened without a cache.
-type CacheStats struct {
-	// Hits and Misses count cache lookups by outcome.
-	Hits, Misses int64
-	// Evictions counts entries dropped to make room.
-	Evictions int64
-	// BytesUsed is the current resident payload total.
-	BytesUsed int64
-	// BytesBudget is the configured capacity.
-	BytesBudget int64
-}
+// when the container was opened without a cache. The canonical type
+// lives in package blocked so a lazily opened column can expose the
+// same counters through Column.CacheStats without importing storage.
+type CacheStats = blocked.CacheStats
 
 // stats snapshots the cache counters.
 func (c *blockCache) stats() CacheStats {

@@ -1,0 +1,547 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strconv"
+	"strings"
+
+	"lwcomp/internal/blocked"
+	"lwcomp/internal/sel"
+)
+
+// Expr is a predicate over a table's columns: a tree of Range/Eq/In
+// leaves under And/Or/Not combinators, built once and reusable across
+// scans and tables. Expressions are immutable after construction and
+// safe for concurrent use; Table.Scan evaluates them per block on the
+// compressed columns. The interface is sealed — implementations live
+// in this package and arrive through the constructors.
+type Expr interface {
+	// String renders the predicate in the mini-language Parse accepts.
+	String() string
+
+	// check validates the expression against a table (columns exist,
+	// no nil children). It must not allocate on success: Scan calls it
+	// on the steady-state path.
+	check(t *Table) error
+	// prune classifies block blk with stats only, never fetching a
+	// payload.
+	prune(t *Table, blk int) tri
+	// evalBlock evaluates the predicate on block blk alone into dst,
+	// a cleared block-local selection (row r of the block is bit r).
+	// The planner only calls it when prune returned triUnknown.
+	evalBlock(t *Table, blk int, dst *sel.Selection) error
+	// evalWhole evaluates the predicate over the full column domain
+	// into dst, a cleared selection of t.n rows — the fallback for
+	// tables whose columns do not share block boundaries.
+	evalWhole(t *Table, dst *sel.Selection) error
+	// estimate guesses the fraction of block blk's rows that match,
+	// from stats alone; the conjunction planner evaluates the leaf
+	// with the smallest estimate first.
+	estimate(t *Table, blk int) float64
+}
+
+// tri is the three-valued verdict of stats-only pruning.
+type tri uint8
+
+const (
+	// triUnknown: the stats cannot decide; the payload must be
+	// consulted.
+	triUnknown tri = iota
+	// triFalse: the stats refute the predicate for every row.
+	triFalse
+	// triTrue: the stats prove the predicate for every row.
+	triTrue
+)
+
+// Range returns the predicate lo ≤ col ≤ hi (both bounds inclusive).
+// Use math.MinInt64 / math.MaxInt64 for half-open comparisons. An
+// inverted range (lo > hi) matches nothing.
+func Range(col string, lo, hi int64) Expr {
+	return &rangeNode{col: col, lo: lo, hi: hi}
+}
+
+// Eq returns the predicate col == v.
+func Eq(col string, v int64) Expr {
+	return &rangeNode{col: col, lo: v, hi: v}
+}
+
+// In returns the predicate col ∈ vals. The values are copied, sorted
+// and deduplicated; runs of consecutive integers evaluate as single
+// range probes. In with no values matches nothing.
+func In(col string, vals ...int64) Expr {
+	vs := slices.Clone(vals)
+	slices.Sort(vs)
+	vs = slices.Compact(vs)
+	return &inNode{col: col, vals: vs}
+}
+
+// And returns the conjunction of kids. And() with no operands matches
+// every row.
+func And(kids ...Expr) Expr {
+	return &andNode{kids: slices.Clone(kids)}
+}
+
+// Or returns the disjunction of kids. Or() with no operands matches
+// nothing.
+func Or(kids ...Expr) Expr {
+	return &orNode{kids: slices.Clone(kids)}
+}
+
+// Not returns the negation of kid.
+func Not(kid Expr) Expr {
+	return &notNode{kid: kid}
+}
+
+// rangeNode is the Range/Eq leaf: lo ≤ col ≤ hi.
+type rangeNode struct {
+	col    string
+	lo, hi int64
+}
+
+func (n *rangeNode) String() string {
+	switch {
+	case n.lo > n.hi:
+		return fmt.Sprintf("%s in ()", n.col) // the canonical never-matches form
+	case n.lo == n.hi:
+		return fmt.Sprintf("%s = %d", n.col, n.lo)
+	case n.lo == math.MinInt64:
+		return fmt.Sprintf("%s <= %d", n.col, n.hi)
+	case n.hi == math.MaxInt64:
+		return fmt.Sprintf("%s >= %d", n.col, n.lo)
+	default:
+		return fmt.Sprintf("%s >= %d and %s <= %d", n.col, n.lo, n.col, n.hi)
+	}
+}
+
+func (n *rangeNode) check(t *Table) error {
+	_, err := t.colByName(n.col)
+	return err
+}
+
+func (n *rangeNode) column(t *Table) *blocked.Column {
+	return t.cols[t.index[n.col]].Col
+}
+
+func (n *rangeNode) prune(t *Table, blk int) tri {
+	switch n.column(t).Blocks[blk].ClassifyRange(n.lo, n.hi) {
+	case blocked.RangeMiss:
+		return triFalse
+	case blocked.RangeAll:
+		return triTrue
+	default:
+		return triUnknown
+	}
+}
+
+func (n *rangeNode) evalBlock(t *Table, blk int, dst *sel.Selection) error {
+	return n.column(t).SelectBlockRangeSel(blk, n.lo, n.hi, dst, 0)
+}
+
+func (n *rangeNode) evalWhole(t *Table, dst *sel.Selection) error {
+	bm, err := n.column(t).SelectRangeSel(n.lo, n.hi)
+	if err != nil {
+		return err
+	}
+	err = dst.Union(bm)
+	bm.Release()
+	return err
+}
+
+func (n *rangeNode) estimate(t *Table, blk int) float64 {
+	b := &n.column(t).Blocks[blk]
+	if !b.HasStats || n.lo > n.hi {
+		return 1
+	}
+	lo, hi := n.lo, n.hi
+	if lo < b.Min {
+		lo = b.Min
+	}
+	if hi > b.Max {
+		hi = b.Max
+	}
+	if lo > hi {
+		return 0
+	}
+	// Assume values spread uniformly over the block's [min, max]; the
+	// float conversions keep full-int64 ranges from overflowing.
+	return (float64(hi) - float64(lo) + 1) / (float64(b.Max) - float64(b.Min) + 1)
+}
+
+// inNode is the In leaf: col ∈ vals, vals sorted and deduplicated.
+type inNode struct {
+	col  string
+	vals []int64
+}
+
+func (n *inNode) String() string {
+	var b strings.Builder
+	b.WriteString(n.col)
+	b.WriteString(" in (")
+	for i, v := range n.vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strconv.FormatInt(v, 10))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func (n *inNode) check(t *Table) error {
+	_, err := t.colByName(n.col)
+	return err
+}
+
+func (n *inNode) column(t *Table) *blocked.Column {
+	return t.cols[t.index[n.col]].Col
+}
+
+// runs visits the maximal runs of consecutive values in n.vals as
+// inclusive [lo, hi] ranges — In(3,4,5,9) probes [3,5] and [9,9].
+func (n *inNode) runs(visit func(lo, hi int64) error) error {
+	for i := 0; i < len(n.vals); {
+		j := i + 1
+		for j < len(n.vals) && n.vals[j] == n.vals[j-1]+1 {
+			j++
+		}
+		if err := visit(n.vals[i], n.vals[j-1]); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+func (n *inNode) prune(t *Table, blk int) tri {
+	if len(n.vals) == 0 {
+		return triFalse
+	}
+	b := &n.column(t).Blocks[blk]
+	if !b.HasStats {
+		return triUnknown
+	}
+	// First value ≥ min; the set overlaps the block iff it is ≤ max.
+	i, _ := slices.BinarySearch(n.vals, b.Min)
+	if i == len(n.vals) || n.vals[i] > b.Max {
+		return triFalse
+	}
+	if b.Min == b.Max {
+		// Constant block: overlap means the constant is in the set.
+		return triTrue
+	}
+	return triUnknown
+}
+
+func (n *inNode) evalBlock(t *Table, blk int, dst *sel.Selection) error {
+	c := n.column(t)
+	return n.runs(func(lo, hi int64) error {
+		return c.SelectBlockRangeSel(blk, lo, hi, dst, 0)
+	})
+}
+
+func (n *inNode) evalWhole(t *Table, dst *sel.Selection) error {
+	c := n.column(t)
+	return n.runs(func(lo, hi int64) error {
+		bm, err := c.SelectRangeSel(lo, hi)
+		if err != nil {
+			return err
+		}
+		err = dst.Union(bm)
+		bm.Release()
+		return err
+	})
+}
+
+func (n *inNode) estimate(t *Table, blk int) float64 {
+	b := &n.column(t).Blocks[blk]
+	if !b.HasStats {
+		return 1
+	}
+	width := float64(b.Max) - float64(b.Min) + 1
+	if est := float64(len(n.vals)) / width; est < 1 {
+		return est
+	}
+	return 1
+}
+
+// andNode is the conjunction combinator.
+type andNode struct {
+	kids []Expr
+}
+
+func (n *andNode) String() string { return joinKids(n.kids, " and ", "true") }
+
+func (n *andNode) check(t *Table) error { return checkKids(t, n.kids) }
+
+func (n *andNode) prune(t *Table, blk int) tri {
+	out := triTrue
+	for _, k := range n.kids {
+		switch k.prune(t, blk) {
+		case triFalse:
+			return triFalse
+		case triUnknown:
+			out = triUnknown
+		}
+	}
+	return out
+}
+
+// evalBlock evaluates the conjunction on one undecided block: the
+// undecided child with the smallest selectivity estimate runs first,
+// and every later child is skipped once the intersection is empty —
+// on a lazy container that means later columns' payloads are never
+// fetched. Children the stats already prove contribute nothing to the
+// intersection and are skipped outright.
+func (n *andNode) evalBlock(t *Table, blk int, dst *sel.Selection) error {
+	best, bestEst := -1, math.Inf(1)
+	for i, k := range n.kids {
+		switch k.prune(t, blk) {
+		case triFalse:
+			// Defensive: the planner never sends a refuted block here.
+			return nil
+		case triTrue:
+			continue
+		}
+		if est := k.estimate(t, blk); est < bestEst {
+			best, bestEst = i, est
+		}
+	}
+	if best < 0 {
+		// All children proved: the whole block matches.
+		dst.AddRun(0, dst.Len())
+		return nil
+	}
+	if err := n.kids[best].evalBlock(t, blk, dst); err != nil {
+		return err
+	}
+	for i, k := range n.kids {
+		if i == best || k.prune(t, blk) == triTrue {
+			continue
+		}
+		if dst.Count() == 0 {
+			return nil
+		}
+		tmp := sel.Get(dst.Len())
+		if err := k.evalBlock(t, blk, tmp); err != nil {
+			tmp.Release()
+			return err
+		}
+		err := dst.And(tmp)
+		tmp.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *andNode) evalWhole(t *Table, dst *sel.Selection) error {
+	if len(n.kids) == 0 {
+		dst.AddRun(0, dst.Len())
+		return nil
+	}
+	if err := n.kids[0].evalWhole(t, dst); err != nil {
+		return err
+	}
+	for _, k := range n.kids[1:] {
+		if dst.Count() == 0 {
+			return nil
+		}
+		tmp := sel.Get(dst.Len())
+		if err := k.evalWhole(t, tmp); err != nil {
+			tmp.Release()
+			return err
+		}
+		err := dst.And(tmp)
+		tmp.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *andNode) estimate(t *Table, blk int) float64 {
+	est := 1.0
+	for _, k := range n.kids {
+		est *= k.estimate(t, blk)
+	}
+	return est
+}
+
+// orNode is the disjunction combinator.
+type orNode struct {
+	kids []Expr
+}
+
+func (n *orNode) String() string { return joinKids(n.kids, " or ", "false") }
+
+func (n *orNode) check(t *Table) error { return checkKids(t, n.kids) }
+
+func (n *orNode) prune(t *Table, blk int) tri {
+	out := triFalse
+	for _, k := range n.kids {
+		switch k.prune(t, blk) {
+		case triTrue:
+			return triTrue
+		case triUnknown:
+			out = triUnknown
+		}
+	}
+	return out
+}
+
+func (n *orNode) evalBlock(t *Table, blk int, dst *sel.Selection) error {
+	for _, k := range n.kids {
+		switch k.prune(t, blk) {
+		case triFalse:
+			continue
+		case triTrue:
+			// Defensive: the planner never sends a proved block here.
+			dst.AddRun(0, dst.Len())
+			return nil
+		}
+		// Leaves OR their matches into dst, so they accumulate the
+		// union directly; composite children assume a cleared
+		// destination (And intersects into it, Not complements it) and
+		// must go through a pooled temporary.
+		if isLeaf(k) {
+			if err := k.evalBlock(t, blk, dst); err != nil {
+				return err
+			}
+			continue
+		}
+		tmp := sel.Get(dst.Len())
+		if err := k.evalBlock(t, blk, tmp); err != nil {
+			tmp.Release()
+			return err
+		}
+		err := dst.Union(tmp)
+		tmp.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *orNode) evalWhole(t *Table, dst *sel.Selection) error {
+	for _, k := range n.kids {
+		// See evalBlock: only leaves may share the destination.
+		if isLeaf(k) {
+			if err := k.evalWhole(t, dst); err != nil {
+				return err
+			}
+			continue
+		}
+		tmp := sel.Get(dst.Len())
+		if err := k.evalWhole(t, tmp); err != nil {
+			tmp.Release()
+			return err
+		}
+		err := dst.Union(tmp)
+		tmp.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// isLeaf reports whether e ORs its matches into the destination (and
+// so may share a partially filled one), as the Range/Eq/In leaves do.
+func isLeaf(e Expr) bool {
+	switch e.(type) {
+	case *rangeNode, *inNode:
+		return true
+	}
+	return false
+}
+
+func (n *orNode) estimate(t *Table, blk int) float64 {
+	est := 0.0
+	for _, k := range n.kids {
+		est += k.estimate(t, blk)
+	}
+	if est > 1 {
+		return 1
+	}
+	return est
+}
+
+// notNode is the negation combinator.
+type notNode struct {
+	kid Expr
+}
+
+func (n *notNode) String() string { return "not (" + n.kid.String() + ")" }
+
+func (n *notNode) check(t *Table) error {
+	if n.kid == nil {
+		return fmt.Errorf("table: Not(nil) expression")
+	}
+	return n.kid.check(t)
+}
+
+func (n *notNode) prune(t *Table, blk int) tri {
+	switch n.kid.prune(t, blk) {
+	case triTrue:
+		return triFalse
+	case triFalse:
+		return triTrue
+	default:
+		return triUnknown
+	}
+}
+
+func (n *notNode) evalBlock(t *Table, blk int, dst *sel.Selection) error {
+	if err := n.kid.evalBlock(t, blk, dst); err != nil {
+		return err
+	}
+	dst.Not()
+	return nil
+}
+
+func (n *notNode) evalWhole(t *Table, dst *sel.Selection) error {
+	if err := n.kid.evalWhole(t, dst); err != nil {
+		return err
+	}
+	dst.Not()
+	return nil
+}
+
+func (n *notNode) estimate(t *Table, blk int) float64 {
+	return 1 - n.kid.estimate(t, blk)
+}
+
+// joinKids renders a combinator's children, parenthesized, or the
+// identity literal when there are none.
+func joinKids(kids []Expr, sep, empty string) string {
+	if len(kids) == 0 {
+		return empty
+	}
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		if k == nil {
+			parts[i] = "<nil>"
+			continue
+		}
+		parts[i] = "(" + k.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// checkKids validates a combinator's children against t.
+func checkKids(t *Table, kids []Expr) error {
+	for _, k := range kids {
+		if k == nil {
+			return fmt.Errorf("table: nil expression operand")
+		}
+		if err := k.check(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

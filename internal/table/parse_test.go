@@ -1,0 +1,137 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSemantics parses predicates and checks the resulting trees
+// against reference row filters on a small table — semantics, not
+// syntax trees, are what the parser must get right.
+func TestParseSemantics(t *testing.T) {
+	const n = 4000
+	names, data := testData(n)
+	tbl, raw := buildTable(t, 512, names, data)
+	date, status, amount := data[0], data[1], data[2]
+	dMid := date[n/2]
+
+	for _, tc := range []struct {
+		src  string
+		pred func(row int) bool
+	}{
+		{"status = 1", func(r int) bool { return status[r] == 1 }},
+		{"status == 1", func(r int) bool { return status[r] == 1 }},
+		{"status != 1", func(r int) bool { return status[r] != 1 }},
+		{"date < 1000000", func(r int) bool { return date[r] < 1000000 }},
+		{"date <= 1000000", func(r int) bool { return date[r] <= 1000000 }},
+		{"amount > 0", func(r int) bool { return amount[r] > 0 }},
+		{"amount >= 0", func(r int) bool { return amount[r] >= 0 }},
+		{"status in (0, 2)", func(r int) bool { return status[r] == 0 || status[r] == 2 }},
+		{"status in ()", func(int) bool { return false }},
+		{"date >= " + itoa(dMid) + " and status = 1",
+			func(r int) bool { return date[r] >= dMid && status[r] == 1 }},
+		{"status = 0 or status = 3 and amount > 0", // and binds tighter
+			func(r int) bool { return status[r] == 0 || (status[r] == 3 && amount[r] > 0) }},
+		{"(status = 0 or status = 3) and amount > 0",
+			func(r int) bool { return (status[r] == 0 || status[r] == 3) && amount[r] > 0 }},
+		{"not status = 2", func(r int) bool { return status[r] != 2 }},
+		{"not (status = 2 or amount < 0)", func(r int) bool { return !(status[r] == 2 || amount[r] < 0) }},
+		{"NOT status = 2 AND amount > 0", // keywords are case-insensitive
+			func(r int) bool { return status[r] != 2 && amount[r] > 0 }},
+		{"amount > -100 and amount < 100",
+			func(r int) bool { return amount[r] > -100 && amount[r] < 100 }},
+		{"true", func(int) bool { return true }},
+		{"FALSE or status = 1", func(r int) bool { return status[r] == 1 }},
+		{"true and not false", func(int) bool { return true }},
+	} {
+		e, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.src, err)
+		}
+		checkScan(t, tbl, raw, "amount", e, tc.pred)
+
+		// Round trip: the rendered form parses back to the same rows.
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q) = %q): %v", tc.src, e.String(), err)
+		}
+		checkScan(t, tbl, raw, "amount", back, tc.pred)
+	}
+
+	// The empty combinators render as the true/false literals, which
+	// must parse back (the round-trip identity for every constructed
+	// expression, not just parser output).
+	for _, e := range []Expr{And(), Or(), Not(And()), And(Or(), Eq("status", 1))} {
+		if _, err := Parse(e.String()); err != nil {
+			t.Fatalf("Parse(String() = %q): %v", e.String(), err)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	b := []byte{}
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+// TestParseErrors pins rejection of malformed inputs with positioned
+// errors.
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"and",
+		"status =",
+		"= 3",
+		"status 3",
+		"status ~ 3",
+		"status = 3 extra",
+		"(status = 3",
+		"status in 3",
+		"status in (3",
+		"status in (3,)",
+		"status = 99999999999999999999",
+		"status = 3 and",
+		"a = 1 $ b = 2",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", src)
+		} else if !strings.Contains(err.Error(), "parse predicate") {
+			t.Fatalf("Parse(%q) error lacks context: %v", src, err)
+		}
+	}
+}
+
+// TestParseExtremeLiterals covers the int64 boundary operators that
+// must not overflow when translated to closed ranges.
+func TestParseExtremeLiterals(t *testing.T) {
+	names, data := testData(1000)
+	tbl, raw := buildTable(t, 256, names, data)
+	for _, tc := range []struct {
+		src  string
+		pred func(row int) bool
+	}{
+		{"amount < -9223372036854775808", func(int) bool { return false }},
+		{"amount > 9223372036854775807", func(int) bool { return false }},
+		{"amount >= -9223372036854775808", func(int) bool { return true }},
+		{"amount <= 9223372036854775807", func(int) bool { return true }},
+	} {
+		e, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.src, err)
+		}
+		checkScan(t, tbl, raw, "amount", e, tc.pred)
+	}
+}

@@ -1,0 +1,421 @@
+package table
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"lwcomp/internal/blocked"
+	"lwcomp/internal/core"
+	"lwcomp/internal/sel"
+	"lwcomp/internal/storage"
+)
+
+// Table is a queryable handle over the named columns of one logical
+// table: every column has the same number of rows, and — when the
+// columns share block boundaries — scans plan and skip per block
+// across all of them. Columns may be in-memory or lazily opened from
+// a container; a table over lazy columns fetches only the blocks its
+// scans admit.
+type Table struct {
+	cols  []storage.BlockedColumn
+	index map[string]int
+	n     int
+	// aligned reports whether every column shares cols[0]'s block
+	// boundaries, enabling the per-block cross-column plan.
+	aligned bool
+	// Parallelism bounds the number of blocks scanned concurrently;
+	// <= 0 means GOMAXPROCS. New seeds it from the first column.
+	Parallelism int
+	closer      io.Closer
+}
+
+// New builds a table over cols, validating that there is at least one
+// column, that names are unique and non-empty, and that every column
+// has the same row count. closer, if non-nil, is released by Close —
+// the open container behind lazily opened columns. The table borrows
+// the column handles; it does not copy them.
+func New(cols []storage.BlockedColumn, closer io.Closer) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("table: no columns")
+	}
+	t := &Table{
+		cols:   cols,
+		index:  make(map[string]int, len(cols)),
+		closer: closer,
+	}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("table: column %d has no name", i)
+		}
+		if c.Col == nil {
+			return nil, fmt.Errorf("table: column %q is nil", c.Name)
+		}
+		if _, dup := t.index[c.Name]; dup {
+			return nil, fmt.Errorf("table: duplicate column %q", c.Name)
+		}
+		t.index[c.Name] = i
+		if i == 0 {
+			t.n = c.Col.N
+		} else if c.Col.N != t.n {
+			return nil, fmt.Errorf("table: column %q has %d rows, %q has %d",
+				c.Name, c.Col.N, cols[0].Name, t.n)
+		}
+	}
+	t.aligned = true
+	for _, c := range cols[1:] {
+		if !cols[0].Col.BoundariesEqual(c.Col) {
+			t.aligned = false
+			break
+		}
+	}
+	t.Parallelism = cols[0].Col.Parallelism
+	return t, nil
+}
+
+// NumRows returns the table's row count.
+func (t *Table) NumRows() int { return t.n }
+
+// ColumnNames returns the column names in table order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Column returns the named column's handle.
+func (t *Table) Column(name string) (*blocked.Column, error) {
+	return t.colByName(name)
+}
+
+// Aligned reports whether every column shares block boundaries, the
+// precondition for per-block cross-column planning. Misaligned tables
+// still scan correctly through whole-column evaluation.
+func (t *Table) Aligned() bool { return t.aligned }
+
+// Close releases the container behind the table's columns, when the
+// table owns one. It is a no-op for in-memory tables.
+func (t *Table) Close() error {
+	if t.closer == nil {
+		return nil
+	}
+	return t.closer.Close()
+}
+
+// colByName resolves a column name without allocating on the hit
+// path (Scan calls it per leaf).
+func (t *Table) colByName(name string) (*blocked.Column, error) {
+	i, ok := t.index[name]
+	if !ok {
+		return nil, fmt.Errorf("table: no column %q", name)
+	}
+	return t.cols[i].Col, nil
+}
+
+// workers mirrors the column handles' parallelism convention.
+func (t *Table) workers() int {
+	if t.Parallelism > 0 {
+		return t.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// scanState is the pooled per-scan planner state: the per-block
+// three-valued verdicts, the undecided block list, and the merge
+// slots the parallel path fills.
+type scanState struct {
+	classes []tri
+	parts   []int
+	sels    []*sel.Selection
+}
+
+var scanStatePool = sync.Pool{New: func() any { return new(scanState) }}
+
+// getScanState returns a pooled scanState sized for nblocks.
+func getScanState(nblocks int) *scanState {
+	st := scanStatePool.Get().(*scanState)
+	if cap(st.classes) < nblocks {
+		st.classes = make([]tri, nblocks)
+	} else {
+		st.classes = st.classes[:nblocks]
+	}
+	st.parts = st.parts[:0]
+	if cap(st.sels) < nblocks {
+		st.sels = make([]*sel.Selection, nblocks)
+	} else {
+		st.sels = st.sels[:nblocks]
+		for i := range st.sels {
+			st.sels[i] = nil
+		}
+	}
+	return st
+}
+
+func (st *scanState) release() { scanStatePool.Put(st) }
+
+// Scan evaluates the predicate over the table and returns the result
+// handle. On an aligned table the expression is planned per block:
+// stats-refuted blocks are skipped without touching any column,
+// stats-proved blocks emit whole runs, and only the undecided
+// remainder evaluates on the compressed payloads (concurrently,
+// bounded by Parallelism). The scan's selection comes from the shared
+// pool — Release the handle to keep steady-state scans
+// allocation-free.
+func (t *Table) Scan(e Expr) (*Scan, error) {
+	if e == nil {
+		return nil, fmt.Errorf("table: Scan of a nil expression")
+	}
+	if err := e.check(t); err != nil {
+		return nil, err
+	}
+	dst := sel.Get(t.n)
+	var err error
+	if t.aligned {
+		err = t.scanAligned(e, dst)
+	} else {
+		err = e.evalWhole(t, dst)
+	}
+	if err != nil {
+		dst.Release()
+		return nil, err
+	}
+	s := scanPool.Get().(*Scan)
+	s.t, s.sel = t, dst
+	return s, nil
+}
+
+// scanAligned is the per-block plan: classify every block through the
+// expression tree with stats only, then evaluate just the undecided
+// blocks, serially when one worker suffices (the allocation-free
+// path) or concurrently with a deterministic block-order merge.
+func (t *Table) scanAligned(e Expr, dst *sel.Selection) error {
+	blocks := t.cols[0].Col.Blocks
+	st := getScanState(len(blocks))
+	defer st.release()
+	for i := range blocks {
+		st.classes[i] = e.prune(t, i)
+		switch st.classes[i] {
+		case triTrue:
+			dst.AddRun(int(blocks[i].Start), blocks[i].Count)
+		case triUnknown:
+			st.parts = append(st.parts, i)
+		}
+	}
+	workers := t.workers()
+	if workers > len(st.parts) {
+		workers = len(st.parts)
+	}
+	if workers <= 1 {
+		for _, i := range st.parts {
+			b := &blocks[i]
+			local := sel.Get(b.Count)
+			if err := e.evalBlock(t, i, local); err != nil {
+				local.Release()
+				return err
+			}
+			dst.OrAt(local, int(b.Start))
+			local.Release()
+		}
+		return nil
+	}
+	err := blocked.ParallelFor(workers, len(st.parts), func(pi int) error {
+		i := st.parts[pi]
+		local := sel.Get(blocks[i].Count)
+		if err := e.evalBlock(t, i, local); err != nil {
+			local.Release()
+			return err
+		}
+		st.sels[i] = local
+		return nil
+	})
+	if err != nil {
+		for _, i := range st.parts {
+			if st.sels[i] != nil {
+				st.sels[i].Release()
+				st.sels[i] = nil
+			}
+		}
+		return err
+	}
+	for _, i := range st.parts {
+		dst.OrAt(st.sels[i], int(blocks[i].Start))
+		st.sels[i].Release()
+		st.sels[i] = nil
+	}
+	return nil
+}
+
+// Scan is the result of Table.Scan: the surviving rows as a bitmap
+// selection, plus projection and aggregation methods that fetch and
+// decode only the blocks still holding set bits. Release it when done
+// — the selection returns to the shared pool, and the handle must not
+// be used afterwards.
+type Scan struct {
+	t   *Table
+	sel *sel.Selection
+}
+
+var scanPool = sync.Pool{New: func() any { return new(Scan) }}
+
+// Release returns the scan's selection and the handle itself to their
+// pools. The handle, and any Selection view obtained from it, must
+// not be used afterwards.
+func (s *Scan) Release() {
+	if s.sel != nil {
+		s.sel.Release()
+		s.sel = nil
+	}
+	s.t = nil
+	scanPool.Put(s)
+}
+
+// Count returns the number of surviving rows.
+func (s *Scan) Count() int { return s.sel.Count() }
+
+// Rows returns the surviving row positions in ascending order.
+func (s *Scan) Rows() []int64 { return s.sel.Rows() }
+
+// Selection returns the scan's bitmap selection — a borrowed view,
+// valid until Release.
+func (s *Scan) Selection() *sel.Selection { return s.sel }
+
+// Sum returns the sum of the named column over the surviving rows,
+// late-materialized: blocks with no set bits are never fetched,
+// fully-selected blocks sum on their compressed form without
+// materializing, and only partially selected blocks decode (into
+// pooled scratch, so the steady state allocates nothing).
+func (s *Scan) Sum(col string) (int64, error) {
+	c, err := s.t.colByName(col)
+	if err != nil {
+		return 0, err
+	}
+	sc := core.GetScratch()
+	defer sc.Release()
+	var total int64
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		if b.Count == 0 {
+			continue
+		}
+		start := int(b.Start)
+		cnt := s.sel.CountRange(start, start+b.Count)
+		if cnt == 0 {
+			continue
+		}
+		if cnt == b.Count {
+			v, err := c.SumBlock(i)
+			if err != nil {
+				return 0, err
+			}
+			total += v
+			continue
+		}
+		vals := sc.I64(b.Count)
+		if err := c.DecompressBlock(i, vals); err != nil {
+			sc.PutI64(vals)
+			return 0, err
+		}
+		total += maskedSum(s.sel, start, vals)
+		sc.PutI64(vals)
+	}
+	return total, nil
+}
+
+// Materialize returns the named column's values at the surviving
+// rows, in row order — the late-materialization projection. Only
+// blocks holding set bits are fetched and decoded.
+func (s *Scan) Materialize(col string) ([]int64, error) {
+	c, err := s.t.colByName(col)
+	if err != nil {
+		return nil, err
+	}
+	sc := core.GetScratch()
+	defer sc.Release()
+	out := make([]int64, 0, s.sel.Count())
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		if b.Count == 0 {
+			continue
+		}
+		start := int(b.Start)
+		cnt := s.sel.CountRange(start, start+b.Count)
+		if cnt == 0 {
+			continue
+		}
+		vals := sc.I64(b.Count)
+		if err := c.DecompressBlock(i, vals); err != nil {
+			sc.PutI64(vals)
+			return nil, err
+		}
+		out = maskedAppend(out, s.sel, start, vals)
+		sc.PutI64(vals)
+	}
+	return out, nil
+}
+
+// maskedSum adds the values of vals (a block decoded at row offset
+// start) whose rows are set in bm, word-at-a-time: full words add 64
+// values branch-free, sparse words walk their set bits. No callback,
+// no allocation.
+func maskedSum(bm *sel.Selection, start int, vals []int64) int64 {
+	words := bm.Words()
+	var total int64
+	r, n := 0, len(vals)
+	for r < n {
+		pos := start + r
+		if pos&63 == 0 && n-r >= 64 {
+			switch w := words[pos>>6]; w {
+			case 0:
+			case ^uint64(0):
+				for _, v := range vals[r : r+64] {
+					total += v
+				}
+			default:
+				for w != 0 {
+					total += vals[r+bits.TrailingZeros64(w)]
+					w &= w - 1
+				}
+			}
+			r += 64
+			continue
+		}
+		if words[pos>>6]&(1<<(uint(pos)&63)) != 0 {
+			total += vals[r]
+		}
+		r++
+	}
+	return total
+}
+
+// maskedAppend appends the selected values of a decoded block to out,
+// mirroring maskedSum's word-at-a-time walk.
+func maskedAppend(out []int64, bm *sel.Selection, start int, vals []int64) []int64 {
+	words := bm.Words()
+	r, n := 0, len(vals)
+	for r < n {
+		pos := start + r
+		if pos&63 == 0 && n-r >= 64 {
+			switch w := words[pos>>6]; w {
+			case 0:
+			case ^uint64(0):
+				out = append(out, vals[r:r+64]...)
+			default:
+				for w != 0 {
+					out = append(out, vals[r+bits.TrailingZeros64(w)])
+					w &= w - 1
+				}
+			}
+			r += 64
+			continue
+		}
+		if words[pos>>6]&(1<<(uint(pos)&63)) != 0 {
+			out = append(out, vals[r])
+		}
+		r++
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package lwcomp
+
+import (
+	"io"
+
+	"lwcomp/internal/storage"
+	"lwcomp/internal/table"
+)
+
+// This file is the table scan surface: composable predicates over the
+// columns of a multi-column container, planned per block and pushed
+// down onto the compressed forms, with late materialization of the
+// survivors.
+//
+//	tbl, err := lwcomp.OpenTable("orders.lwc")
+//	defer tbl.Close()
+//	scan, err := tbl.Scan(lwcomp.And(
+//	    lwcomp.Range("date", 730200, 730400),
+//	    lwcomp.Eq("status", 1)))
+//	defer scan.Release()
+//	n := scan.Count()
+//	revenue, err := scan.Sum("amount")
+//
+// Blocks any conjunct's [min, max] stats refute are skipped without
+// fetching a single column payload; blocks the stats prove emit whole
+// bitmap runs; only the undecided remainder evaluates, leaf by leaf
+// on each leaf's own compressed column, intersecting as word-granular
+// bitmap ANDs. On a lazily opened container that turns a selective
+// multi-column scan into a handful of block reads.
+
+// Table is a queryable handle over the equal-length named columns of
+// one logical table. Scans plan predicate trees per block across all
+// referenced columns when the columns share block boundaries (columns
+// encoded with one block size from equal-length inputs always do);
+// otherwise they fall back to whole-column evaluation, which is still
+// exact and fused but skips less.
+type Table = table.Table
+
+// Scan is the result handle of Table.Scan: the surviving rows as a
+// pooled bitmap selection plus projection and aggregation methods
+// (Rows, Count, Sum, Materialize) that fetch and decode only the
+// blocks still holding set bits. Release it when done.
+type Scan = table.Scan
+
+// Expr is a composable predicate over a table's columns: Range, Eq
+// and In leaves under And, Or and Not combinators. Expressions are
+// immutable, reusable across scans and tables, and render back to the
+// ParsePredicate mini-language via String.
+type Expr = table.Expr
+
+// NewTable builds an in-memory table over cols. Every column must be
+// non-nil, uniquely named, and of the same length.
+func NewTable(cols []NamedColumn) (*Table, error) {
+	return table.New(cols, nil)
+}
+
+// OpenTable opens a container file as a lazily backed table: only the
+// header and block index are read, and scans fetch exactly the blocks
+// their predicate stats admit. All open options apply (WithBlockCache,
+// WithMmap, WithParallelism); Close the table to release the file.
+func OpenTable(path string, opts ...Option) (*Table, error) {
+	cf, err := OpenContainer(path, opts...)
+	if err != nil {
+		return nil, err
+	}
+	t, err := table.New(cf.Columns(), cf)
+	if err != nil {
+		cf.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// OpenTableReader opens a container from any io.ReaderAt covering
+// size bytes as a table, with OpenTable's semantics — the instrument
+// for tests that count how few bytes a pushed-down scan reads. If r
+// also implements io.Closer, closing the table closes it.
+func OpenTableReader(r io.ReaderAt, size int64, opts ...Option) (*Table, error) {
+	o := buildOptions(opts)
+	cf, err := storage.OpenContainer(r, size, o.openOptions())
+	if err != nil {
+		return nil, err
+	}
+	applyColumnOptions(cf, &o)
+	t, err := table.New(cf.Columns(), cf)
+	if err != nil {
+		cf.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Range returns the predicate lo ≤ col ≤ hi (inclusive). Use
+// math.MinInt64 / math.MaxInt64 for one-sided comparisons; an
+// inverted range matches nothing.
+func Range(col string, lo, hi int64) Expr { return table.Range(col, lo, hi) }
+
+// Eq returns the predicate col == v.
+func Eq(col string, v int64) Expr { return table.Eq(col, v) }
+
+// In returns the predicate col ∈ vals; runs of consecutive values
+// evaluate as single range probes. In with no values matches nothing.
+func In(col string, vals ...int64) Expr { return table.In(col, vals...) }
+
+// And returns the conjunction of kids. The planner skips any block a
+// conjunct's stats refute without fetching the other columns, and
+// within an undecided block evaluates the most selective-looking leaf
+// first, abandoning the block as soon as the intersection is empty.
+// And() with no operands matches every row.
+func And(kids ...Expr) Expr { return table.And(kids...) }
+
+// Or returns the disjunction of kids; per-column results merge as
+// word-granular bitmap ORs. Or() with no operands matches nothing.
+func Or(kids ...Expr) Expr { return table.Or(kids...) }
+
+// Not returns the negation of kid, evaluated as a word-granular
+// bitmap complement.
+func Not(kid Expr) Expr { return table.Not(kid) }
+
+// ParsePredicate reads a predicate in the scan mini-language — the
+// textual form `lwc query -where` accepts and Expr.String renders:
+//
+//	date >= 730200 and date <= 730400 and status = 1
+//	status in (1, 2) or not (amount < 0)
+//
+// Comparisons (= == != < <= > >=) and in-lists form the leaves;
+// and/or/not (case-insensitive, and binding tighter than or) combine
+// them; parentheses group.
+func ParsePredicate(s string) (Expr, error) { return table.Parse(s) }
