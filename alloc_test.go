@@ -63,6 +63,56 @@ func TestBlockDecodeAllocs(t *testing.T) {
 	}
 }
 
+// TestBlockEncodeAllocs: encode-side allocation regressions (ISSUE
+// 5). Steady-state block encode through the pooled compressors must
+// allocate only what each block's form retains — nodes, parameter
+// maps and payloads — never its temporaries (zigzag staging,
+// constituent columns, model predictions), which come from the
+// per-worker scratch arena. The per-block budgets below are the
+// measured retained allocation counts with one or two of headroom; a
+// regression to the unpooled path roughly doubles them.
+func TestBlockEncodeAllocs(t *testing.T) {
+	const n, bs = 1 << 15, 1 << 12
+	const blocks = n / bs
+	deltaNS, err := lwcomp.ParseScheme("delta(deltas=ns)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		data     []int64
+		scheme   lwcomp.Scheme
+		perBlock float64 // retained allocations per block, plus headroom
+	}{
+		{"ns", workload.UniformBits(n, 20, 1), lwcomp.NS(), 8},
+		{"vns", workload.SkewedMagnitude(n, 40, 2), lwcomp.VNS(128), 12},
+		{"for+ns", workload.RandomWalk(n, 12, 1<<30, 3), lwcomp.FORNS(1024), 19},
+		{"rle+ns", workload.Runs(n, 64, 1<<16, 4), lwcomp.RLENS(), 17},
+		{"rle-delta", workload.OrderShipDates(n, 64, 730120, 5), lwcomp.RLEDeltaNS(), 23},
+		{"delta+ns", workload.Sorted(n, 1<<40, 6), deltaNS, 13},
+		{"dict+ns", workload.LowCardinality(n, 32, 7), lwcomp.DictNS(), 18},
+		{"linear+ns", workload.TrendNoise(n, 8, 12, 8), lwcomp.LinearNS(1024), 21},
+		{"pfor", workload.OutlierWalk(n, 10, 0.01, 1<<38, 9), lwcomp.PFOR(1024), 48},
+	} {
+		if raceEnabled {
+			break // the detector defeats sync.Pool reuse by design
+		}
+		got := testing.AllocsPerRun(20, func() {
+			if _, err := lwcomp.Encode(tc.data,
+				lwcomp.WithBlockSize(bs), lwcomp.WithParallelism(1),
+				lwcomp.WithScheme(tc.scheme)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// A small constant covers the column handle and block index.
+		budget := tc.perBlock*blocks + 8
+		if got > budget {
+			t.Errorf("encode/%s: %.0f allocs/op, budget %.0f (%.1f per block)",
+				tc.name, got, budget, got/blocks)
+		}
+	}
+}
+
 // TestCountRangeMissAllocs: a range query that misses every block's
 // [min, max] answers from the index alone — no decode, no allocation.
 func TestCountRangeMissAllocs(t *testing.T) {

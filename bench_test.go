@@ -827,6 +827,93 @@ func BenchmarkLazyOpen(b *testing.B) {
 	})
 }
 
+// BenchmarkEncodeScheme measures the pooled fixed-scheme block
+// encode path (ISSUE 5): per-worker scratch arenas make steady-state
+// encode allocate only the retained forms, so throughput here is the
+// kernel cost, not the allocator's.
+func BenchmarkEncodeScheme(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		data   []int64
+		scheme lwcomp.Scheme
+	}{
+		{"ns", workload.UniformBits(benchN, 20, 1), lwcomp.NS()},
+		{"vns", workload.SkewedMagnitude(benchN, 40, 2), lwcomp.VNS(128)},
+		{"for+ns", workload.RandomWalk(benchN, 12, 1<<30, 3), lwcomp.FORNS(1024)},
+		{"rle+ns", workload.Runs(benchN, 64, 1<<16, 4), lwcomp.RLENS()},
+		{"rle-delta", workload.OrderShipDates(benchN, 64, 730120, 5), lwcomp.RLEDeltaNS()},
+		{"dict+ns", workload.LowCardinality(benchN, 32, 6), lwcomp.DictNS()},
+		{"pfor", workload.OutlierWalk(benchN, 10, 0.01, 1<<38, 7), lwcomp.PFOR(1024)},
+		{"linear+ns", workload.TrendNoise(benchN, 8, 12, 8), lwcomp.LinearNS(1024)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(benchN * 8))
+			for i := 0; i < b.N; i++ {
+				_, err := lwcomp.Encode(tc.data,
+					lwcomp.WithBlockSize(1<<16),
+					lwcomp.WithParallelism(1),
+					lwcomp.WithScheme(tc.scheme))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportElems(b, benchN)
+		})
+	}
+}
+
+// BenchmarkEncodeAnalyzer measures the statistics-driven analyzer
+// encode (ISSUE 5's tentpole): candidates are ranked by estimated
+// size from one-pass block stats and only the top few are
+// trial-compressed. The exhaustive variant is the old
+// trial-everything behavior, kept as ground truth; the effort-1
+// variant trials only the single best estimate.
+func BenchmarkEncodeAnalyzer(b *testing.B) {
+	third := benchN / 3
+	data := append(workload.OrderShipDates(third, 256, 730120, 1),
+		workload.RandomWalk(third, 10, 1<<33, 2)...)
+	data = append(data, workload.Sorted(benchN-2*third, 1<<40, 3)...)
+	for _, tc := range []struct {
+		name string
+		opts []lwcomp.Option
+	}{
+		{"pruned-default", nil},
+		{"effort-1", []lwcomp.Option{lwcomp.WithSearchEffort(1)}},
+		{"exhaustive", []lwcomp.Option{lwcomp.WithExhaustiveSearch()}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := append([]lwcomp.Option{
+				lwcomp.WithBlockSize(1 << 16),
+				lwcomp.WithParallelism(1),
+			}, tc.opts...)
+			b.ReportAllocs()
+			b.SetBytes(int64(benchN * 8))
+			for i := 0; i < b.N; i++ {
+				if _, err := lwcomp.Encode(data, opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportElems(b, benchN)
+		})
+	}
+}
+
+// BenchmarkCollectStats measures the one-pass statistics collector
+// that feeds both the block index and the analyzer's estimates.
+func BenchmarkCollectStats(b *testing.B) {
+	data := workload.OrderShipDates(benchN, 64, 730120, 1)
+	s := core.GetScratch()
+	defer s.Release()
+	b.ReportAllocs()
+	b.SetBytes(int64(benchN * 8))
+	for i := 0; i < b.N; i++ {
+		st := core.CollectStats(data, s)
+		st.ReleaseSeg(s)
+	}
+	reportElems(b, benchN)
+}
+
 // BenchmarkTableScan measures the PR-4 two-predicate table scan —
 // cross-column per-block planning, fused leaf evaluation, bitmap
 // intersection, late-materialized sum — against decompress-then-

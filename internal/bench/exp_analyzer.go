@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 
-	"lwcomp/internal/column"
 	"lwcomp/internal/core"
 	"lwcomp/internal/scheme"
 	"lwcomp/internal/storage"
@@ -48,8 +47,8 @@ func runExpK(cfg Config) (*Table, error) {
 
 	for _, w := range workloads {
 		raw := len(w.data) * 8
-		st := column.Analyze(w.data)
-		a := &core.Analyzer{Candidates: scheme.DefaultCandidates(st), SampleSize: 1 << 16}
+		st := core.CollectStats(w.data, nil)
+		a := &core.Analyzer{Candidates: scheme.DefaultCandidates(&st), SampleSize: 1 << 16, Stats: &st}
 		choice, err := a.Best(w.data)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.name, err)

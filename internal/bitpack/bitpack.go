@@ -99,6 +99,46 @@ func Pack(src []uint64, w uint) ([]uint64, error) {
 	return dst, nil
 }
 
+// PackInto packs src at width w into dst, which must hold exactly
+// PackedWords(len(src), w) words. It is the buffer-reusing form of
+// Pack for callers (like the VNS compressor) that concatenate several
+// packings into one preallocated payload. dst is fully overwritten.
+func PackInto(dst, src []uint64, w uint) error {
+	if w > 64 {
+		return fmt.Errorf("%w: %d", ErrWidth, w)
+	}
+	if need := PackedWords(len(src), w); len(dst) != need {
+		return fmt.Errorf("bitpack: PackInto dst holds %d words, need %d", len(dst), need)
+	}
+	if w == 0 {
+		for i, v := range src {
+			if v != 0 {
+				return fmt.Errorf("%w: value %d at position %d, width 0", ErrOverflow, v, i)
+			}
+		}
+		return nil
+	}
+	mask := Mask(w)
+	for i, v := range src {
+		if v&^mask != 0 {
+			return fmt.Errorf("%w: value %d at position %d, width %d", ErrOverflow, v, i, w)
+		}
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	i := 0
+	out := 0
+	for ; i+BlockLen <= len(src); i += BlockLen {
+		packBlock(src[i:i+BlockLen], w, dst[out:out+int(w)])
+		out += int(w)
+	}
+	if i < len(src) {
+		packGeneric(src[i:], w, dst, uint64(i)*uint64(w))
+	}
+	return nil
+}
+
 // Unpack expands n values of width w from packed into a fresh column.
 func Unpack(packed []uint64, n int, w uint) ([]uint64, error) {
 	dst := make([]uint64, n)

@@ -22,6 +22,35 @@ func HistogramOf(src []uint64) WidthHistogram {
 	return h
 }
 
+// Observe adds one value to the histogram. It is the streaming form
+// of HistogramOf, used by the one-pass block-statistics collector so
+// encode-side estimation reuses this machinery without a second pass
+// over the data.
+func (h *WidthHistogram) Observe(v uint64) {
+	h.Counts[Width(v)]++
+	h.N++
+}
+
+// Reset clears the histogram for reuse.
+func (h *WidthHistogram) Reset() {
+	*h = WidthHistogram{}
+}
+
+// RawFromZigzag derives the histogram of raw (non-zigzagged) widths
+// from a histogram over zigzagged values, valid only when every
+// observed value was non-negative: zigzag doubles a non-negative
+// value, so its width is exactly one more than the raw width (zero
+// stays zero).
+func (h WidthHistogram) RawFromZigzag() WidthHistogram {
+	var out WidthHistogram
+	out.N = h.N
+	out.Counts[0] = h.Counts[0]
+	for w := 1; w <= 64; w++ {
+		out.Counts[w-1] += h.Counts[w]
+	}
+	return out
+}
+
 // MaxWidth returns the largest width with a non-zero count (0 for an
 // empty histogram).
 func (h WidthHistogram) MaxWidth() uint {

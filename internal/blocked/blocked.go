@@ -9,7 +9,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"lwcomp/internal/column"
 	"lwcomp/internal/core"
 	"lwcomp/internal/query"
 	"lwcomp/internal/scheme"
@@ -139,6 +138,13 @@ type EncodeOptions struct {
 	Parallelism int
 	// Extra appends candidates to the per-block analyzer space.
 	Extra []core.Candidate
+	// TrialK bounds how many of the top estimate-ranked candidates
+	// the per-block analyzer trial-compresses; 0 means
+	// core.DefaultTrialK.
+	TrialK int
+	// Exhaustive disables the analyzer's estimate pruning,
+	// trial-compressing every candidate (ground truth).
+	Exhaustive bool
 }
 
 func (o EncodeOptions) workers() int {
@@ -149,25 +155,47 @@ func (o EncodeOptions) workers() int {
 }
 
 // encodeBlock compresses one block under the options and returns its
-// Block record with stats.
-func encodeBlock(src []int64, start int64, opt EncodeOptions) (Block, error) {
-	st := column.Analyze(src)
-	b := Block{Start: start, Count: len(src), Min: st.Min, Max: st.Max, HasStats: true}
+// Block record with stats. The one-pass stats collected here feed
+// both the block index ([min, max] skipping) and the analyzer's
+// size-estimating candidate ranking, so a block is scanned for
+// statistics exactly once. Temporaries come from s: workers that
+// encode many blocks reuse one scratch arena across all of them.
+func encodeBlock(src []int64, start int64, opt EncodeOptions, s *core.Scratch) (Block, error) {
+	b := Block{Start: start, Count: len(src), HasStats: true}
 	var f *core.Form
 	var err error
 	if opt.Scheme != nil {
-		f, err = opt.Scheme.Compress(src)
+		// Fixed scheme: the analyzer never runs, so the block index
+		// needs only the extremes — skip the full collector, whose
+		// histograms would otherwise cost about as much as the encode
+		// itself.
+		for i, v := range src {
+			if i == 0 || v < b.Min {
+				b.Min = v
+			}
+			if i == 0 || v > b.Max {
+				b.Max = v
+			}
+		}
+		f, err = core.CompressScratch(opt.Scheme, src, s)
 	} else {
+		st := core.CollectStats(src, s)
+		b.Min, b.Max = st.Min, st.Max
 		sample := opt.SampleSize
 		if sample == 0 {
 			sample = 1 << 16
 		}
 		a := &core.Analyzer{
-			Candidates: append(scheme.DefaultCandidates(st), opt.Extra...),
+			Candidates: append(scheme.DefaultCandidates(&st), opt.Extra...),
 			CostBudget: opt.CostBudget,
 			SampleSize: sample,
+			TrialK:     opt.TrialK,
+			Exhaustive: opt.Exhaustive,
+			Stats:      &st,
+			Scratch:    s,
 		}
 		f, err = a.BestForm(src)
+		st.ReleaseSeg(s)
 	}
 	if err != nil {
 		return Block{}, fmt.Errorf("blocked: block at row %d: %w", start, err)
@@ -186,7 +214,9 @@ func Encode(src []int64, opt EncodeOptions) (*Column, error) {
 	if bs <= 0 || bs >= len(src) {
 		// Whole column as one block (also the empty-column path so
 		// that queries keep the free functions' exact semantics).
-		b, err := encodeBlock(src, 0, opt)
+		s := core.GetScratch()
+		b, err := encodeBlock(src, 0, opt, s)
+		s.Release()
 		if err != nil {
 			return nil, err
 		}
@@ -211,13 +241,15 @@ func Encode(src []int64, opt EncodeOptions) (*Column, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			s := core.GetScratch()
+			defer s.Release()
 			for i := range next {
 				start := i * bs
 				end := start + bs
 				if end > len(src) {
 					end = len(src)
 				}
-				b, err := encodeBlock(src[start:end], int64(start), opt)
+				b, err := encodeBlock(src[start:end], int64(start), opt, s)
 				if err != nil {
 					errMu.Lock()
 					if first == nil {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"lwcomp/internal/core"
 )
 
 // Builder accumulates values for a blocked column incrementally —
@@ -104,7 +106,9 @@ func (b *Builder) launch(ready []pending) {
 		go func(p pending) {
 			defer b.wg.Done()
 			defer func() { <-b.sem }()
-			blk, err := encodeBlock(p.data, p.start, b.opt)
+			s := core.GetScratch()
+			defer s.Release()
+			blk, err := encodeBlock(p.data, p.start, b.opt, s)
 			b.mu.Lock()
 			defer b.mu.Unlock()
 			if err != nil {
@@ -153,7 +157,9 @@ func (b *Builder) Flush() (*Column, error) {
 	if nblocks == 0 {
 		// Nothing was ever appended: encode an empty single block so
 		// the column behaves like Encode(nil).
-		blk, err := encodeBlock(nil, 0, b.opt)
+		s := core.GetScratch()
+		defer s.Release()
+		blk, err := encodeBlock(nil, 0, b.opt, s)
 		if err != nil {
 			return nil, err
 		}

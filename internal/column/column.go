@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"lwcomp/internal/bitpack"
+	"lwcomp/internal/core"
 )
 
 // distinctCap bounds the exact distinct-counting work; beyond it the
@@ -11,7 +12,9 @@ import (
 const distinctCap = 1 << 16
 
 // Stats summarizes a logical column for scheme selection and cost
-// estimation.
+// estimation. It is the public-facing projection of the richer
+// core.BlockStats the encode path collects; unlike the hot-path
+// collector's sketch, Distinct here is exact up to distinctCap.
 type Stats struct {
 	// N is the number of elements.
 	N int
@@ -41,68 +44,58 @@ type Stats struct {
 	SumAbsDelta uint64
 }
 
-// Analyze computes Stats over src in one pass.
+// Analyze computes Stats over src. The width and run structure come
+// from the shared one-pass collector (core.CollectStats); the exact
+// distinct count adds one more pass with a hash set, which the
+// encode hot path avoids by using the collector's sketch estimate
+// instead.
 func Analyze(src []int64) Stats {
-	var s Stats
-	s.N = len(src)
-	if len(src) == 0 {
-		s.NonDecreasing = true
-		s.NonIncreasing = true
-		return s
+	bs := core.CollectStats(src, nil)
+	s := Stats{
+		N:             bs.N,
+		Min:           bs.Min,
+		Max:           bs.Max,
+		Runs:          bs.Runs,
+		NonDecreasing: bs.NonDecreasing,
+		NonIncreasing: bs.NonIncreasing,
+		SumAbsDelta:   bs.SumAbsDelta,
 	}
-	s.Min, s.Max = src[0], src[0]
-	s.Runs = 1
-	s.NonDecreasing = true
-	s.NonIncreasing = true
-
-	var valueOr, deltaOr, runValueOr uint64
-	valueOr = bitpack.Zigzag(src[0])
-	deltaOr = bitpack.Zigzag(src[0]) // DELTA stores src[0] as first delta from 0
-	runValueOr = bitpack.Zigzag(src[0])
+	if bs.N > 0 {
+		// Every element's value is some run's head value, so the
+		// widest zigzagged value — derivable from the extremes —
+		// covers both widths.
+		s.ValueWidth = widthMinMax(bs.Min, bs.Max)
+		s.MaxRunValueWidth = s.ValueWidth
+		s.MaxDeltaWidth = bs.DeltaHist.MaxWidth()
+		if fw := uint(bits.Len64(bitpack.Zigzag(bs.First))); fw > s.MaxDeltaWidth {
+			s.MaxDeltaWidth = fw
+		}
+		s.RangeWidth = uint(bits.Len64(uint64(bs.Max - bs.Min)))
+	}
 
 	distinct := make(map[int64]struct{}, 256)
-	distinct[src[0]] = struct{}{}
-
-	prev := src[0]
-	for _, v := range src[1:] {
-		if v < s.Min {
-			s.Min = v
+	for _, v := range src {
+		if len(distinct) > distinctCap {
+			break
 		}
-		if v > s.Max {
-			s.Max = v
-		}
-		if v != prev {
-			s.Runs++
-			runValueOr |= bitpack.Zigzag(v)
-		}
-		if v < prev {
-			s.NonDecreasing = false
-		}
-		if v > prev {
-			s.NonIncreasing = false
-		}
-		d := v - prev
-		deltaOr |= bitpack.Zigzag(d)
-		if d < 0 {
-			s.SumAbsDelta += uint64(-d)
-		} else {
-			s.SumAbsDelta += uint64(d)
-		}
-		valueOr |= bitpack.Zigzag(v)
-		if len(distinct) <= distinctCap {
-			distinct[v] = struct{}{}
-		}
-		prev = v
+		distinct[v] = struct{}{}
 	}
-	s.ValueWidth = uint(bits.Len64(valueOr))
-	s.MaxDeltaWidth = uint(bits.Len64(deltaOr))
-	s.MaxRunValueWidth = uint(bits.Len64(runValueOr))
-	s.RangeWidth = uint(bits.Len64(uint64(s.Max - s.Min)))
 	s.Distinct = len(distinct)
 	if s.Distinct > distinctCap {
 		s.Distinct = distinctCap + 1
 	}
 	return s
+}
+
+// widthMinMax returns the width of the widest zigzagged value in a
+// column with the given extremes (attained at Min or Max).
+func widthMinMax(minV, maxV int64) uint {
+	wmin := uint(bits.Len64(bitpack.Zigzag(minV)))
+	wmax := uint(bits.Len64(bitpack.Zigzag(maxV)))
+	if wmin > wmax {
+		return wmin
+	}
+	return wmax
 }
 
 // AvgRunLength returns N/Runs, the mean run length (0 for empty

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // The analyzer realizes the paper's argument that a "richer view of
@@ -11,6 +12,12 @@ import (
 // once schemes decompose into constituents, the scheme space becomes a
 // grammar of compositions, and choosing a scheme becomes a search over
 // that grammar rather than a pick from a flat menu.
+//
+// The search itself is statistics-driven: candidates are ranked by
+// their predicted encoded size (SizeEstimator over one-pass
+// BlockStats), and only the top few ambiguous candidates are actually
+// trial-compressed. Exhaustive trial compression — the ground truth —
+// remains available behind the Exhaustive flag.
 
 // Candidate is one point in the composite-scheme space: a description
 // and a compressor.
@@ -20,11 +27,17 @@ type Candidate struct {
 	Desc string
 	// Compress encodes a column under this candidate.
 	Compress func(src []int64) (*Form, error)
+	// Scheme, when non-nil, is the scheme behind Compress. It lets
+	// the analyzer predict the candidate's encoded size from block
+	// statistics (SizeEstimator) and pool its encode temporaries
+	// (ScratchCompressor). Candidates built from a bare Compress
+	// closure are always trial-compressed.
+	Scheme Scheme
 }
 
 // FromScheme adapts a Scheme (or Composite) into a Candidate.
 func FromScheme(s Scheme) Candidate {
-	return Candidate{Desc: s.Name(), Compress: s.Compress}
+	return Candidate{Desc: s.Name(), Compress: s.Compress, Scheme: s}
 }
 
 // Choice reports the analyzer's winner and the full ranking.
@@ -36,19 +49,34 @@ type Choice struct {
 	// Eval holds the winning size/cost evaluation (of the full
 	// input).
 	Eval CostedSize
-	// Ranking holds per-candidate sample evaluations, in input
-	// order, for reporting. Failed candidates carry Err.
+	// Ranking holds per-candidate evaluations, in input order, for
+	// reporting. Pruned candidates carry only their estimate; failed
+	// candidates carry Err.
 	Ranking []RankEntry
 }
 
-// RankEntry is one candidate's sample evaluation.
+// RankEntry is one candidate's evaluation.
 type RankEntry struct {
 	Desc string
+	// Eval is the trial evaluation over the sample; valid only when
+	// Trialed is set.
 	Eval CostedSize
 	// Err is non-nil when the candidate could not compress the
 	// sample (e.g. a model scheme outside its domain).
 	Err error
+	// EstBits is the stats-predicted encoded size in bits (0 when
+	// the candidate has no estimator; ImpossibleBits when the stats
+	// prove compression would fail).
+	EstBits uint64
+	// EstExact reports whether EstBits is exact rather than bounded.
+	EstExact bool
+	// Trialed reports whether the candidate was trial-compressed.
+	Trialed bool
 }
+
+// DefaultTrialK is the number of top-estimated candidates the pruned
+// search trial-compresses when TrialK is unset.
+const DefaultTrialK = 3
 
 // Analyzer searches a candidate list for the best compression of a
 // column.
@@ -65,6 +93,22 @@ type Analyzer struct {
 	// sample of at most this many elements before compressing the
 	// full column with the winner.
 	SampleSize int
+	// TrialK bounds how many of the top estimate-ranked candidates
+	// are trial-compressed (0 means DefaultTrialK). Candidates
+	// without estimators are always trialed, and the best
+	// exact-estimated candidate is always included so the winner can
+	// never lose to a provable size.
+	TrialK int
+	// Exhaustive disables estimate pruning: every candidate is
+	// trial-compressed. This is the ground-truth mode the estimate
+	// fuzz tests compare against.
+	Exhaustive bool
+	// Stats, when non-nil, supplies precomputed one-pass statistics
+	// of the column given to Best; nil collects them on demand.
+	Stats *BlockStats
+	// Scratch, when non-nil, supplies pooled encode temporaries to
+	// stats collection and trial compression.
+	Scratch *Scratch
 }
 
 // ErrNoCandidate is returned when every candidate fails or is over
@@ -82,72 +126,244 @@ func (a *Analyzer) BestForm(src []int64) (*Form, error) {
 	return choice.Form, nil
 }
 
-// Best evaluates all candidates and returns the winner: the smallest
-// sample encoding within the cost budget, recompressed over the full
-// column.
+// trialK returns the effective trial budget.
+func (a *Analyzer) trialK() int {
+	if a.TrialK > 0 {
+		return a.TrialK
+	}
+	return DefaultTrialK
+}
+
+// compressCand encodes data under candidate c, through the pooled
+// path when the candidate carries its scheme.
+func (a *Analyzer) compressCand(c *Candidate, data []int64) (*Form, error) {
+	if c.Scheme != nil {
+		return CompressScratch(c.Scheme, data, a.Scratch)
+	}
+	return c.Compress(data)
+}
+
+// Best searches the candidates and returns the winner: the smallest
+// trial encoding within the cost budget among the estimate-ranked
+// shortlist (or among all candidates under Exhaustive), compressed
+// over the full column.
 func (a *Analyzer) Best(src []int64) (*Choice, error) {
-	if len(a.Candidates) == 0 {
+	n := len(a.Candidates)
+	if n == 0 {
 		return nil, ErrNoCandidate
 	}
 	sample := src
 	if a.SampleSize > 0 && len(src) > a.SampleSize {
 		sample = src[:a.SampleSize]
 	}
+	choice := &Choice{Ranking: make([]RankEntry, n)}
+	for i := range a.Candidates {
+		choice.Ranking[i].Desc = a.Candidates[i].Desc
+	}
 
-	choice := &Choice{}
-	bestBits := uint64(math.MaxUint64)
+	// Phase 1: estimate every candidate that can be estimated.
+	estimated := false
+	if !a.Exhaustive {
+		st := a.Stats
+		var local BlockStats
+		for i := range a.Candidates {
+			c := &a.Candidates[i]
+			if c.Scheme == nil {
+				continue
+			}
+			if _, ok := c.Scheme.(SizeEstimator); !ok {
+				continue
+			}
+			if st == nil {
+				local = CollectStats(src, a.Scratch)
+				st = &local
+			}
+			bits, exact, ok := EstimateOf(c.Scheme, st)
+			if !ok {
+				continue
+			}
+			e := &choice.Ranking[i]
+			e.EstBits, e.EstExact = bits, exact
+			estimated = true
+		}
+		if st == &local {
+			local.ReleaseSeg(a.Scratch)
+		}
+	}
+
+	// Phase 2: order candidates for trialing. Without estimates the
+	// order is the input order and every candidate is trialed (the
+	// exhaustive behavior); with estimates, unestimated candidates
+	// come first (they must be trialed to be considered), then
+	// ascending predicted size.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	trialBudget := n
+	if estimated {
+		sort.SliceStable(order, func(x, y int) bool {
+			ex, ey := &choice.Ranking[order[x]], &choice.Ranking[order[y]]
+			if (ex.EstBits == 0) != (ey.EstBits == 0) {
+				return ex.EstBits == 0
+			}
+			return ex.EstBits < ey.EstBits
+		})
+		trialBudget = 0
+		k := a.trialK()
+		bestExact := -1
+		for _, idx := range order {
+			e := &choice.Ranking[idx]
+			if e.EstBits == ImpossibleBits {
+				continue
+			}
+			if e.EstBits == 0 {
+				trialBudget++ // unestimated: always trialed
+				continue
+			}
+			if k > 0 {
+				trialBudget++
+				k--
+			}
+			if e.EstExact && bestExact < 0 {
+				bestExact = idx
+			}
+		}
+		// Guarantee the best exact estimate a trial slot: its actual
+		// size equals its estimate, so the winner can never be worse
+		// than the best provable size.
+		if bestExact >= 0 && !withinFirst(order, trialBudget, bestExact) {
+			for j, idx := range order {
+				if idx == bestExact {
+					copy(order[trialBudget+1:j+1], order[trialBudget:j])
+					order[trialBudget] = bestExact
+					break
+				}
+			}
+			trialBudget++
+		}
+		if trialBudget == 0 {
+			trialBudget = 1
+		}
+	}
+
+	// Phase 3: trial-compress the shortlist on the sample, extending
+	// past the planned budget only while no admissible candidate has
+	// been found.
 	bestIdx := -1
-	for _, cand := range a.Candidates {
-		entry := RankEntry{Desc: cand.Desc}
-		f, err := cand.Compress(sample)
+	bestBits := uint64(math.MaxUint64)
+	var bestTrialForm *Form
+	admissible := 0
+	for pos, idx := range order {
+		if pos >= trialBudget && admissible > 0 {
+			break
+		}
+		e := &choice.Ranking[idx]
+		if estimated && e.EstBits == ImpossibleBits {
+			continue
+		}
+		cand := &a.Candidates[idx]
+		f, err := a.compressCand(cand, sample)
 		if err != nil {
-			entry.Err = err
-			choice.Ranking = append(choice.Ranking, entry)
+			e.Err = err
 			continue
 		}
 		ev, err := Evaluate(f)
 		if err != nil {
-			entry.Err = err
-			choice.Ranking = append(choice.Ranking, entry)
+			e.Err = err
 			continue
 		}
-		entry.Eval = ev
-		choice.Ranking = append(choice.Ranking, entry)
+		e.Eval = ev
+		e.Trialed = true
 		if a.CostBudget > 0 && len(sample) > 0 && ev.Cost/float64(len(sample)) > a.CostBudget {
 			continue
 		}
+		admissible++
 		if ev.Bits < bestBits {
 			bestBits = ev.Bits
-			bestIdx = len(choice.Ranking) - 1
+			bestIdx = idx
+			bestTrialForm = f
 		}
 	}
 	if bestIdx < 0 {
 		return nil, ErrNoCandidate
 	}
 
-	winner := a.Candidates[bestIdx]
-	full, err := winner.Compress(src)
-	if err != nil {
-		// The winner fit the sample but not the full column (e.g. an
-		// exact-domain scheme); fall back to the next-best candidate
-		// by re-running without it.
-		rest := &Analyzer{CostBudget: a.CostBudget, SampleSize: a.SampleSize}
-		for i, c := range a.Candidates {
-			if i != bestIdx {
-				rest.Candidates = append(rest.Candidates, c)
+	// Phase 4: produce the winner's full-column form. When the sample
+	// covered the whole column the winning trial form is the final
+	// form — no second compression. A winner that fails on the full
+	// column falls back down the already-computed ranking instead of
+	// re-running the search.
+	if len(sample) == len(src) {
+		choice.Desc = a.Candidates[bestIdx].Desc
+		choice.Form = bestTrialForm
+		choice.Eval = choice.Ranking[bestIdx].Eval
+		return choice, nil
+	}
+	for _, idx := range a.fallbackOrder(choice, bestIdx, order) {
+		e := &choice.Ranking[idx]
+		full, err := a.compressCand(&a.Candidates[idx], src)
+		if err != nil {
+			if e.Err == nil {
+				e.Err = err
 			}
+			continue
 		}
-		if len(rest.Candidates) == 0 {
-			return nil, fmt.Errorf("core: winning candidate %q failed on full column: %w", winner.Desc, err)
+		ev, err := Evaluate(full)
+		if err != nil {
+			if e.Err == nil {
+				e.Err = err
+			}
+			continue
 		}
-		return rest.Best(src)
+		if a.CostBudget > 0 && len(src) > 0 && ev.Cost/float64(len(src)) > a.CostBudget {
+			continue
+		}
+		choice.Desc = a.Candidates[idx].Desc
+		choice.Form = full
+		choice.Eval = ev
+		return choice, nil
 	}
-	ev, err := Evaluate(full)
-	if err != nil {
-		return nil, err
+	return nil, fmt.Errorf("core: winning candidate %q failed on full column: %w",
+		a.Candidates[bestIdx].Desc, ErrNoCandidate)
+}
+
+// fallbackOrder returns candidate indices in the order the
+// full-column encode should try them: the winner first, then the
+// remaining admissible trialed candidates by ascending sample size,
+// then never-trialed candidates in estimate order.
+func (a *Analyzer) fallbackOrder(choice *Choice, bestIdx int, order []int) []int {
+	out := make([]int, 0, len(order))
+	out = append(out, bestIdx)
+	trialed := make([]int, 0, len(order))
+	for _, idx := range order {
+		e := &choice.Ranking[idx]
+		if idx == bestIdx || !e.Trialed {
+			continue
+		}
+		trialed = append(trialed, idx)
 	}
-	choice.Desc = winner.Desc
-	choice.Form = full
-	choice.Eval = ev
-	return choice, nil
+	sort.SliceStable(trialed, func(x, y int) bool {
+		return choice.Ranking[trialed[x]].Eval.Bits < choice.Ranking[trialed[y]].Eval.Bits
+	})
+	out = append(out, trialed...)
+	for _, idx := range order {
+		e := &choice.Ranking[idx]
+		if idx == bestIdx || e.Trialed || e.Err != nil || e.EstBits == ImpossibleBits {
+			continue
+		}
+		out = append(out, idx)
+	}
+	return out
+}
+
+// withinFirst reports whether idx appears among the first k entries
+// of order.
+func withinFirst(order []int, k int, idx int) bool {
+	for i := 0; i < k && i < len(order); i++ {
+		if order[i] == idx {
+			return true
+		}
+	}
+	return false
 }

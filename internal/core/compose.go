@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 )
 
@@ -51,26 +50,7 @@ func (c *Composite) Name() string {
 // Compress applies the outer scheme, then rewrites each named child by
 // compressing its pure column with the inner scheme.
 func (c *Composite) Compress(src []int64) (*Form, error) {
-	f, err := c.outer.Compress(src)
-	if err != nil {
-		return nil, fmt.Errorf("composite outer %q: %w", c.outer.Name(), err)
-	}
-	for name, inner := range c.inner {
-		child, err := f.Child(name)
-		if err != nil {
-			return nil, fmt.Errorf("composite %q: %w", c.Name(), err)
-		}
-		pure, err := Decompress(child)
-		if err != nil {
-			return nil, fmt.Errorf("composite %q: resolving child %q: %w", c.Name(), name, err)
-		}
-		cf, err := inner.Compress(pure)
-		if err != nil {
-			return nil, fmt.Errorf("composite %q: inner %q on child %q: %w", c.Name(), inner.Name(), name, err)
-		}
-		f.Children[name] = cf
-	}
-	return f, nil
+	return c.compressRewrite(src, nil)
 }
 
 // Decompress delegates to the registry-driven driver; composite forms

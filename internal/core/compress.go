@@ -1,0 +1,131 @@
+package core
+
+import "fmt"
+
+// The pooled-compress contract, mirroring the *Into decode work: a
+// steady-state block encode should allocate only what the resulting
+// form retains (nodes and payloads), never its temporaries. Schemes
+// opt in with ScratchCompressor; decomposable schemes additionally
+// implement ConstituentCompressor so a Composite can compress
+// constituent columns straight out of scratch buffers instead of
+// round-tripping them through retained ID forms.
+
+// LeafSchemeName is the registered name of the identity scheme —
+// the raw pure-column leaf every decomposable scheme emits for its
+// constituents. Declared here so the composition machinery can
+// recognize ID leaves without importing the scheme package.
+const LeafSchemeName = "id"
+
+// ScratchCompressor is the encode-side mirror of IntoDecompressor:
+// Compress drawing temporaries from a Scratch arena so steady-state
+// block encode allocates only the retained form.
+type ScratchCompressor interface {
+	// CompressScratch encodes src into a form, borrowing temporaries
+	// from s (which may be nil).
+	CompressScratch(src []int64, s *Scratch) (*Form, error)
+}
+
+// ConstituentCompressor is implemented by decomposable schemes whose
+// compressor can hand each constituent column to the caller as a
+// short-lived slice instead of wrapping it in a retained ID form.
+type ConstituentCompressor interface {
+	// CompressParts encodes src; for each constituent column it calls
+	// emit(name, col) and installs the returned form as that child.
+	// col may be scratch-borrowed: it is valid only for the duration
+	// of the emit call.
+	CompressParts(src []int64, s *Scratch, emit func(name string, col []int64) (*Form, error)) (*Form, error)
+}
+
+// CompressScratch encodes src under sch, routing through the scheme's
+// pooled compressor when it has one (and a scratch was supplied) and
+// falling back to plain Compress otherwise, so the call never fails
+// for lack of a fast path.
+func CompressScratch(sch Scheme, src []int64, s *Scratch) (*Form, error) {
+	if s != nil {
+		if sc, ok := sch.(ScratchCompressor); ok {
+			return sc.CompressScratch(src, s)
+		}
+	}
+	return sch.Compress(src)
+}
+
+// newLeafForm builds the canonical ID form over a copy of col — the
+// retained fallback for constituent columns a composite leaves
+// uncompressed.
+func newLeafForm(col []int64) *Form {
+	leaf := make([]int64, len(col))
+	copy(leaf, col)
+	return &Form{Scheme: LeafSchemeName, N: len(col), Leaf: leaf}
+}
+
+// CompressScratch implements ScratchCompressor for compositions. When
+// the outer scheme supports CompressParts, each constituent column is
+// compressed directly from the scratch buffer the outer produced it
+// in; otherwise the composite falls back to compress-then-rewrite,
+// reading pure columns straight from ID leaves where possible.
+func (c *Composite) CompressScratch(src []int64, s *Scratch) (*Form, error) {
+	cc, ok := c.outer.(ConstituentCompressor)
+	if !ok || s == nil {
+		return c.compressRewrite(src, s)
+	}
+	seen := 0
+	f, err := cc.CompressParts(src, s, func(name string, col []int64) (*Form, error) {
+		inner, composed := c.inner[name]
+		if !composed {
+			return newLeafForm(col), nil
+		}
+		seen++
+		cf, err := CompressScratch(inner, col, s)
+		if err != nil {
+			return nil, fmt.Errorf("composite %q: inner %q on child %q: %w", c.Name(), inner.Name(), name, err)
+		}
+		return cf, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if seen != len(c.inner) {
+		// Some configured inner never matched an emitted constituent:
+		// surface the same loud failure Compress gives for unknown
+		// child keys.
+		for name := range c.inner {
+			if _, err := f.Child(name); err != nil {
+				return nil, fmt.Errorf("composite %q: %w", c.Name(), err)
+			}
+		}
+	}
+	return f, nil
+}
+
+// compressRewrite is the compress-then-rewrite composition path:
+// compress with the outer scheme, then replace each named child with
+// its inner compression. Pure columns are read straight from ID
+// leaves when the outer emitted them that way, avoiding a decompress
+// copy.
+func (c *Composite) compressRewrite(src []int64, s *Scratch) (*Form, error) {
+	f, err := CompressScratch(c.outer, src, s)
+	if err != nil {
+		return nil, fmt.Errorf("composite outer %q: %w", c.outer.Name(), err)
+	}
+	for name, inner := range c.inner {
+		child, err := f.Child(name)
+		if err != nil {
+			return nil, fmt.Errorf("composite %q: %w", c.Name(), err)
+		}
+		var pure []int64
+		if child.Scheme == LeafSchemeName && len(child.Leaf) == child.N {
+			pure = child.Leaf
+		} else {
+			pure, err = Decompress(child)
+			if err != nil {
+				return nil, fmt.Errorf("composite %q: resolving child %q: %w", c.Name(), name, err)
+			}
+		}
+		cf, err := CompressScratch(inner, pure, s)
+		if err != nil {
+			return nil, fmt.Errorf("composite %q: inner %q on child %q: %w", c.Name(), inner.Name(), name, err)
+		}
+		f.Children[name] = cf
+	}
+	return f, nil
+}

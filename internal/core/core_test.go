@@ -399,6 +399,87 @@ func TestAnalyzerSampleFallback(t *testing.T) {
 	}
 }
 
+// countingScheme wraps mockRaw-style compression with a call counter
+// and an optional failure above a length threshold, for pinning the
+// analyzer's fallback behavior.
+type countingScheme struct {
+	name     string
+	failOver int // Compress fails for inputs longer than this (0 = never)
+	pad      int // extra leaf values appended, to order candidates by size
+	calls    *int
+}
+
+func (c countingScheme) Name() string { return c.name }
+
+func (c countingScheme) Compress(src []int64) (*Form, error) {
+	*c.calls++
+	if c.failOver > 0 && len(src) > c.failOver {
+		return nil, fmt.Errorf("%w: column longer than %d", ErrNotRepresentable, c.failOver)
+	}
+	// The pad inflates the payload so candidates order by size; the
+	// analyzer never decompresses losing trials, so the extra leaf
+	// values are inert.
+	leaf := append([]int64{}, src...)
+	leaf = append(leaf, make([]int64, c.pad)...)
+	return &Form{Scheme: "raw-mock", N: len(src), Leaf: leaf}, nil
+}
+
+func (c countingScheme) Decompress(f *Form) ([]int64, error) {
+	return append([]int64{}, f.Leaf...), nil
+}
+
+// TestAnalyzerFallbackWalksRanking pins the fallback fix: when the
+// sample winner fails on the full column, the analyzer must walk down
+// the already-computed ranking, not re-run the whole search (which
+// would re-trial the failed candidate).
+func TestAnalyzerFallbackWalksRanking(t *testing.T) {
+	callsA, callsB := 0, 0
+	a := &Analyzer{
+		Candidates: []Candidate{
+			FromScheme(countingScheme{name: "small-but-fragile", failOver: 2, calls: &callsA}),
+			FromScheme(countingScheme{name: "big-but-sturdy", pad: 8, calls: &callsB}),
+		},
+		SampleSize: 2,
+	}
+	choice, err := a.Best([]int64{2, 4, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Desc != "big-but-sturdy" {
+		t.Fatalf("fallback winner = %q", choice.Desc)
+	}
+	// The fragile candidate compresses exactly twice: the sample trial
+	// and the one failed full-column attempt. The old re-search path
+	// would have trialed it a third time.
+	if callsA != 2 {
+		t.Fatalf("fragile candidate compressed %d times, want 2", callsA)
+	}
+	// The sturdy candidate compresses twice: sample trial plus the
+	// full column.
+	if callsB != 2 {
+		t.Fatalf("sturdy candidate compressed %d times, want 2", callsB)
+	}
+	if len(choice.Ranking) != 2 || choice.Ranking[0].Err == nil {
+		t.Fatalf("ranking does not record the fallen candidate: %+v", choice.Ranking)
+	}
+}
+
+// TestAnalyzerReusesFullSampleForm pins the no-double-compress
+// optimization: when the sample covers the whole column, the winning
+// trial form is returned directly.
+func TestAnalyzerReusesFullSampleForm(t *testing.T) {
+	calls := 0
+	a := &Analyzer{
+		Candidates: []Candidate{FromScheme(countingScheme{name: "only", calls: &calls})},
+	}
+	if _, err := a.Best([]int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("candidate compressed %d times, want 1 (trial form reused)", calls)
+	}
+}
+
 func TestAnalyzerCostBudget(t *testing.T) {
 	// With a budget below raw's cost of 1/element nothing qualifies.
 	a := &Analyzer{

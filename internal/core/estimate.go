@@ -1,0 +1,121 @@
+package core
+
+import "math"
+
+// The size-estimation contract: scheme selection used to
+// trial-compress every candidate on every block, discarding all but
+// one result. A SizeEstimator predicts the encoded size from
+// one-pass BlockStats instead, so the analyzer ranks candidates
+// analytically and trial-encodes only a pruned shortlist. Estimates
+// target the same analytic size model as Form.PayloadBits, so an
+// exact estimate equals the bits the compressed form will report.
+
+// SizeEstimator is implemented by schemes (and composites) that can
+// predict their encoded size from column statistics alone.
+type SizeEstimator interface {
+	// EstimateSize predicts the total encoded size in bits
+	// (Form.PayloadBits of the would-be form tree) of compressing a
+	// column with the given stats. exact reports whether the
+	// prediction is guaranteed to equal the actual size; inexact
+	// estimates are bounded heuristics good enough for ranking.
+	//
+	// A return of bits == 0 means the scheme cannot estimate from
+	// these stats (every real form costs at least its header);
+	// ImpossibleBits means the stats prove the scheme cannot
+	// represent the column at all.
+	EstimateSize(st *BlockStats) (bits uint64, exact bool)
+}
+
+// ImpossibleBits is the EstimateSize sentinel for "the stats prove
+// compression would fail" (for example CONST on a column with more
+// than one run). Such candidates rank last and are never trialed.
+const ImpossibleBits = math.MaxUint64
+
+// PredictedChild is one constituent column of a scheme as predicted
+// by ConstituentStats: its name and the derived statistics of its
+// pure column.
+type PredictedChild struct {
+	// Name is the constituent column name.
+	Name string
+	// Stats carries the fields of the child column the parent's
+	// stats determine, with the corresponding Has* flags set.
+	Stats BlockStats
+}
+
+// ConstituentStatser is implemented by decomposable schemes that can
+// predict, from the stats of their input column, the constituent
+// columns their Compress will emit. It is what lets a Composite
+// estimate sizes: the outer scheme derives child stats, and the
+// inner schemes' estimators price each child.
+type ConstituentStatser interface {
+	// ConstituentStats returns the node's own overhead bits (header,
+	// params and any direct payload, matching Form.PayloadBits
+	// accounting) and the predicted children. exact reports whether
+	// every populated child field is exact; ok is false when the
+	// required stats are missing.
+	ConstituentStats(st *BlockStats) (selfBits uint64, children []PredictedChild, exact, ok bool)
+}
+
+// FormOverheadBits returns the analytic per-node overhead of a form
+// with nparams parameters — the same accounting Form.PayloadBits
+// charges, so size estimates and evaluated sizes agree bit for bit.
+func FormOverheadBits(nparams int) uint64 {
+	return formHeaderBits + uint64(nparams)*perParamBits
+}
+
+// SatAddBits adds size estimates, saturating at ImpossibleBits so an
+// impossible constituent poisons the whole composition instead of
+// wrapping around.
+func SatAddBits(a, b uint64) uint64 {
+	if a >= ImpossibleBits-b {
+		return ImpossibleBits
+	}
+	return a + b
+}
+
+// EstimateOf returns the stats-predicted encoded size of compressing
+// a column under s. ok is false when s has no estimator or its
+// estimator cannot price these stats.
+func EstimateOf(s Scheme, st *BlockStats) (bits uint64, exact, ok bool) {
+	e, isEst := s.(SizeEstimator)
+	if !isEst {
+		return 0, false, false
+	}
+	bits, exact = e.EstimateSize(st)
+	if bits == 0 {
+		return 0, false, false
+	}
+	return bits, exact, true
+}
+
+// EstimateSize implements SizeEstimator for compositions: the outer
+// scheme predicts each constituent column's stats, and the inner
+// schemes price them; children left uncomposed stay the raw ID forms
+// the outer emits.
+func (c *Composite) EstimateSize(st *BlockStats) (bits uint64, exact bool) {
+	cs, isCS := c.outer.(ConstituentStatser)
+	if !isCS {
+		return 0, false
+	}
+	selfBits, children, exact, ok := cs.ConstituentStats(st)
+	if !ok {
+		return 0, false
+	}
+	total := selfBits
+	for i := range children {
+		ch := &children[i]
+		inner, composed := c.inner[ch.Name]
+		if !composed {
+			// The child stays the ID form the outer emitted.
+			total = SatAddBits(total, SatAddBits(FormOverheadBits(0), uint64(ch.Stats.N)*64))
+			continue
+		}
+		cb, cexact, cok := EstimateOf(inner, &ch.Stats)
+		if !cok {
+			return 0, false
+		}
+		total = SatAddBits(total, cb)
+		exact = exact && cexact
+	}
+	return total, exact
+}

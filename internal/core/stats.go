@@ -1,0 +1,345 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+
+	"lwcomp/internal/bitpack"
+)
+
+// BlockStats is the one-pass statistical summary of a block that
+// drives the statistics-driven encode path: instead of
+// trial-compressing every candidate scheme on every block, the
+// analyzer predicts each candidate's encoded size from these numbers
+// (SizeEstimator) and trial-encodes only a pruned shortlist.
+//
+// All fields describe the logical column handed to CollectStats. The
+// Has* flags report which field groups are populated; the collector
+// sets all of them, while stats *derived* for constituent columns by
+// ConstituentStatser implementations populate only what the parent's
+// stats determine.
+type BlockStats struct {
+	// N is the number of elements.
+	N int
+	// First is the first element (zero for an empty column). DELTA
+	// stores it as the first delta from zero, so delta-size estimates
+	// need it separately from the delta histogram.
+	First int64
+	// Min and Max are the extreme values (zero for empty columns).
+	Min, Max int64
+	// HasMinMax reports Min/Max (and First) validity.
+	HasMinMax bool
+	// NonDecreasing and NonIncreasing report monotonicity (both true
+	// for empty columns).
+	NonDecreasing, NonIncreasing bool
+
+	// Runs is the number of maximal runs of equal values.
+	Runs int
+	// MaxRunLen is the length of the longest run.
+	MaxRunLen int64
+	// HasRuns reports Runs/MaxRunLen validity.
+	HasRuns bool
+
+	// RunDeltaMin and RunDeltaMax bound the deltas between
+	// consecutive run-head values as DELTA would store them over
+	// RLE's values column (first delta taken from zero, i.e. First
+	// itself).
+	RunDeltaMin, RunDeltaMax int64
+	// RunDeltaHist is the width histogram of zigzagged run-head
+	// deltas, excluding the synthetic first delta (First).
+	RunDeltaHist bitpack.WidthHistogram
+	// HasRunDeltas reports RunDelta* validity.
+	HasRunDeltas bool
+
+	// DeltaMin and DeltaMax bound the deltas DELTA would store (first
+	// delta taken from zero, i.e. First itself).
+	DeltaMin, DeltaMax int64
+	// DeltaHist is the width histogram of zigzagged consecutive
+	// deltas, excluding the synthetic first delta.
+	DeltaHist bitpack.WidthHistogram
+	// SumAbsDelta accumulates |delta| between consecutive elements.
+	SumAbsDelta uint64
+	// HasDeltas reports Delta*/SumAbsDelta validity.
+	HasDeltas bool
+
+	// ValueHist is the width histogram of zigzagged values.
+	ValueHist bitpack.WidthHistogram
+	// HasValueHist reports ValueHist validity.
+	HasValueHist bool
+
+	// Distinct is a linear-counting estimate of the distinct-value
+	// count, saturating at DistinctCap+1.
+	Distinct int
+	// HasDistinct reports Distinct validity.
+	HasDistinct bool
+
+	// SegLen is the base segment granularity of SegMin/SegMax
+	// (StatsSegLen when collected; 0 when absent).
+	SegLen int
+	// SegMin and SegMax hold per-base-segment extreme values. They
+	// may be scratch-borrowed: callers that pass a Scratch to
+	// CollectStats return them with ReleaseSeg.
+	SegMin, SegMax []int64
+
+	// OffsetSegLen is the probe segment length of OffsetHist
+	// (StatsProbeSegLen when collected; 0 when absent).
+	OffsetSegLen int
+	// OffsetHist is the width histogram of each element's offset
+	// from its probe segment's running minimum — a one-pass
+	// approximation of the frame-of-reference offset distribution
+	// that patch-width estimation consumes. The running minimum
+	// (rather than the segment's first element) keeps a leading
+	// outlier from shifting the whole histogram; it can only
+	// understate the final min-referenced offsets, so estimates err
+	// toward trialing the patched candidate.
+	OffsetHist bitpack.WidthHistogram
+}
+
+// StatsSegLen is the base granularity of BlockStats.SegMin/SegMax.
+// Frame-of-reference estimates are exact for any segment length that
+// is a positive multiple of it.
+const StatsSegLen = 128
+
+// StatsProbeSegLen is the probe segment length of
+// BlockStats.OffsetHist, matching the default FOR/PFOR segment
+// length.
+const StatsProbeSegLen = 1024
+
+// DistinctCap bounds the distinct-count estimate; beyond it the count
+// is reported as saturated (Distinct == DistinctCap+1).
+const DistinctCap = 1 << 16
+
+// distinctSketchLogBits sizes the linear-counting bitmap: 2^13 bits
+// (128 words) keeps the per-block footprint at 1KiB while estimating
+// counts well below DistinctCap with small relative error.
+const distinctSketchLogBits = 13
+
+const distinctSketchWords = (1 << distinctSketchLogBits) / 64
+
+// CollectStats computes BlockStats over src in one pass. Temporaries
+// (the distinct sketch) and the per-segment extreme arrays come from
+// s when non-nil; the segment arrays escape in the result, so callers
+// threading a scratch must return them with ReleaseSeg when done.
+func CollectStats(src []int64, s *Scratch) BlockStats {
+	var st BlockStats
+	st.N = len(src)
+	st.NonDecreasing, st.NonIncreasing = true, true
+	st.HasMinMax, st.HasRuns, st.HasRunDeltas, st.HasDeltas = true, true, true, true
+	st.HasValueHist, st.HasDistinct = true, true
+	st.SegLen = StatsSegLen
+	st.OffsetSegLen = StatsProbeSegLen
+	if len(src) == 0 {
+		return st
+	}
+
+	nseg := (len(src) + StatsSegLen - 1) / StatsSegLen
+	st.SegMin = s.I64(nseg)
+	st.SegMax = s.I64(nseg)
+	sketch := s.U64(distinctSketchWords)
+	for i := range sketch {
+		sketch[i] = 0
+	}
+
+	first := src[0]
+	st.First = first
+	st.Min, st.Max = first, first
+	st.Runs = 1
+	st.DeltaMin, st.DeltaMax = first, first
+	st.RunDeltaMin, st.RunDeltaMax = first, first
+
+	prev := first
+	prevRunHead := first
+	runStart := 0
+	var maxRunLen int64
+	probeMin := first
+	for i, v := range src {
+		if seg := i / StatsSegLen; i%StatsSegLen == 0 {
+			st.SegMin[seg] = v
+			st.SegMax[seg] = v
+		} else {
+			if v < st.SegMin[seg] {
+				st.SegMin[seg] = v
+			}
+			if v > st.SegMax[seg] {
+				st.SegMax[seg] = v
+			}
+		}
+		if i&(StatsProbeSegLen-1) == 0 {
+			probeMin = v
+		} else if v < probeMin {
+			probeMin = v
+		}
+		st.OffsetHist.Observe(uint64(v - probeMin))
+		st.ValueHist.Observe(bitpack.Zigzag(v))
+		h := (uint64(v) * 0x9E3779B97F4A7C15) >> (64 - distinctSketchLogBits)
+		sketch[h>>6] |= 1 << (h & 63)
+		if i == 0 {
+			continue
+		}
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+		if v < prev {
+			st.NonDecreasing = false
+		}
+		if v > prev {
+			st.NonIncreasing = false
+		}
+		d := v - prev
+		st.DeltaHist.Observe(bitpack.Zigzag(d))
+		if d < st.DeltaMin {
+			st.DeltaMin = d
+		}
+		if d > st.DeltaMax {
+			st.DeltaMax = d
+		}
+		if d < 0 {
+			st.SumAbsDelta += uint64(-d)
+		} else {
+			st.SumAbsDelta += uint64(d)
+		}
+		if v != prev {
+			st.Runs++
+			if rl := int64(i - runStart); rl > maxRunLen {
+				maxRunLen = rl
+			}
+			runStart = i
+			rd := v - prevRunHead
+			st.RunDeltaHist.Observe(bitpack.Zigzag(rd))
+			if rd < st.RunDeltaMin {
+				st.RunDeltaMin = rd
+			}
+			if rd > st.RunDeltaMax {
+				st.RunDeltaMax = rd
+			}
+			prevRunHead = v
+		}
+		prev = v
+	}
+	if rl := int64(len(src) - runStart); rl > maxRunLen {
+		maxRunLen = rl
+	}
+	st.MaxRunLen = maxRunLen
+
+	ones := 0
+	for _, w := range sketch {
+		ones += bits.OnesCount64(w)
+	}
+	s.PutU64(sketch)
+	const m = 1 << distinctSketchLogBits
+	if ones >= m {
+		st.Distinct = DistinctCap + 1
+	} else {
+		est := int(float64(m)*math.Log(float64(m)/float64(m-ones)) + 0.5)
+		if est < 1 {
+			est = 1
+		}
+		if est > DistinctCap {
+			est = DistinctCap + 1
+		}
+		st.Distinct = est
+	}
+	return st
+}
+
+// ReleaseSeg returns the scratch-borrowed per-segment arrays to s and
+// clears them. Safe on stats collected without a scratch.
+func (st *BlockStats) ReleaseSeg(s *Scratch) {
+	s.PutI64(st.SegMin)
+	s.PutI64(st.SegMax)
+	st.SegMin, st.SegMax = nil, nil
+	st.SegLen = 0
+}
+
+// AvgRunLength returns N/Runs, the mean run length (0 for empty
+// columns).
+func (st *BlockStats) AvgRunLength() float64 {
+	if st.Runs == 0 {
+		return 0
+	}
+	return float64(st.N) / float64(st.Runs)
+}
+
+// DistinctSaturated reports whether the distinct estimate hit its
+// cap.
+func (st *BlockStats) DistinctSaturated() bool { return st.Distinct > DistinctCap }
+
+// Monotone reports whether the column is non-decreasing or
+// non-increasing.
+func (st *BlockStats) Monotone() bool { return st.NonDecreasing || st.NonIncreasing }
+
+// RangeWidth returns the bit width of (Max − Min), i.e. the offset
+// width a whole-column frame of reference would need.
+func (st *BlockStats) RangeWidth() uint {
+	return bitpack.Width(uint64(st.Max - st.Min))
+}
+
+// NSShape returns the width and zigzag flag the NS scheme would
+// choose for a column with these stats — exactly, from Min/Max alone:
+// with negatives present NS zigzags, and the widest zigzagged value
+// is attained at Min or Max; without negatives the widest raw value
+// is Max.
+func (st *BlockStats) NSShape() (w uint, zigzag bool) {
+	if st.N == 0 {
+		return 0, false
+	}
+	if st.Min < 0 {
+		wmin := bitpack.Width(bitpack.Zigzag(st.Min))
+		wmax := bitpack.Width(bitpack.Zigzag(st.Max))
+		if wmin > wmax {
+			return wmin, true
+		}
+		return wmax, true
+	}
+	return bitpack.Width(uint64(st.Max)), false
+}
+
+// SegFold folds the base per-segment extremes up to segment length
+// segLen, returning the widest offset any segment would need under a
+// minimum reference and the extreme references themselves. ok is
+// false when base segment stats are absent or segLen is not a
+// positive multiple of the base granularity.
+func (st *BlockStats) SegFold(segLen int) (maxOffset uint64, refMin, refMax int64, ok bool) {
+	if st.N == 0 {
+		return 0, 0, 0, true
+	}
+	if st.SegLen <= 0 || st.SegMin == nil || segLen < st.SegLen || segLen%st.SegLen != 0 {
+		return 0, 0, 0, false
+	}
+	group := segLen / st.SegLen
+	nbase := len(st.SegMin)
+	firstSeg := true
+	for lo := 0; lo < nbase; lo += group {
+		hi := lo + group
+		if hi > nbase {
+			hi = nbase
+		}
+		gmin, gmax := st.SegMin[lo], st.SegMax[lo]
+		for i := lo + 1; i < hi; i++ {
+			if st.SegMin[i] < gmin {
+				gmin = st.SegMin[i]
+			}
+			if st.SegMax[i] > gmax {
+				gmax = st.SegMax[i]
+			}
+		}
+		if off := uint64(gmax - gmin); off > maxOffset {
+			maxOffset = off
+		}
+		if firstSeg {
+			refMin, refMax = gmin, gmin
+			firstSeg = false
+		} else {
+			if gmin < refMin {
+				refMin = gmin
+			}
+			if gmin > refMax {
+				refMax = gmin
+			}
+		}
+	}
+	return maxOffset, refMin, refMax, true
+}

@@ -12,6 +12,13 @@ import (
 // tests.
 func analyzeForTest(src []int64) column.Stats { return column.Analyze(src) }
 
+// statsForTest collects the hot-path block statistics the analyzer
+// consumes.
+func statsForTest(src []int64) *core.BlockStats {
+	st := core.CollectStats(src, nil)
+	return &st
+}
+
 // TestAnalyzerEndToEnd drives the core analyzer over the real
 // candidate space on characteristic workloads and checks that the
 // winner both round-trips and is at least as small as every
@@ -55,8 +62,8 @@ func TestAnalyzerEndToEnd(t *testing.T) {
 	workloads["constant"] = constant
 
 	for name, src := range workloads {
-		stats := column.Analyze(src)
-		a := &core.Analyzer{Candidates: DefaultCandidates(stats)}
+		stats := statsForTest(src)
+		a := &core.Analyzer{Candidates: DefaultCandidates(stats), Stats: stats}
 		choice, err := a.Best(src)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -80,8 +87,8 @@ func TestAnalyzerEndToEnd(t *testing.T) {
 
 func TestAnalyzerPicksConstForConstant(t *testing.T) {
 	src := make([]int64, 512)
-	stats := column.Analyze(src)
-	a := &core.Analyzer{Candidates: DefaultCandidates(stats)}
+	stats := statsForTest(src)
+	a := &core.Analyzer{Candidates: DefaultCandidates(stats), Stats: stats}
 	choice, err := a.Best(src)
 	if err != nil {
 		t.Fatal(err)

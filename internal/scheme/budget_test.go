@@ -4,7 +4,6 @@ import (
 	"strings"
 	"testing"
 
-	"lwcomp/internal/column"
 	"lwcomp/internal/core"
 	"lwcomp/internal/exec"
 	"lwcomp/internal/workload"
@@ -16,9 +15,9 @@ import (
 // analyzer must refuse it and fall back to a cheaper codec.
 func TestAnalyzerCostBudgetExcludesExpensiveCodecs(t *testing.T) {
 	data := workload.SkewedMagnitude(1<<16, 40, 3)
-	st := column.Analyze(data)
+	st := core.CollectStats(data, nil)
 
-	unbounded := &core.Analyzer{Candidates: DefaultCandidates(st)}
+	unbounded := &core.Analyzer{Candidates: DefaultCandidates(&st), Stats: &st}
 	choice, err := unbounded.Best(data)
 	if err != nil {
 		t.Fatal(err)
@@ -28,7 +27,7 @@ func TestAnalyzerCostBudgetExcludesExpensiveCodecs(t *testing.T) {
 	}
 
 	// Elias reports 6.0 abstract units/element; cap below that.
-	bounded := &core.Analyzer{Candidates: DefaultCandidates(st), CostBudget: 4.0}
+	bounded := &core.Analyzer{Candidates: DefaultCandidates(&st), CostBudget: 4.0, Stats: &st}
 	choice, err = bounded.Best(data)
 	if err != nil {
 		t.Fatal(err)

@@ -56,6 +56,19 @@ func (Const) ValidateForm(f *core.Form) error { return checkConst(f) }
 // DecompressCostPerElement implements core.Coster: a fill.
 func (Const) DecompressCostPerElement(*core.Form) float64 { return 0.5 }
 
+// EstimateSize implements core.SizeEstimator, exactly: a constant
+// column costs one parameter, and Min ≠ Max proves the scheme cannot
+// represent the column at all.
+func (Const) EstimateSize(st *core.BlockStats) (uint64, bool) {
+	if !st.HasMinMax {
+		return 0, false
+	}
+	if st.N > 0 && st.Min != st.Max {
+		return core.ImpossibleBits, true
+	}
+	return core.FormOverheadBits(1), true
+}
+
 func checkConst(f *core.Form) error {
 	if f.Scheme != ConstName {
 		return fmt.Errorf("%w: const scheme given form %q", core.ErrCorruptForm, f.Scheme)

@@ -3,6 +3,7 @@ package scheme
 import (
 	"fmt"
 
+	"lwcomp/internal/bitpack"
 	"lwcomp/internal/core"
 	"lwcomp/internal/exec"
 	"lwcomp/internal/vec"
@@ -69,6 +70,27 @@ func (Delta) ValidateForm(f *core.Form) error { return checkDelta(f) }
 // DecompressCostPerElement implements core.Coster: one addition per
 // element, sequentially dependent.
 func (Delta) DecompressCostPerElement(*core.Form) float64 { return 1.2 }
+
+// ConstituentStats implements core.ConstituentStatser, exactly: the
+// deltas column's extremes and width histogram are the collected
+// delta statistics plus the first value (which DELTA stores as the
+// first delta from zero).
+func (Delta) ConstituentStats(st *core.BlockStats) (uint64, []core.PredictedChild, bool, bool) {
+	if !st.HasDeltas || !st.HasMinMax {
+		return 0, nil, false, false
+	}
+	var cs core.BlockStats
+	cs.N = st.N
+	cs.HasMinMax = true
+	if st.N > 0 {
+		cs.First = st.First
+		cs.Min, cs.Max = st.DeltaMin, st.DeltaMax
+		cs.ValueHist = st.DeltaHist
+		cs.ValueHist.Observe(bitpack.Zigzag(st.First))
+		cs.HasValueHist = true
+	}
+	return core.FormOverheadBits(0), []core.PredictedChild{{Name: "deltas", Stats: cs}}, true, true
+}
 
 func checkDelta(f *core.Form) error {
 	if f.Scheme != DeltaName {

@@ -95,6 +95,41 @@ func (Dict) ValidateForm(f *core.Form) error { return checkDict(f) }
 // gather per element.
 func (Dict) DecompressCostPerElement(*core.Form) float64 { return 2.0 }
 
+// ConstituentStats implements core.ConstituentStatser, bounded: the
+// dictionary size is the (estimated) distinct count, codes run
+// exactly as the values do, and the sorted dictionary spans the
+// column's extremes.
+func (Dict) ConstituentStats(st *core.BlockStats) (uint64, []core.PredictedChild, bool, bool) {
+	if !st.HasMinMax || !st.HasDistinct {
+		return 0, nil, false, false
+	}
+	d := st.Distinct
+	if d > st.N {
+		d = st.N
+	}
+	if st.N > 0 && d < 1 {
+		d = 1
+	}
+	var codes, dict core.BlockStats
+	codes.N = st.N
+	codes.HasMinMax = true
+	dict.N = d
+	dict.HasMinMax = true
+	if st.N > 0 {
+		codes.Max = int64(d - 1)
+		dict.Min, dict.Max = st.Min, st.Max
+	}
+	if st.HasRuns {
+		codes.Runs = st.Runs
+		codes.MaxRunLen = st.MaxRunLen
+		codes.HasRuns = true
+	}
+	return core.FormOverheadBits(0), []core.PredictedChild{
+		{Name: "codes", Stats: codes},
+		{Name: "dict", Stats: dict},
+	}, false, true
+}
+
 func checkDict(f *core.Form) error {
 	if f.Scheme != DictName {
 		return fmt.Errorf("%w: dict scheme given form %q", core.ErrCorruptForm, f.Scheme)

@@ -1,0 +1,233 @@
+package scheme
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"lwcomp/internal/core"
+	"lwcomp/internal/workload"
+)
+
+// estimateWorkload builds one of the characteristic test columns from
+// fuzz-controllable parameters.
+func estimateWorkload(kind uint8, n int, param uint8, seed int64) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	switch kind % 10 {
+	case 0:
+		return workload.OrderShipDates(n, float64(param%100)+1, 730120, seed)
+	case 1:
+		return workload.RandomWalk(n, int64(param%50)+1, 1<<30, seed)
+	case 2:
+		return workload.OutlierWalk(n, int64(param%20)+1, 0.01, 1<<38, seed)
+	case 3:
+		return workload.TrendNoise(n, float64(param%16)+0.5, int64(param%32)+1, seed)
+	case 4:
+		return workload.LowCardinality(n, int(param%60)+2, seed)
+	case 5:
+		return workload.SkewedMagnitude(n, uint(param%50)+4, seed)
+	case 6:
+		return workload.UniformBits(n, uint(param%40), seed)
+	case 7:
+		return workload.Sorted(n, 1<<40, seed)
+	case 8:
+		return workload.Runs(n, float64(param%200)+1, 1<<16, seed)
+	default:
+		return workload.StepData(n, int(param%12)*128+128, seed)
+	}
+}
+
+// checkExactEstimates asserts, for every candidate whose estimate is
+// flagged exact, that the estimate equals the actual encoded size
+// (and that ImpossibleBits candidates really fail).
+func checkExactEstimates(t *testing.T, data []int64, st *core.BlockStats) {
+	t.Helper()
+	for _, c := range DefaultCandidates(st) {
+		if c.Scheme == nil {
+			continue
+		}
+		bits, exact, ok := core.EstimateOf(c.Scheme, st)
+		if !ok || !exact {
+			continue
+		}
+		if bits == core.ImpossibleBits {
+			if _, err := c.Compress(data); err == nil {
+				t.Errorf("%s: estimate says impossible but compression succeeded", c.Desc)
+			}
+			continue
+		}
+		form, err := c.Compress(data)
+		if err != nil {
+			t.Errorf("%s: exact estimate %d bits but compression failed: %v", c.Desc, bits, err)
+			continue
+		}
+		if got := form.PayloadBits(); got != bits {
+			t.Errorf("%s: exact estimate %d bits, actual %d", c.Desc, bits, got)
+		}
+	}
+}
+
+// checkPrunedVsExhaustive asserts the estimate-pruned analyzer lands
+// within the bounded size ratio of ground truth. Both analyzers get
+// the same sampleSize, so a non-zero value exercises the riskier
+// configuration where candidates are ranked on full-column stats but
+// trialed on a prefix.
+func checkPrunedVsExhaustive(t *testing.T, data []int64, st *core.BlockStats, sampleSize int) {
+	t.Helper()
+	pruned := &core.Analyzer{Candidates: DefaultCandidates(st), Stats: st, SampleSize: sampleSize}
+	pc, perr := pruned.Best(data)
+	exhaustive := &core.Analyzer{Candidates: DefaultCandidates(st), Exhaustive: true, SampleSize: sampleSize}
+	ec, eerr := exhaustive.Best(data)
+	if (perr == nil) != (eerr == nil) {
+		t.Fatalf("pruned err = %v, exhaustive err = %v", perr, eerr)
+	}
+	if perr != nil {
+		return
+	}
+	// 1.05x relative slack, with one node header of absolute slack so
+	// tiny columns aren't dominated by constant overheads.
+	limit := 1.05*float64(ec.Eval.Bits) + float64(core.FormOverheadBits(2))
+	if float64(pc.Eval.Bits) > limit {
+		t.Fatalf("pruned winner %s = %d bits, exhaustive winner %s = %d bits (ratio %.3f)",
+			pc.Desc, pc.Eval.Bits, ec.Desc, ec.Eval.Bits,
+			float64(pc.Eval.Bits)/float64(ec.Eval.Bits))
+	}
+}
+
+// TestExactEstimatesMatchActual pins the estimator contract on the
+// named workloads: every exact-flagged estimate must equal the
+// encoded PayloadBits, deterministically.
+func TestExactEstimatesMatchActual(t *testing.T) {
+	for kind := uint8(0); kind < 10; kind++ {
+		for _, n := range []int{0, 1, 2, 100, 5000} {
+			t.Run(fmt.Sprintf("kind%d-n%d", kind, n), func(t *testing.T) {
+				data := estimateWorkload(kind, n, 17, 42)[:n]
+				st := core.CollectStats(data, nil)
+				checkExactEstimates(t, data, &st)
+				checkPrunedVsExhaustive(t, data, &st, 0)
+				checkPrunedVsExhaustive(t, data, &st, n/3)
+			})
+		}
+	}
+}
+
+// TestConstEstimateImpossible pins the impossibility sentinel: CONST
+// on a multi-run column must estimate ImpossibleBits and never be
+// trialed.
+func TestConstEstimateImpossible(t *testing.T) {
+	st := core.CollectStats([]int64{1, 2}, nil)
+	bits, exact := Const{}.EstimateSize(&st)
+	if bits != core.ImpossibleBits || !exact {
+		t.Fatalf("EstimateSize = %d, %v", bits, exact)
+	}
+	if _, err := (Const{}).Compress([]int64{1, 2}); !errors.Is(err, core.ErrNotRepresentable) {
+		t.Fatalf("const compress err = %v", err)
+	}
+}
+
+// TestScratchCompressMatchesCompress asserts the pooled compressors
+// produce byte-identical form trees to the plain path, across the
+// schemes on the hot encode path.
+func TestScratchCompressMatchesCompress(t *testing.T) {
+	data := workload.OrderShipDates(5000, 16, 730120, 7)
+	neg := make([]int64, len(data))
+	for i, v := range data {
+		neg[i] = v - 731000 // mix signs to exercise zigzag
+	}
+	schemes := []core.Scheme{
+		NS{},
+		VNS{Block: 64},
+		FORComposite(128),
+		FORComposite(1024),
+		RLEComposite(),
+		RLEDeltaComposite(),
+		RLEDeltaVNSComposite(),
+		RPEComposite(),
+		DeltaNS(),
+		DictComposite(),
+		PFOR{SegLen: 1024},
+		LinearNS(1024),
+		ModelResidual{Fitter: StepFitter{SegLen: 512}},
+	}
+	for _, input := range [][]int64{data, neg, nil} {
+		for _, sch := range schemes {
+			want, err := sch.Compress(input)
+			if err != nil {
+				t.Fatalf("%s: plain: %v", sch.Name(), err)
+			}
+			s := core.GetScratch()
+			got, err := core.CompressScratch(sch, input, s)
+			s.Release()
+			if err != nil {
+				t.Fatalf("%s: pooled: %v", sch.Name(), err)
+			}
+			if !formsEqual(want, got) {
+				t.Fatalf("%s: pooled form differs from plain form:\n%s\nvs\n%s",
+					sch.Name(), want.Describe(), got.Describe())
+			}
+		}
+	}
+}
+
+// formsEqual compares two form trees structurally and by payload.
+func formsEqual(a, b *core.Form) bool {
+	if a.Scheme != b.Scheme || a.N != b.N || len(a.Params) != len(b.Params) ||
+		len(a.Children) != len(b.Children) ||
+		len(a.Leaf) != len(b.Leaf) || len(a.Packed) != len(b.Packed) || len(a.Bytes) != len(b.Bytes) {
+		return false
+	}
+	for k, v := range a.Params {
+		if b.Params[k] != v {
+			return false
+		}
+	}
+	for i := range a.Leaf {
+		if a.Leaf[i] != b.Leaf[i] {
+			return false
+		}
+	}
+	for i := range a.Packed {
+		if a.Packed[i] != b.Packed[i] {
+			return false
+		}
+	}
+	for i := range a.Bytes {
+		if a.Bytes[i] != b.Bytes[i] {
+			return false
+		}
+	}
+	for k, ac := range a.Children {
+		bc, ok := b.Children[k]
+		if !ok || !formsEqual(ac, bc) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzAnalyzerEstimateEquivalence drives random workloads through
+// the estimate-pruned analyzer and asserts (a) it picks a form within
+// a bounded size ratio (1.05x) of the exhaustive ground truth, and
+// (b) every exact-flagged estimate equals the actual encoded bits.
+func FuzzAnalyzerEstimateEquivalence(f *testing.F) {
+	f.Add(uint8(0), uint16(100), uint8(17), int64(1))
+	f.Add(uint8(4), uint16(4096), uint8(3), int64(2))
+	f.Add(uint8(7), uint16(513), uint8(200), int64(3))
+	f.Add(uint8(9), uint16(1), uint8(0), int64(4))
+	f.Fuzz(func(t *testing.T, kind uint8, nRaw uint16, param uint8, seed int64) {
+		n := int(nRaw) % 8192
+		data := estimateWorkload(kind, n, param, seed)[:n]
+		st := core.CollectStats(data, nil)
+		checkExactEstimates(t, data, &st)
+		// Odd seeds additionally exercise prefix sampling: candidates
+		// rank on full-column stats but trial on a prefix, for both
+		// the pruned and the ground-truth analyzer alike.
+		sampleSize := 0
+		if seed%2 != 0 {
+			sampleSize = n/2 + 1
+		}
+		checkPrunedVsExhaustive(t, data, &st, sampleSize)
+	})
+}

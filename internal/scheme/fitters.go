@@ -227,6 +227,78 @@ func (ModelResidual) Decompress(f *core.Form) ([]int64, error) {
 
 var _ core.Scheme = ModelResidual{}
 
+// modelShape returns the segment length and the analytic size of the
+// model form a fitter will emit (params plus ID coefficient columns),
+// or ok=false for fitters the estimator does not know.
+func modelShape(fitter ModelFitter, n int) (segLen int, modelBits uint64, ok bool) {
+	nsegOf := func(ell int) uint64 {
+		if n == 0 {
+			return 0
+		}
+		return uint64((n + ell - 1) / ell)
+	}
+	switch f := fitter.(type) {
+	case StepFitter:
+		ell := f.segLen()
+		return ell, core.FormOverheadBits(1) + leafBits(int(nsegOf(ell))), true
+	case LinearFitter:
+		ell := f.segLen()
+		return ell, core.FormOverheadBits(2) + 2*leafBits(int(nsegOf(ell))), true
+	case Poly2Fitter:
+		ell := f.segLen()
+		return ell, core.FormOverheadBits(2) + 3*leafBits(int(nsegOf(ell))), true
+	}
+	return 0, 0, false
+}
+
+// EstimateSize implements core.SizeEstimator. Exact for the step
+// fitter with NS residuals when per-segment extremes are available
+// (step residuals are precisely the minimum-referenced offsets);
+// bounded for the sloped fitters, whose residual width is capped by
+// the per-segment range and approximated by the local delta noise.
+func (mr ModelResidual) EstimateSize(st *core.BlockStats) (uint64, bool) {
+	if !st.HasMinMax {
+		return 0, false
+	}
+	segLen, modelBits, ok := modelShape(mr.Fitter, st.N)
+	if !ok {
+		return 0, false
+	}
+	maxOff, _, _, foldOK := st.SegFold(segLen)
+	if !foldOK {
+		maxOff = uint64(st.Max - st.Min)
+	}
+	w := bitpack.Width(maxOff)
+	exact := false
+	if _, isStep := mr.Fitter.(StepFitter); isStep {
+		exact = foldOK
+	} else if st.HasDeltas && st.N > 1 {
+		// A sloped model tracks trends the step model pays range for;
+		// what remains is near the local variation.
+		if wd := st.DeltaHist.WidthCovering(0.98) + 2; wd < w {
+			w = wd
+		}
+	}
+	res := mr.Residual
+	if res == nil {
+		res = NS{}
+	}
+	var resBits uint64
+	if _, isNS := res.(NS); isNS {
+		// Residuals are base-shifted non-negative by construction.
+		resBits = nsFormBits(st.N, w)
+	} else {
+		child := core.BlockStats{N: st.N, Max: widthMaxValue(w), HasMinMax: true}
+		b, _, ok := core.EstimateOf(res, &child)
+		if !ok {
+			return 0, false
+		}
+		resBits = b
+		exact = false
+	}
+	return core.SatAddBits(core.FormOverheadBits(0)+modelBits, resBits), exact
+}
+
 // DefaultExceptionBits is the assumed per-exception storage cost used
 // by the PFOR width chooser: a position plus a 64-bit value.
 const DefaultExceptionBits = 96
@@ -333,6 +405,53 @@ func (PFOR) Decompress(f *core.Form) ([]int64, error) {
 }
 
 var _ core.Scheme = PFOR{}
+
+// EstimateSize implements core.SizeEstimator, bounded: the patch
+// width and exception count come from the one-pass probe-offset
+// histogram (offsets from each probe segment's first element, a
+// stand-in for the minimum-referenced offsets the compressor will
+// see), capped at the exact full offset width from the per-segment
+// fold.
+func (p PFOR) EstimateSize(st *core.BlockStats) (uint64, bool) {
+	if !st.HasMinMax {
+		return 0, false
+	}
+	segLen := p.SegLen
+	if segLen == 0 {
+		segLen = DefaultSegmentLength
+	}
+	excBits := p.ExcBits
+	if excBits == 0 {
+		excBits = DefaultExceptionBits
+	}
+	maxOff, refMin, refMax, foldOK := st.SegFold(segLen)
+	if !foldOK {
+		maxOff = uint64(st.Max - st.Min)
+		refMin, refMax = st.Min, st.Max
+	}
+	wFull := bitpack.Width(maxOff)
+	w, exc := wFull, 0
+	if st.OffsetSegLen == segLen && st.OffsetHist.N == st.N && st.N > 0 {
+		w, exc = st.OffsetHist.BestPatchWidth(excBits)
+		if p.MaxExceptionRate > 0 {
+			for w < 64 && float64(st.OffsetHist.ExceptionsAt(w))/float64(st.N) > p.MaxExceptionRate {
+				w++
+			}
+			exc = st.OffsetHist.ExceptionsAt(w)
+		}
+		if w > wFull {
+			w, exc = wFull, 0
+		}
+	}
+	nseg := 0
+	if st.N > 0 {
+		nseg = (st.N + segLen - 1) / segLen
+	}
+	refs := nsFormBits(nseg, nsWidthMinMax(nseg, refMin, refMax))
+	base := core.FormOverheadBits(1) + refs + nsFormBits(st.N, w)
+	patch := core.FormOverheadBits(0) + leafBits(exc) + leafBits(exc)
+	return core.SatAddBits(base, patch), false
+}
 
 // PatchedModel generalizes PFOR to any model: the paper's L0 and L∞
 // extensions composed. The model is fitted, residual widths are
@@ -442,3 +561,52 @@ func (PatchedModel) Decompress(f *core.Form) ([]int64, error) {
 }
 
 var _ core.Scheme = PatchedModel{}
+
+// EstimateSize implements core.SizeEstimator, bounded: the model
+// shape prices like ModelResidual, and the patch width and exception
+// count come from the delta histogram (the residuals a fitted model
+// leaves are near the local variation, and its outliers become
+// patches).
+func (pm PatchedModel) EstimateSize(st *core.BlockStats) (uint64, bool) {
+	if !st.HasMinMax {
+		return 0, false
+	}
+	segLen, modelBits, ok := modelShape(pm.Fitter, st.N)
+	if !ok {
+		return 0, false
+	}
+	excBits := pm.ExcBits
+	if excBits == 0 {
+		excBits = DefaultExceptionBits
+	}
+	maxOff, _, _, foldOK := st.SegFold(segLen)
+	if !foldOK {
+		maxOff = uint64(st.Max - st.Min)
+	}
+	w := bitpack.Width(maxOff)
+	exc := 0
+	if st.HasDeltas && st.N > 1 {
+		wp, e := st.DeltaHist.BestPatchWidth(excBits)
+		if wp < w {
+			w, exc = wp, e
+		}
+	}
+	res := pm.Residual
+	if res == nil {
+		res = NS{}
+	}
+	var resBits uint64
+	if _, isNS := res.(NS); isNS {
+		resBits = nsFormBits(st.N, w)
+	} else {
+		child := core.BlockStats{N: st.N, Max: widthMaxValue(w), HasMinMax: true}
+		b, _, ok := core.EstimateOf(res, &child)
+		if !ok {
+			return 0, false
+		}
+		resBits = b
+	}
+	base := core.SatAddBits(core.FormOverheadBits(0)+modelBits, resBits)
+	patch := core.FormOverheadBits(0) + leafBits(exc) + leafBits(exc)
+	return core.SatAddBits(base, patch), false
+}

@@ -193,7 +193,7 @@ func TestDefaultCandidatesPruning(t *testing.T) {
 	for i := range src {
 		src[i] = int64(i * 977 % (1 << 30))
 	}
-	stats := analyzeForTest(src)
+	stats := statsForTest(src)
 	for _, c := range DefaultCandidates(stats) {
 		if c.Desc == "rle(lengths=ns, values=ns)" {
 			t.Fatal("RLE offered for run-free data")

@@ -141,6 +141,50 @@ func (FOR) ValidateForm(f *core.Form) error { return checkFOR(f) }
 // amortized segment lookup.
 func (FOR) DecompressCostPerElement(*core.Form) float64 { return 1.3 }
 
+// ConstituentStats implements core.ConstituentStatser: exact when the
+// stats carry base per-segment extremes and the segment length is a
+// multiple of the base granularity (references are the per-segment
+// minima; the widest offset is the widest per-segment range);
+// bounded by the whole-column range otherwise.
+func (s FOR) ConstituentStats(st *core.BlockStats) (uint64, []core.PredictedChild, bool, bool) {
+	if !st.HasMinMax {
+		return 0, nil, false, false
+	}
+	segLen := s.SegLen
+	if segLen == 0 {
+		segLen = DefaultSegmentLength
+	}
+	if segLen < 1 {
+		return 0, nil, false, false
+	}
+	maxOff, refMin, refMax, exact := st.SegFold(segLen)
+	if !exact {
+		maxOff = uint64(st.Max - st.Min)
+		refMin, refMax = st.Min, st.Max
+	}
+	if maxOff > 1<<63-1 {
+		maxOff = 1<<63 - 1
+		exact = false
+	}
+	nseg := 0
+	if st.N > 0 {
+		nseg = (st.N + segLen - 1) / segLen
+	}
+	var refs, offs core.BlockStats
+	refs.N = nseg
+	refs.HasMinMax = true
+	offs.N = st.N
+	offs.HasMinMax = true
+	if st.N > 0 {
+		refs.Min, refs.Max = refMin, refMax
+		offs.Max = int64(maxOff)
+	}
+	return core.FormOverheadBits(1), []core.PredictedChild{
+		{Name: "refs", Stats: refs},
+		{Name: "offsets", Stats: offs},
+	}, exact, true
+}
+
 func checkFOR(f *core.Form) error {
 	if f.Scheme != FORName {
 		return fmt.Errorf("%w: for scheme given form %q", core.ErrCorruptForm, f.Scheme)

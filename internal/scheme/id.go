@@ -38,6 +38,12 @@ func (ID) ValidateForm(f *core.Form) error { return checkID(f) }
 // DecompressCostPerElement implements core.Coster: a plain copy.
 func (ID) DecompressCostPerElement(*core.Form) float64 { return 1.0 }
 
+// EstimateSize implements core.SizeEstimator, exactly: raw storage
+// costs 64 bits per value plus the node header.
+func (ID) EstimateSize(st *core.BlockStats) (uint64, bool) {
+	return leafBits(st.N), true
+}
+
 func checkID(f *core.Form) error {
 	if f.Scheme != IDName {
 		return fmt.Errorf("%w: id scheme given form %q", core.ErrCorruptForm, f.Scheme)

@@ -77,6 +77,17 @@ func (NS) ValidateForm(f *core.Form) error { return checkNS(f) }
 // per element, slightly above a copy.
 func (NS) DecompressCostPerElement(*core.Form) float64 { return 1.5 }
 
+// EstimateSize implements core.SizeEstimator, exactly: the zigzag
+// decision and the packed width both follow from Min/Max alone, so
+// the estimate equals the compressed form's PayloadBits.
+func (NS) EstimateSize(st *core.BlockStats) (uint64, bool) {
+	if !st.HasMinMax {
+		return 0, false
+	}
+	w, _ := st.NSShape()
+	return nsFormBits(st.N, w), true
+}
+
 func checkNS(f *core.Form) error {
 	if f.Scheme != NSName {
 		return fmt.Errorf("%w: ns scheme given form %q", core.ErrCorruptForm, f.Scheme)

@@ -1,7 +1,6 @@
 package scheme
 
 import (
-	"lwcomp/internal/column"
 	"lwcomp/internal/core"
 )
 
@@ -119,8 +118,10 @@ func LinearNS(segLen int) core.Scheme {
 // stats-pruned: candidates that cannot possibly win (RLE on run-free
 // data, DICT on near-unique data) are omitted so analysis stays
 // cheap, which is how a practical optimizer would consume the paper's
-// richer scheme space.
-func DefaultCandidates(st column.Stats) []core.Candidate {
+// richer scheme space. Every returned candidate carries its scheme,
+// so the analyzer can rank it by estimated size (core.SizeEstimator)
+// and trial-compress only the top few.
+func DefaultCandidates(st *core.BlockStats) []core.Candidate {
 	cands := []core.Candidate{
 		core.FromScheme(NS{}),
 		core.FromScheme(Varint{}),
@@ -146,13 +147,21 @@ func DefaultCandidates(st column.Stats) []core.Candidate {
 	}
 	if !st.DistinctSaturated() && st.Distinct <= st.N/4 {
 		cands = append(cands, core.FromScheme(DictComposite()))
-		cands = append(cands, core.FromScheme(core.Compose(Dict{}, map[string]core.Scheme{
-			"codes": core.Compose(RLE{}, map[string]core.Scheme{
-				"lengths": NS{},
-				"values":  NS{},
-			}),
-			"dict": NS{},
-		})))
+		if st.AvgRunLength() >= 1.15 {
+			// RLE over the code column can only pay when the values
+			// (and hence the codes) actually run: break-even sits at
+			// 1 + lengthsWidth/codeWidth ≈ 1.15 for wide code
+			// columns. The gate only trims run-free data, where the
+			// trial would be pure waste; near the break-even the
+			// estimate ranking decides.
+			cands = append(cands, core.FromScheme(core.Compose(Dict{}, map[string]core.Scheme{
+				"codes": core.Compose(RLE{}, map[string]core.Scheme{
+					"lengths": NS{},
+					"values":  NS{},
+				}),
+				"dict": NS{},
+			})))
+		}
 	}
 	return cands
 }

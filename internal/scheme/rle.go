@@ -122,6 +122,64 @@ func (RLE) ValidateForm(f *core.Form) error { return checkRLE(f) }
 // sequential fill, near copy cost.
 func (RLE) DecompressCostPerElement(*core.Form) float64 { return 1.1 }
 
+// ConstituentStats implements core.ConstituentStatser, exactly:
+// every element's value is its run's head value, so the values
+// column inherits the parent's extremes, distinct count, and
+// run-delta statistics; lengths are bounded by [1, MaxRunLen].
+func (RLE) ConstituentStats(st *core.BlockStats) (uint64, []core.PredictedChild, bool, bool) {
+	if !st.HasRuns || !st.HasMinMax {
+		return 0, nil, false, false
+	}
+	return core.FormOverheadBits(0), []core.PredictedChild{
+		{Name: "lengths", Stats: runLengthStats(st)},
+		{Name: "values", Stats: runValueStats(st)},
+	}, true, true
+}
+
+// runLengthStats derives the stats of RLE's lengths column. Min is a
+// conservative 1 (lengths of maximal runs are at least 1), which is
+// all NS-shaped estimation needs: the zigzag decision depends only on
+// the sign and the width only on Max.
+func runLengthStats(st *core.BlockStats) core.BlockStats {
+	var cs core.BlockStats
+	cs.N = st.Runs
+	cs.HasMinMax = true
+	if st.Runs > 0 {
+		cs.Min, cs.Max = 1, st.MaxRunLen
+	}
+	return cs
+}
+
+// runValueStats derives the stats of RLE's (and RPE's) values
+// column: the run-head values. Adjacent run heads always differ, so
+// the child is run-free (every run has length 1) and its delta
+// statistics are the parent's run-delta statistics.
+func runValueStats(st *core.BlockStats) core.BlockStats {
+	var cs core.BlockStats
+	cs.N = st.Runs
+	cs.HasMinMax = true
+	cs.First = st.First
+	cs.Min, cs.Max = st.Min, st.Max
+	cs.Runs = st.Runs
+	if st.Runs > 0 {
+		cs.MaxRunLen = 1
+	}
+	cs.HasRuns = true
+	if st.HasRunDeltas {
+		cs.DeltaMin, cs.DeltaMax = st.RunDeltaMin, st.RunDeltaMax
+		cs.DeltaHist = st.RunDeltaHist
+		cs.HasDeltas = true
+		cs.RunDeltaMin, cs.RunDeltaMax = st.RunDeltaMin, st.RunDeltaMax
+		cs.RunDeltaHist = st.RunDeltaHist
+		cs.HasRunDeltas = true
+	}
+	if st.HasDistinct {
+		cs.Distinct = st.Distinct
+		cs.HasDistinct = true
+	}
+	return cs
+}
+
 func checkRLE(f *core.Form) error {
 	if f.Scheme != RLEName {
 		return fmt.Errorf("%w: rle scheme given form %q", core.ErrCorruptForm, f.Scheme)

@@ -94,6 +94,26 @@ func (RPE) ValidateForm(f *core.Form) error { return checkRPE(f) }
 // but without integrating lengths first.
 func (RPE) DecompressCostPerElement(*core.Form) float64 { return 1.0 }
 
+// ConstituentStats implements core.ConstituentStatser, exactly: run
+// end positions are strictly increasing with maximum exactly N, and
+// the values column is RLE's.
+func (RPE) ConstituentStats(st *core.BlockStats) (uint64, []core.PredictedChild, bool, bool) {
+	if !st.HasRuns || !st.HasMinMax {
+		return 0, nil, false, false
+	}
+	var ps core.BlockStats
+	ps.N = st.Runs
+	ps.HasMinMax = true
+	if st.Runs > 0 {
+		ps.Min, ps.Max = 1, int64(st.N)
+		ps.NonDecreasing = true
+	}
+	return core.FormOverheadBits(0), []core.PredictedChild{
+		{Name: "positions", Stats: ps},
+		{Name: "values", Stats: runValueStats(st)},
+	}, true, true
+}
+
 func checkRPE(f *core.Form) error {
 	if f.Scheme != RPEName {
 		return fmt.Errorf("%w: rpe scheme given form %q", core.ErrCorruptForm, f.Scheme)

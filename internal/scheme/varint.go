@@ -74,6 +74,34 @@ func (Varint) ValidateForm(f *core.Form) error { return checkVarint(f) }
 // makes varints the most expensive terminal codec.
 func (Varint) DecompressCostPerElement(*core.Form) float64 { return 3.0 }
 
+// EstimateSize implements core.SizeEstimator, exactly: a LEB128
+// varint of a value of unsigned width w costs max(1, ⌈w/7⌉) bytes,
+// so the byte total follows from the width histogram (shifted out of
+// the zigzag domain when the column is non-negative, matching the
+// compressor's unsigned mode).
+func (Varint) EstimateSize(st *core.BlockStats) (uint64, bool) {
+	if !st.HasMinMax || !st.HasValueHist {
+		return 0, false
+	}
+	hist := st.ValueHist
+	if st.Min >= 0 {
+		hist = hist.RawFromZigzag()
+	}
+	var total uint64
+	for w := 0; w <= 64; w++ {
+		c := hist.Counts[w]
+		if c == 0 {
+			continue
+		}
+		b := uint64((w + 6) / 7)
+		if b == 0 {
+			b = 1
+		}
+		total += uint64(c) * b
+	}
+	return core.FormOverheadBits(1) + total*8, true
+}
+
 func checkVarint(f *core.Form) error {
 	if f.Scheme != VarintName {
 		return fmt.Errorf("%w: varint scheme given form %q", core.ErrCorruptForm, f.Scheme)
@@ -143,3 +171,29 @@ func (Elias) Decompress(f *core.Form) ([]int64, error) {
 // DecompressCostPerElement implements core.Coster: bit-serial
 // decoding is the slowest route of all.
 func (Elias) DecompressCostPerElement(*core.Form) float64 { return 6.0 }
+
+// EstimateSize implements core.SizeEstimator, bounded: an Elias
+// delta code of a zigzagged value of width w costs about
+// w + 2⌊log₂w⌋ bits (the +1 offset the encoder applies can nudge a
+// value into the next width class, so the per-class cost is
+// approximate).
+func (Elias) EstimateSize(st *core.BlockStats) (uint64, bool) {
+	if !st.HasValueHist {
+		return 0, false
+	}
+	var total uint64
+	for w := 0; w <= 64; w++ {
+		c := st.ValueHist.Counts[w]
+		if c == 0 {
+			continue
+		}
+		l := uint64(w)
+		if l < 1 {
+			l = 1
+		}
+		ll := uint64(bitpack.Width(l))
+		total += uint64(c) * (l + 2*ll - 2)
+	}
+	words := (total + 63) / 64
+	return core.FormOverheadBits(0) + words*64, false
+}

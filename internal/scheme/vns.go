@@ -132,6 +132,40 @@ func (VNS) ValidateForm(f *core.Form) error { return checkVNS(f) }
 // per-block width lookup.
 func (VNS) DecompressCostPerElement(*core.Form) float64 { return 1.7 }
 
+// EstimateSize implements core.SizeEstimator, bounded: the expected
+// per-mini-block width is approximated by a high quantile of the
+// value-width histogram (the maximum of `block` draws concentrates
+// near the (1−1/block)-quantile), capped at the exact full width.
+func (s VNS) EstimateSize(st *core.BlockStats) (uint64, bool) {
+	if !st.HasMinMax {
+		return 0, false
+	}
+	block := s.Block
+	if block == 0 {
+		block = DefaultVNSBlock
+	}
+	if block < 1 {
+		return 0, false
+	}
+	wMax, zig := st.NSShape()
+	w := wMax
+	if st.HasValueHist && st.N > 0 {
+		w = st.ValueHist.WidthCovering(1 - 1/float64(2*block))
+		if !zig && w > 0 {
+			w-- // histogram is in the zigzag domain; raw widths sit one below
+		}
+		if w > wMax {
+			w = wMax
+		}
+	}
+	nblocks := (st.N + block - 1) / block
+	words := uint64(st.N/block) * uint64(bitpack.PackedWords(block, w))
+	if rem := st.N % block; rem > 0 {
+		words += uint64(bitpack.PackedWords(rem, w))
+	}
+	return core.FormOverheadBits(2) + leafBits(nblocks) + words*64, false
+}
+
 func checkVNS(f *core.Form) error {
 	if f.Scheme != VNSName {
 		return fmt.Errorf("%w: vns scheme given form %q", core.ErrCorruptForm, f.Scheme)

@@ -198,20 +198,35 @@ type AnalyzerOptions struct {
 	// Extra appends additional candidates (e.g. hand-built
 	// composites) to the default stats-pruned space.
 	Extra []Candidate
+	// TrialK bounds how many of the top estimate-ranked candidates
+	// are trial-compressed; zero means the default (3). See
+	// WithSearchEffort.
+	TrialK int
+	// Exhaustive disables estimate pruning and trial-compresses
+	// every candidate — the ground-truth search. See
+	// WithExhaustiveSearch.
+	Exhaustive bool
 }
 
 // CompressBestWithOptions searches the composite-scheme space under
 // the given options and returns the analyzer's full report.
 func CompressBestWithOptions(src []int64, opts AnalyzerOptions) (*Choice, error) {
-	st := column.Analyze(src)
+	s := core.GetScratch()
+	defer s.Release()
+	st := core.CollectStats(src, s)
+	defer st.ReleaseSeg(s)
 	sample := opts.SampleSize
 	if sample == 0 {
 		sample = 1 << 16
 	}
 	a := &core.Analyzer{
-		Candidates: append(scheme.DefaultCandidates(st), opts.Extra...),
+		Candidates: append(scheme.DefaultCandidates(&st), opts.Extra...),
 		CostBudget: opts.CostBudget,
 		SampleSize: sample,
+		TrialK:     opts.TrialK,
+		Exhaustive: opts.Exhaustive,
+		Stats:      &st,
+		Scratch:    s,
 	}
 	return a.Best(src)
 }

@@ -72,6 +72,25 @@ func WithSampleSize(n int) Option {
 	return func(o *options) { o.enc.SampleSize = n }
 }
 
+// WithSearchEffort bounds how many of the top estimate-ranked
+// candidate schemes the per-block analyzer trial-compresses (the
+// default is 3). The analyzer predicts every candidate's encoded
+// size from one-pass block statistics and only trial-encodes the k
+// most promising, so lower effort encodes faster at a small risk of
+// a slightly larger block; candidates without estimators and the
+// best exactly-estimated candidate are always trialed.
+func WithSearchEffort(k int) Option {
+	return func(o *options) { o.enc.TrialK = k }
+}
+
+// WithExhaustiveSearch disables the statistics-driven pruning and
+// trial-compresses every candidate scheme on every block — the
+// ground-truth search. Encoding is several times slower; use it to
+// validate the estimators or when encode time does not matter.
+func WithExhaustiveSearch() Option {
+	return func(o *options) { o.enc.Exhaustive = true }
+}
+
 // WithExtraCandidates appends hand-built composites to every block's
 // analyzer search space.
 func WithExtraCandidates(extra ...Candidate) Option {
