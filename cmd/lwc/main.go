@@ -19,6 +19,7 @@
 //	lwc query -i dates.lwc -sum
 //	lwc query -i dates.lwc -range 730200:730400 --mmap
 //	lwc query -i orders.lwc -where 'date >= 730200 and date <= 730400 and status = 1' -sum -col amount
+//	lwc serve -dir /data/containers -addr 127.0.0.1:7207
 //
 // compress writes lazily openable (v3) containers; every command also
 // reads v2/v1 containers written by older builds. stat, query and
@@ -44,6 +45,7 @@ import (
 	"strings"
 
 	"lwcomp"
+	"lwcomp/internal/server"
 	"lwcomp/internal/workload"
 )
 
@@ -68,6 +70,8 @@ func main() {
 		err = cmdInspect(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "serve":
+		err = server.Main(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -92,6 +96,7 @@ commands:
   stat        print a container's block index without decoding payloads
   inspect     show the scheme tree and sizes of a container
   query       run sum/range/point queries, or -where table scans, on a container
+  serve       serve a directory of containers as tables over HTTP (same as lwcd)
 
 run 'lwc <command> -h' for flags`)
 }

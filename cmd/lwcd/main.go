@@ -1,0 +1,30 @@
+// Command lwcd is the lwcomp columnar query daemon: it mounts a
+// directory of *.lwc containers as named tables and serves the Table
+// scan API over HTTP to many concurrent clients.
+//
+// Usage:
+//
+//	lwcd -dir /data/containers -addr 127.0.0.1:7207
+//	curl localhost:7207/tables
+//	curl -d '{"table":"orders","where":"status = 1","op":"count"}' localhost:7207/query
+//	curl localhost:7207/metrics
+//
+// SIGHUP (or POST /-/reload) re-mounts the directory without dropping
+// in-flight queries. See the internal/server package documentation for
+// the endpoint contracts and resource-governance knobs; `lwc serve` is
+// the same server embedded in the multi-tool.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lwcomp/internal/server"
+)
+
+func main() {
+	if err := server.Main(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "lwcd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -861,6 +861,22 @@ type CacheStats struct {
 	BytesBudget int64
 }
 
+// ScanCounters is the cumulative block-level outcome tally of a
+// table's scans: how many blocks the stats refuted (skipped without a
+// fetch), proved (emitted as whole runs without a fetch), and left
+// undecided (payload consulted). Like CacheStats, the canonical type
+// lives here so both the table planner and a server's metrics
+// endpoint can speak it without import cycles.
+type ScanCounters struct {
+	// Skipped counts blocks refuted by stats — never fetched.
+	Skipped int64
+	// Proved counts blocks proved by stats — emitted whole, never
+	// fetched.
+	Proved int64
+	// Fetched counts undecided blocks whose payloads were consulted.
+	Fetched int64
+}
+
 // CacheStatsSource is implemented by block sources backed by a shared
 // payload cache (the lazily opened container's per-column readers).
 type CacheStatsSource interface {

@@ -1,0 +1,554 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lwcomp"
+)
+
+// Handler returns the server's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /tables", s.handleTables)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /-/reload", s.handleReload)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}` + "\n"))
+	})
+	return mux
+}
+
+// errorBody is every non-200's JSON shape. Offset and Token are set
+// only for predicate parse failures, pointing at the offending byte.
+type errorBody struct {
+	// Error is the human-readable failure.
+	Error string `json:"error"`
+	// Offset is the byte offset of a predicate parse failure.
+	Offset *int `json:"offset,omitempty"`
+	// Token is the offending predicate token, when one was read.
+	Token string `json:"token,omitempty"`
+}
+
+// writeError sends a JSON error with the given status.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeErrorBody(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeErrorBody sends a prebuilt error body.
+func writeErrorBody(w http.ResponseWriter, status int, body errorBody) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// catalogColumn is one column's /tables entry, read from the block
+// index alone.
+type catalogColumn struct {
+	// Name is the served column name.
+	Name string `json:"name"`
+	// Blocks is the column's block count.
+	Blocks int `json:"blocks"`
+	// Min and Max bound the column's values, when every block carries
+	// stats (v3 containers always do).
+	Min *int64 `json:"min,omitempty"`
+	// Max is the upper bound; see Min.
+	Max *int64 `json:"max,omitempty"`
+}
+
+// catalogTable is one table's /tables entry.
+type catalogTable struct {
+	// Name is the table name (the filename prefix).
+	Name string `json:"name"`
+	// Rows is the table's row count.
+	Rows int `json:"rows"`
+	// Aligned reports whether the columns share block boundaries (the
+	// precondition for cross-column per-block planning).
+	Aligned bool `json:"aligned"`
+	// Columns lists the table's columns in table order.
+	Columns []catalogColumn `json:"columns"`
+	// Files lists the container files behind the table.
+	Files []string `json:"files"`
+}
+
+// handleTables serves the catalog. Everything here comes from the
+// open containers' resident block indexes — no payload is fetched.
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	ms := s.acquireMounts()
+	defer ms.release()
+	out := struct {
+		Tables []catalogTable `json:"tables"`
+	}{Tables: []catalogTable{}}
+	for _, name := range ms.names {
+		mt := ms.tables[name]
+		ct := catalogTable{
+			Name:    name,
+			Rows:    mt.tbl.NumRows(),
+			Aligned: mt.tbl.Aligned(),
+			Files:   mt.files,
+		}
+		for _, colName := range mt.tbl.ColumnNames() {
+			col, err := mt.tbl.Column(colName)
+			if err != nil {
+				continue
+			}
+			cc := catalogColumn{Name: colName, Blocks: col.NumBlocks()}
+			if lo, hi, ok := indexMinMax(col); ok {
+				cc.Min, cc.Max = &lo, &hi
+			}
+			ct.Columns = append(ct.Columns, cc)
+		}
+		out.Tables = append(out.Tables, ct)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// indexMinMax computes a column's [min, max] from block stats alone;
+// ok is false when any non-empty block lacks stats (decoding to find
+// out would defeat the catalog's no-payload-reads guarantee).
+func indexMinMax(col *lwcomp.Column) (lo, hi int64, ok bool) {
+	have := false
+	for i := range col.Blocks {
+		b := &col.Blocks[i]
+		if b.Count == 0 {
+			continue
+		}
+		if !b.HasStats {
+			return 0, 0, false
+		}
+		if !have || b.Min < lo {
+			lo = b.Min
+		}
+		if !have || b.Max > hi {
+			hi = b.Max
+		}
+		have = true
+	}
+	return lo, hi, have
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	// Table names the mounted table to scan.
+	Table string `json:"table"`
+	// Where is the predicate in the scan mini-language; empty matches
+	// every row.
+	Where string `json:"where"`
+	// Columns names the columns to aggregate (op=sum) or project
+	// (op=rows). Unused for count.
+	Columns []string `json:"columns"`
+	// Op is count, sum or rows; empty means count.
+	Op string `json:"op"`
+	// TimeoutMS shortens the server's per-query deadline; it can
+	// never extend it.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// BatchRows overrides the server's rows-per-frame for op=rows.
+	BatchRows int `json:"batch_rows"`
+	// Limit caps the rows streamed by op=rows; 0 means all.
+	Limit int64 `json:"limit"`
+}
+
+// queryResult is the single-object response of count and sum queries,
+// and the header frame of a rows stream.
+type queryResult struct {
+	// Table and Op echo the request.
+	Table string `json:"table"`
+	// Op is the executed operation.
+	Op string `json:"op"`
+	// Where is the parsed predicate, rendered back (the canonical
+	// form, not the request's spelling).
+	Where string `json:"where"`
+	// Matched is the number of rows the predicate selected.
+	Matched int64 `json:"matched"`
+	// Sums maps column name to sum over the matched rows (op=sum).
+	Sums map[string]int64 `json:"sums,omitempty"`
+	// Columns lists the projected columns, in frame order (op=rows).
+	Columns []string `json:"columns,omitempty"`
+	// ElapsedMS is the server-side query time (omitted on the rows
+	// header frame, where the stream is still running).
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+}
+
+// errStreamLimit aborts a rows stream cleanly once the limit is hit.
+var errStreamLimit = errors.New("stream limit reached")
+
+// handleQuery admits, parses, plans and runs one query, then streams
+// or writes its result. Admission rejections answer 429 with
+// Retry-After; deadline hits answer 504; predicate errors answer 400
+// with the byte offset and offending token.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	op := req.Op
+	if op == "" {
+		op = "count"
+	}
+	switch op {
+	case "count", "sum", "rows":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown op %q (want count, sum or rows)", op)
+		return
+	}
+	if (op == "sum" || op == "rows") && len(req.Columns) == 0 {
+		writeError(w, http.StatusBadRequest, "op %q needs at least one entry in columns", op)
+		return
+	}
+
+	timeout := s.cfg.QueryTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Admission: bounded wait for a slot, O(1) rejection past the
+	// queue bound. Retry-After names the configured deadline — the
+	// time scale on which a slot is guaranteed to free up.
+	if err := s.gate.acquire(ctx); err != nil {
+		if errors.Is(err, errSaturated) {
+			s.met.rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.QueryTimeout)))
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		s.met.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "request expired while queued for admission")
+		return
+	}
+	defer s.gate.release()
+	s.met.total.Add(1)
+	defer func() { s.met.hist.record(time.Since(started)) }()
+
+	ms := s.acquireMounts()
+	defer ms.release()
+	mt, ok := ms.tables[req.Table]
+	if !ok {
+		writeError(w, http.StatusNotFound, "no table %q mounted", req.Table)
+		return
+	}
+	for _, colName := range req.Columns {
+		if _, err := mt.tbl.Column(colName); err != nil {
+			writeError(w, http.StatusBadRequest, "table %q has no column %q", req.Table, colName)
+			return
+		}
+	}
+
+	expr := lwcomp.And()
+	if req.Where != "" {
+		var err error
+		expr, err = lwcomp.ParsePredicate(req.Where)
+		if err != nil {
+			var pe *lwcomp.ParseError
+			if errors.As(err, &pe) {
+				writeErrorBody(w, http.StatusBadRequest,
+					errorBody{Error: pe.Error(), Offset: &pe.Offset, Token: pe.Token})
+				return
+			}
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+
+	scan, err := mt.tbl.ScanContext(ctx, expr)
+	if err != nil {
+		s.queryError(w, err)
+		return
+	}
+	defer scan.Release()
+
+	res := queryResult{Table: req.Table, Op: op, Where: expr.String(), Matched: int64(scan.Count())}
+	switch op {
+	case "count":
+		res.ElapsedMS = msSince(started)
+		writeJSON(w, res)
+	case "sum":
+		res.Sums = make(map[string]int64, len(req.Columns))
+		for _, colName := range req.Columns {
+			v, err := scan.SumContext(ctx, colName)
+			if err != nil {
+				s.queryError(w, err)
+				return
+			}
+			res.Sums[colName] = v
+		}
+		res.ElapsedMS = msSince(started)
+		writeJSON(w, res)
+	case "rows":
+		s.streamRows(ctx, w, scan, req, res, started)
+	}
+}
+
+// retryAfterSeconds rounds the query deadline up to whole seconds —
+// the Retry-After a saturated server advertises.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// msSince is elapsed wall time in (fractional) milliseconds.
+func msSince(t time.Time) float64 { return float64(time.Since(t).Nanoseconds()) / 1e6 }
+
+// writeJSON sends one JSON object.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// streamRows streams an op=rows result as NDJSON: a header frame with
+// the match count and column order, then row frames of at most
+// batch_rows rows each, then a final frame. Frames are flushed as
+// written, and each holds one batch — the server never materializes
+// the full result, whatever its size.
+func (s *Server) streamRows(ctx context.Context, w http.ResponseWriter, scan *lwcomp.Scan, req queryRequest, header queryResult, started time.Time) {
+	batch := req.BatchRows
+	if batch <= 0 {
+		batch = s.cfg.BatchRows
+	}
+	header.Columns = req.Columns
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	enc.Encode(header)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	var streamed int64
+	buf := make([]byte, 0, 1<<14)
+	err := scan.StreamBatches(ctx, req.Columns, batch, func(rows []int64, vals [][]int64) error {
+		if req.Limit > 0 && streamed+int64(len(rows)) > req.Limit {
+			keep := req.Limit - streamed
+			rows = rows[:keep]
+			for i := range vals {
+				vals[i] = vals[i][:keep]
+			}
+		}
+		if len(rows) == 0 {
+			return errStreamLimit
+		}
+		buf = appendRowsFrame(buf[:0], rows, vals)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		streamed += int64(len(rows))
+		if req.Limit > 0 && streamed >= req.Limit {
+			return errStreamLimit
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStreamLimit) {
+		// The 200 and header frame are gone; the error becomes the
+		// stream's final frame so clients can tell truncation from
+		// success. Deadline hits still count as timeouts.
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.met.timeouts.Add(1)
+		} else if !errors.Is(err, context.Canceled) {
+			s.met.errors.Add(1)
+		}
+		enc.Encode(errorBody{Error: err.Error()})
+		return
+	}
+	enc.Encode(struct {
+		// Done marks a complete stream.
+		Done bool `json:"done"`
+		// Streamed is the number of rows emitted (≤ matched under a
+		// limit).
+		Streamed int64 `json:"streamed"`
+		// ElapsedMS is the server-side query time.
+		ElapsedMS float64 `json:"elapsed_ms"`
+	}{true, streamed, msSince(started)})
+}
+
+// appendRowsFrame renders one NDJSON row frame:
+// {"rows":[...],"cols":[[...],...]}\n — hand-built, because a server
+// streaming millions of rows through reflect-driven json.Marshal
+// would spend more time encoding than scanning.
+func appendRowsFrame(buf []byte, rows []int64, vals [][]int64) []byte {
+	buf = append(buf, `{"rows":`...)
+	buf = appendInt64s(buf, rows)
+	buf = append(buf, `,"cols":[`...)
+	for i, col := range vals {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendInt64s(buf, col)
+	}
+	buf = append(buf, "]}\n"...)
+	return buf
+}
+
+// appendInt64s renders a JSON array of integers.
+func appendInt64s(buf []byte, vs []int64) []byte {
+	buf = append(buf, '[')
+	for i, v := range vs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, v, 10)
+	}
+	return append(buf, ']')
+}
+
+// queryError maps a scan failure onto a status: deadline → 504,
+// client-cancel → a quiet 499-style abort, anything else → 500.
+func (s *Server) queryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// The client is gone; nothing useful to write.
+	default:
+		s.met.errors.Add(1)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// metricsCache is the cache section of /metrics.
+type metricsCache struct {
+	// Hits, Misses, Evictions, BytesUsed and BytesBudget mirror
+	// lwcomp.CacheStats.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	BytesUsed int64 `json:"bytes_used"`
+	// BytesBudget is the configured capacity.
+	BytesBudget int64 `json:"bytes_budget"`
+	// HitRate is hits / (hits + misses), 0 with no traffic.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// toMetricsCache converts CacheStats for the JSON surface.
+func toMetricsCache(st lwcomp.CacheStats) metricsCache {
+	mc := metricsCache{
+		Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+		BytesUsed: st.BytesUsed, BytesBudget: st.BytesBudget,
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		mc.HitRate = float64(st.Hits) / float64(total)
+	}
+	return mc
+}
+
+// metricsTable is one table's /metrics section.
+type metricsTable struct {
+	// Rows is the table's row count.
+	Rows int `json:"rows"`
+	// Cache is the table's own block-cache traffic under the shared
+	// budget.
+	Cache metricsCache `json:"cache"`
+	// BlocksSkipped, BlocksProved and BlocksFetched are the
+	// cumulative scan-plan outcomes (see blocked.ScanCounters).
+	BlocksSkipped int64 `json:"blocks_skipped"`
+	// BlocksProved counts stats-proved blocks (whole runs, no fetch).
+	BlocksProved int64 `json:"blocks_proved"`
+	// BlocksFetched counts undecided blocks whose payloads were read.
+	BlocksFetched int64 `json:"blocks_fetched"`
+}
+
+// metricsBody is the /metrics JSON shape (expvar-style: one flat
+// document, no exposition format).
+type metricsBody struct {
+	// UptimeS is seconds since the server started.
+	UptimeS float64 `json:"uptime_s"`
+	// Queries groups the admission and outcome counters.
+	Queries struct {
+		// Total counts admitted queries.
+		Total int64 `json:"total"`
+		// InFlight and Queued are the admission gauges.
+		InFlight int `json:"in_flight"`
+		// Queued is the number of queries waiting for a slot.
+		Queued int64 `json:"queued"`
+		// Rejected counts 429s; Timeouts 504s; Errors 500s.
+		Rejected int64 `json:"rejected"`
+		// Timeouts counts queries that hit their deadline.
+		Timeouts int64 `json:"timeouts"`
+		// Errors counts queries that failed any other way.
+		Errors int64 `json:"errors"`
+	} `json:"queries"`
+	// LatencyUs summarizes the query latency histogram in
+	// microseconds.
+	LatencyUs struct {
+		// Count is the number of recorded queries.
+		Count int64 `json:"count"`
+		// MeanUs is the mean latency.
+		MeanUs float64 `json:"mean"`
+		// P50, P90 and P99 are bucket upper bounds (log2 buckets).
+		P50 int64 `json:"p50"`
+		// P90 is the 90th percentile bound.
+		P90 int64 `json:"p90"`
+		// P99 is the 99th percentile bound.
+		P99 int64 `json:"p99"`
+	} `json:"latency_us"`
+	// Cache is the shared cache's pooled counters.
+	Cache metricsCache `json:"cache"`
+	// Tables holds each mounted table's counters.
+	Tables map[string]metricsTable `json:"tables"`
+}
+
+// handleMetrics serves the counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ms := s.acquireMounts()
+	defer ms.release()
+	var body metricsBody
+	body.UptimeS = time.Since(s.start).Seconds()
+	body.Queries.Total = s.met.total.Load()
+	body.Queries.InFlight = s.gate.inFlight()
+	body.Queries.Queued = s.gate.waiting()
+	body.Queries.Rejected = s.met.rejected.Load()
+	body.Queries.Timeouts = s.met.timeouts.Load()
+	body.Queries.Errors = s.met.errors.Load()
+	snap := s.met.hist.snapshot()
+	body.LatencyUs.Count = snap.count
+	body.LatencyUs.MeanUs = snap.meanUs()
+	body.LatencyUs.P50 = snap.quantile(0.50)
+	body.LatencyUs.P90 = snap.quantile(0.90)
+	body.LatencyUs.P99 = snap.quantile(0.99)
+	body.Cache = toMetricsCache(s.cache.Stats())
+	body.Tables = make(map[string]metricsTable, len(ms.tables))
+	for name, mt := range ms.tables {
+		sc := mt.tbl.ScanCounters()
+		body.Tables[name] = metricsTable{
+			Rows:          mt.tbl.NumRows(),
+			Cache:         toMetricsCache(mt.cacheStats()),
+			BlocksSkipped: sc.Skipped,
+			BlocksProved:  sc.Proved,
+			BlocksFetched: sc.Fetched,
+		}
+	}
+	writeJSON(w, body)
+}
+
+// handleReload re-mounts the directory — the HTTP twin of SIGHUP.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if err := s.Reload(); err != nil {
+		writeError(w, http.StatusInternalServerError, "reload failed (previous set still serving): %v", err)
+		return
+	}
+	writeJSON(w, struct {
+		// Reloaded confirms the swap.
+		Reloaded bool `json:"reloaded"`
+		// Tables is the new table count.
+		Tables int `json:"tables"`
+	}{true, len(s.Tables())})
+}

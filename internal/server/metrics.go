@@ -1,0 +1,100 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the latency histogram's bucket count: bucket i holds
+// queries whose latency in microseconds is in [2^i, 2^(i+1)), which
+// spans 1µs to ~35min — beyond any survivable query deadline.
+const histBuckets = 32
+
+// latencyHist is a lock-free log2 latency histogram. Recording is two
+// atomic adds on the hot path; quantiles are computed on snapshot by
+// walking the cumulative counts, so p50/p99 cost nothing until
+// someone scrapes /metrics.
+type latencyHist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// record adds one observation.
+func (h *latencyHist) record(d time.Duration) {
+	us := d.Microseconds()
+	b := bits.Len64(uint64(us)) // 0µs → bucket 0, 2^i..2^(i+1)-1 µs → bucket i+1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// histSnapshot is one consistent-enough read of the histogram (each
+// counter is read atomically; the aggregate may straddle concurrent
+// records, which a monitoring read tolerates).
+type histSnapshot struct {
+	counts [histBuckets]int64
+	count  int64
+	sumNs  int64
+}
+
+// snapshot reads every counter.
+func (h *latencyHist) snapshot() histSnapshot {
+	var s histSnapshot
+	for i := range h.buckets {
+		s.counts[i] = h.buckets[i].Load()
+	}
+	s.count = h.count.Load()
+	s.sumNs = h.sumNs.Load()
+	return s
+}
+
+// quantile returns the q-quantile's bucket upper bound in
+// microseconds (a log2 histogram answers within 2x), or 0 with no
+// observations.
+func (s *histSnapshot) quantile(q float64) int64 {
+	if s.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.counts {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 1
+			}
+			return int64(1) << uint(i) // upper bound of [2^(i-1), 2^i)
+		}
+	}
+	return int64(1) << (histBuckets - 1)
+}
+
+// meanUs is the mean latency in microseconds.
+func (s *histSnapshot) meanUs() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return float64(s.sumNs) / float64(s.count) / 1e3
+}
+
+// metrics is the server's counter set: query outcomes and the latency
+// histogram. Gauges (in-flight, queued) live on the gate; per-table
+// counters live on the mounted tables.
+type metrics struct {
+	total    atomic.Int64 // queries admitted and run
+	rejected atomic.Int64 // 429s at the admission gate
+	timeouts atomic.Int64 // queries that hit their deadline (504)
+	errors   atomic.Int64 // queries that failed any other way
+	hist     latencyHist
+}
+
+// newMetrics returns an empty counter set.
+func newMetrics() *metrics { return &metrics{} }

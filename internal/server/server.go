@@ -1,0 +1,292 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"lwcomp"
+)
+
+// Config is the server's resource-governance configuration. The zero
+// value of every field means "use the default"; withDefaults fills
+// them in.
+type Config struct {
+	// Dir is the directory of *.lwc containers to mount as tables.
+	Dir string
+	// CacheBytes is the one byte budget every mounted container's
+	// block cache shares; 0 means DefaultCacheBytes, negative
+	// disables caching.
+	CacheBytes int64
+	// MaxConcurrent bounds in-flight queries (the admission limit);
+	// <= 0 means 2x GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue bounds queries waiting for an admission slot beyond
+	// MaxConcurrent; past it the server answers 429 with Retry-After.
+	// 0 means 4x MaxConcurrent; negative means no queueing (reject
+	// the moment every slot is busy).
+	MaxQueue int
+	// QueryTimeout is the per-query deadline; a request's timeout_ms
+	// may shorten but never extend it. 0 means 30s.
+	QueryTimeout time.Duration
+	// Parallelism bounds each scan's concurrent block workers
+	// (WithParallelism); 0 means GOMAXPROCS.
+	Parallelism int
+	// BatchRows is the default row count per streamed NDJSON frame;
+	// 0 means 4096.
+	BatchRows int
+	// Mmap maps containers instead of issuing positioned reads.
+	Mmap bool
+}
+
+// DefaultCacheBytes is the shared block-cache budget used when the
+// config does not set one: generous enough to keep a working set of
+// hot blocks resident across several mounted tables, bounded enough
+// that a server over a multi-GB mount does not page.
+const DefaultCacheBytes int64 = 256 << 20
+
+// withDefaults fills zero config fields with serving defaults.
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.BatchRows <= 0 {
+		c.BatchRows = 4096
+	}
+	return c
+}
+
+// Server serves Table scans over a mounted directory of containers.
+// Create one with New, expose Handler on an http.Server (or call
+// ListenAndServe), and Close it when done.
+type Server struct {
+	cfg   Config
+	cache *lwcomp.SharedBlockCache
+	gate  *gate
+	met   *metrics
+	start time.Time
+
+	mu     sync.RWMutex
+	mounts *mountSet
+	closed atomic.Bool
+}
+
+// New builds a server over cfg and performs the initial mount. An
+// empty or all-skipped directory is not an error — the catalog is
+// just empty until a reload finds containers.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: lwcomp.NewSharedBlockCache(cfg.CacheBytes),
+		gate:  newGate(cfg.MaxConcurrent, cfg.MaxQueue),
+		met:   newMetrics(),
+		start: time.Now(),
+	}
+	if err := s.Reload(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reload re-mounts the configured directory and atomically swaps the
+// served table set. In-flight queries finish against the set they
+// started on; the old set's containers close when its last query
+// drains. On error the previous set keeps serving untouched.
+func (s *Server) Reload() error {
+	ms, err := mountDir(s.cfg, s.cache)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	old := s.mounts
+	s.mounts = ms
+	s.mu.Unlock()
+	if old != nil {
+		old.retire()
+	}
+	return nil
+}
+
+// Close retires the mounted set, closing its containers once the last
+// in-flight query drains. The server rejects new queries afterwards.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	s.mu.Lock()
+	old := s.mounts
+	s.mounts = newMountSet(nil)
+	s.mu.Unlock()
+	if old != nil {
+		old.retire()
+	}
+	return nil
+}
+
+// Tables returns the currently mounted table names, sorted — the
+// catalog handler and tests read through this.
+func (s *Server) Tables() []string {
+	ms := s.acquireMounts()
+	defer ms.release()
+	return append([]string(nil), ms.names...)
+}
+
+// CacheStats snapshots the shared block cache's pooled counters.
+func (s *Server) CacheStats() lwcomp.CacheStats { return s.cache.Stats() }
+
+// acquireMounts returns the current mounted set with a reference
+// held; callers must release it when their query finishes so retired
+// sets can close.
+func (s *Server) acquireMounts() *mountSet {
+	s.mu.RLock()
+	ms := s.mounts
+	ms.acquire()
+	s.mu.RUnlock()
+	return ms
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, reloading the
+// mount on SIGHUP. It prints one line when ready (the smoke tests and
+// process supervisors key off it) and shuts down gracefully, letting
+// in-flight queries finish.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("lwcd: serving %d table(s) from %s on http://%s", len(s.Tables()), s.cfg.Dir, ln.Addr())
+	srv := &http.Server{Handler: s.Handler()}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-hup:
+				if err := s.Reload(); err != nil {
+					log.Printf("lwcd: reload failed (still serving the previous set): %v", err)
+				} else {
+					log.Printf("lwcd: reloaded, %d table(s)", len(s.Tables()))
+				}
+			}
+		}
+	}()
+	go func() {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(shutCtx)
+		}
+	}()
+	err = srv.Serve(ln)
+	s.Close()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Main is the shared entry point of `lwcd` and `lwc serve`: parse
+// flags, mount, serve until SIGINT/SIGTERM.
+func Main(args []string) error {
+	fs := flag.NewFlagSet("lwcd", flag.ContinueOnError)
+	var cfg Config
+	addr := fs.String("addr", "127.0.0.1:7207", "listen address")
+	fs.StringVar(&cfg.Dir, "dir", ".", "directory of *.lwc containers to mount as tables")
+	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", 0, "shared block-cache byte budget across all tables (0 = 256 MiB, negative = uncached)")
+	fs.IntVar(&cfg.MaxConcurrent, "max-concurrent", 0, "admission limit on in-flight queries (0 = 2x GOMAXPROCS)")
+	fs.IntVar(&cfg.MaxQueue, "max-queue", 0, "queries queued beyond the admission limit before 429 (0 = 4x max-concurrent, negative = none)")
+	fs.DurationVar(&cfg.QueryTimeout, "timeout", 0, "per-query deadline (0 = 30s)")
+	fs.IntVar(&cfg.Parallelism, "parallel", 0, "concurrent block workers per scan (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.BatchRows, "batch-rows", 0, "rows per streamed NDJSON frame (0 = 4096)")
+	fs.BoolVar(&cfg.Mmap, "mmap", false, "memory-map containers instead of reading them")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.ListenAndServe(ctx, *addr)
+}
+
+// errSaturated is the admission gate's rejection: every slot busy and
+// the queue full. The handler maps it to 429 with Retry-After.
+var errSaturated = errors.New("server saturated: every query slot busy and the queue full")
+
+// gate is the admission controller: a semaphore of query slots plus a
+// bounded count of waiters. It is what stands between heavy traffic
+// and collapse — past the queue bound, queries are rejected in O(1)
+// instead of piling onto the scan engine.
+type gate struct {
+	slots    chan struct{}
+	maxQueue int
+	queued   atomic.Int64
+}
+
+// newGate returns a gate admitting maxConcurrent queries with
+// maxQueue waiters (negative: none).
+func newGate(maxConcurrent, maxQueue int) *gate {
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &gate{slots: make(chan struct{}, maxConcurrent), maxQueue: maxQueue}
+}
+
+// acquire takes a query slot, waiting in the bounded queue when all
+// are busy. It returns errSaturated past the queue bound and ctx.Err()
+// if the request expires while queued.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > int64(g.maxQueue) {
+		g.queued.Add(-1)
+		return errSaturated
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot.
+func (g *gate) release() { <-g.slots }
+
+// inFlight is the admitted-query gauge.
+func (g *gate) inFlight() int { return len(g.slots) }
+
+// waiting is the queued-query gauge.
+func (g *gate) waiting() int64 { return g.queued.Load() }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"lwcomp/internal/blocked"
 	"lwcomp/internal/core"
@@ -42,6 +43,13 @@ type OpenOptions struct {
 	// caching; OpenFile's public wrapper defaults it to
 	// DefaultBlockCacheBytes.
 	CacheBytes int64
+	// Shared, when non-nil, makes the container join this cache
+	// instead of creating its own: its blocks compete with every
+	// other member container's under the one byte budget. CacheBytes
+	// is ignored. A server mounting many containers uses one
+	// SharedCache so total resident payload bytes stay bounded
+	// regardless of how many tables are open.
+	Shared *SharedCache
 	// Mmap maps the file instead of issuing ReadAt calls. Ignored
 	// (with a silent fallback to ReadAt) when the platform does not
 	// support it or the mapping fails. Only honored by
@@ -113,6 +121,14 @@ type ContainerFile struct {
 	cols         []BlockedColumn
 	locs         [][]blockLoc // nil for eagerly opened generations
 	mapped       bool
+	// owner namespaces this container's keys inside a shared cache;
+	// shared records that the cache's budget and eviction traffic are
+	// pooled with other containers, so CacheStats reports the
+	// container-local hit/miss counters below instead of the cache's
+	// pooled ones.
+	owner                  uint64
+	shared                 bool
+	localHits, localMisses atomic.Int64
 
 	closeOnce sync.Once
 	closeErr  error
@@ -207,10 +223,15 @@ func openSource(src byteSource, size int64, opt OpenOptions) (*ContainerFile, er
 	}
 	cf := &ContainerFile{
 		src:          src,
-		cache:        newBlockCache(opt.CacheBytes),
 		payloadStart: payloadStart,
 		cols:         p.cols,
 		locs:         p.locs,
+		owner:        nextCacheOwner.Add(1),
+	}
+	if opt.Shared != nil {
+		cf.cache, cf.shared = opt.Shared.c, true
+	} else {
+		cf.cache = newBlockCache(opt.CacheBytes)
 	}
 	for ci := range cf.cols {
 		cf.cols[ci].Col.Source = &colReader{cf: cf, colIdx: ci}
@@ -283,8 +304,19 @@ func (cf *ContainerFile) Lazy() bool { return cf.locs != nil }
 // Mapped reports whether the container is backed by a memory mapping.
 func (cf *ContainerFile) Mapped() bool { return cf.mapped }
 
-// CacheStats snapshots the shared block cache's counters.
-func (cf *ContainerFile) CacheStats() CacheStats { return cf.cache.stats() }
+// CacheStats snapshots the container's block-cache counters. On a
+// container that joined a SharedCache, hits and misses are the
+// container's own traffic while evictions, resident bytes and budget
+// are the pooled cache's — per-table hit rates stay meaningful even
+// though the byte budget is shared.
+func (cf *ContainerFile) CacheStats() CacheStats {
+	st := cf.cache.stats()
+	if cf.shared {
+		st.Hits = cf.localHits.Load()
+		st.Misses = cf.localMisses.Load()
+	}
+	return st
+}
 
 // BlockExtent describes one block's payload location inside a lazily
 // opened container — what `lwc stat` prints without decoding.
@@ -355,10 +387,12 @@ func (r *colReader) BlockForm(i int) (*core.Form, error) {
 	loc := cf.locs[r.colIdx][i]
 	name := cf.cols[r.colIdx].Name
 	count := cf.cols[r.colIdx].Col.Blocks[i].Count
-	key := cacheKey{col: r.colIdx, block: i}
+	key := cacheKey{owner: cf.owner, col: r.colIdx, block: i}
 
 	if cf.cache != nil {
-		if data, ok := cf.cache.get(key); ok {
+		data, ok := cf.cache.get(key)
+		if ok {
+			cf.localHits.Add(1)
 			// Cached bytes were verified when inserted.
 			f, consumed, err := DecodeForm(data)
 			if err != nil {
@@ -370,6 +404,7 @@ func (r *colReader) BlockForm(i int) (*core.Form, error) {
 			}
 			return f, nil
 		}
+		cf.localMisses.Add(1)
 	}
 
 	n := int(loc.length)

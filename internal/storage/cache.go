@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"lwcomp/internal/blocked"
 )
@@ -33,8 +34,11 @@ func putPayloadBuf(b []byte) {
 	payloadPool.Put(&b)
 }
 
-// cacheKey addresses one block of one column inside a container.
+// cacheKey addresses one block of one column of one container. The
+// owner field is the opening container's unique id, so containers
+// sharing one SharedCache never collide on (column, block).
 type cacheKey struct {
+	owner      uint64
 	col, block int
 }
 
@@ -131,6 +135,44 @@ func (c *blockCache) evictOldestLocked() {
 // lives in package blocked so a lazily opened column can expose the
 // same counters through Column.CacheStats without importing storage.
 type CacheStats = blocked.CacheStats
+
+// nextCacheOwner hands out the container ids that keep cache keys
+// distinct across containers sharing one SharedCache.
+var nextCacheOwner atomic.Uint64
+
+// SharedCache is a block cache several containers share under one
+// byte budget — the server's resource-governance primitive: however
+// many tables a process mounts, their verified block payloads compete
+// for one LRU budget instead of each container holding its own.
+// Containers join it through OpenOptions.Shared (the public
+// WithSharedBlockCache option); each opener gets a unique key space,
+// so identical (column, block) coordinates in different containers
+// never alias. A nil *SharedCache is valid and means "no cache".
+type SharedCache struct {
+	c *blockCache
+}
+
+// NewSharedCache returns a shared cache with the given byte budget,
+// or nil when the budget admits nothing (budget <= 0), which opens
+// containers uncached.
+func NewSharedCache(budget int64) *SharedCache {
+	c := newBlockCache(budget)
+	if c == nil {
+		return nil
+	}
+	return &SharedCache{c: c}
+}
+
+// Stats snapshots the cache's pooled counters: hits and misses summed
+// across every member container, evictions, and resident bytes
+// against the one shared budget. Per-container traffic comes from the
+// members' own CacheStats.
+func (s *SharedCache) Stats() CacheStats {
+	if s == nil {
+		return CacheStats{}
+	}
+	return s.c.stats()
+}
 
 // stats snapshots the cache counters.
 func (c *blockCache) stats() CacheStats {

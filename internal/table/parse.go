@@ -70,8 +70,32 @@ type parser struct {
 	tok   token
 }
 
+// ParseError is the error Parse returns for input outside the
+// mini-language: what went wrong, the byte offset where, and the
+// offending token's text. Servers surface these fields verbatim in
+// 400 responses, so a client can point at the exact byte of a bad
+// predicate; errors.As extracts the structured form from anything
+// wrapping it.
+type ParseError struct {
+	// Offset is the byte offset of the offending token in the input.
+	Offset int
+	// Token is the offending token's text; empty at end of input.
+	Token string
+	// Msg describes what the parser expected instead.
+	Msg string
+}
+
+// Error renders the message with the offset and offending token, so
+// even a plain %v shows where the predicate broke.
+func (e *ParseError) Error() string {
+	if e.Token == "" {
+		return fmt.Sprintf("parse predicate: %s at offset %d (end of input)", e.Msg, e.Offset)
+	}
+	return fmt.Sprintf("parse predicate: %s at offset %d near %q", e.Msg, e.Offset, e.Token)
+}
+
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("parse predicate: %s (at offset %d)", fmt.Sprintf(format, args...), p.tok.pos)
+	return &ParseError{Offset: p.tok.pos, Token: p.tok.text, Msg: fmt.Sprintf(format, args...)}
 }
 
 // next lexes the following token into p.tok.
@@ -214,7 +238,7 @@ func (p *parser) parseCmp() (Expr, error) {
 	if p.tok.kind != tokOp {
 		return nil, p.errorf("expected a comparison operator after %q, got %q", col, p.tok.text)
 	}
-	op := p.tok.text
+	op, opPos := p.tok.text, p.tok.pos
 	p.next()
 	v, err := p.parseValue()
 	if err != nil {
@@ -240,7 +264,9 @@ func (p *parser) parseCmp() (Expr, error) {
 		}
 		return Range(col, v+1, math.MaxInt64), nil
 	default:
-		return nil, p.errorf("unknown operator %q", op)
+		// The parser has moved past the value by now; point the error
+		// at the operator itself, not wherever lookahead landed.
+		return nil, &ParseError{Offset: opPos, Token: op, Msg: fmt.Sprintf("unknown operator %q", op)}
 	}
 }
 

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -110,6 +111,46 @@ func TestParseErrors(t *testing.T) {
 			t.Fatalf("Parse(%q) succeeded, want error", src)
 		} else if !strings.Contains(err.Error(), "parse predicate") {
 			t.Fatalf("Parse(%q) error lacks context: %v", src, err)
+		}
+	}
+}
+
+// TestParseErrorPositions pins the structured ParseError fields: the
+// byte offset and offending token a server surfaces in 400 bodies
+// must point at the exact place the predicate broke.
+func TestParseErrorPositions(t *testing.T) {
+	for _, tc := range []struct {
+		src    string
+		offset int
+		token  string
+	}{
+		{"", 0, ""},                                             // empty input: EOF at 0
+		{"= 3", 0, "="},                                         // no column
+		{"status =", 8, ""},                                     // value missing: EOF past the operator
+		{"status ~ 3", 7, "~"},                                  // byte outside the language
+		{"status = 3 extra", 11, "extra"},                       // trailing garbage
+		{"(status = 3", 11, ""},                                 // unclosed paren: EOF
+		{"status in 3", 10, "3"},                                // in-list needs '('
+		{"status in (3,)", 13, ")"},                             // trailing comma
+		{"a = 1 and b ! 2", 12, "!"},                            // lone '!' is not a known operator
+		{"a = 1 and ! 2", 10, "!"},                              // operator where a column should be
+		{"date >= 10 or $ = 1", 14, "$"},                        // bad byte mid-expression
+		{"v = 99999999999999999999", 4, "99999999999999999999"}, // overflow
+	} {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", tc.src)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Parse(%q) error is %T, want *ParseError", tc.src, err)
+		}
+		if pe.Offset != tc.offset || pe.Token != tc.token {
+			t.Fatalf("Parse(%q): offset %d token %q, want offset %d token %q",
+				tc.src, pe.Offset, pe.Token, tc.offset, tc.token)
+		}
+		if tc.token != "" && !strings.Contains(err.Error(), tc.token) {
+			t.Fatalf("Parse(%q) message %q omits the offending token", tc.src, err)
 		}
 	}
 }

@@ -1,11 +1,13 @@
 package table
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"lwcomp/internal/blocked"
 	"lwcomp/internal/core"
@@ -29,7 +31,12 @@ type Table struct {
 	// Parallelism bounds the number of blocks scanned concurrently;
 	// <= 0 means GOMAXPROCS. New seeds it from the first column.
 	Parallelism int
-	closer      io.Closer
+	closers     []io.Closer
+	closeOnce   sync.Once
+	closeErr    error
+	// counters accumulates block-level plan outcomes across every
+	// scan on the table (see ScanCounters).
+	counters struct{ skipped, proved, fetched atomic.Int64 }
 }
 
 // New builds a table over cols, validating that there is at least one
@@ -38,13 +45,25 @@ type Table struct {
 // the open container behind lazily opened columns. The table borrows
 // the column handles; it does not copy them.
 func New(cols []storage.BlockedColumn, closer io.Closer) (*Table, error) {
+	if closer == nil {
+		return NewWithClosers(cols)
+	}
+	return NewWithClosers(cols, closer)
+}
+
+// NewWithClosers builds a table whose columns come from several open
+// containers — a server mounting `<table>.<column>.lwc` files, one
+// container per column. Close releases every closer exactly once,
+// however many column handles forward to it and however many times
+// Close is called.
+func NewWithClosers(cols []storage.BlockedColumn, closers ...io.Closer) (*Table, error) {
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("table: no columns")
 	}
 	t := &Table{
-		cols:   cols,
-		index:  make(map[string]int, len(cols)),
-		closer: closer,
+		cols:    cols,
+		index:   make(map[string]int, len(cols)),
+		closers: closers,
 	}
 	for i, c := range cols {
 		if c.Name == "" {
@@ -97,13 +116,33 @@ func (t *Table) Column(name string) (*blocked.Column, error) {
 // still scan correctly through whole-column evaluation.
 func (t *Table) Aligned() bool { return t.aligned }
 
-// Close releases the container behind the table's columns, when the
-// table owns one. It is a no-op for in-memory tables.
+// Close releases the containers behind the table's columns, when the
+// table owns any, each exactly once — calling Close again (or
+// concurrently) is safe and returns the first call's result. It is a
+// no-op for in-memory tables.
 func (t *Table) Close() error {
-	if t.closer == nil {
-		return nil
+	t.closeOnce.Do(func() {
+		for _, c := range t.closers {
+			if err := c.Close(); err != nil && t.closeErr == nil {
+				t.closeErr = err
+			}
+		}
+	})
+	return t.closeErr
+}
+
+// ScanCounters snapshots the cumulative block-level outcomes of every
+// scan planned on this table: blocks skipped (stats refuted — never
+// fetched), proved (stats satisfied — emitted as whole runs, never
+// fetched), and fetched (undecided — payloads consulted). Servers
+// export the counters per table; the deltas across a query window are
+// the pushdown's observable win.
+func (t *Table) ScanCounters() blocked.ScanCounters {
+	return blocked.ScanCounters{
+		Skipped: t.counters.skipped.Load(),
+		Proved:  t.counters.proved.Load(),
+		Fetched: t.counters.fetched.Load(),
 	}
-	return t.closer.Close()
 }
 
 // colByName resolves a column name without allocating on the hit
@@ -166,6 +205,16 @@ func (st *scanState) release() { scanStatePool.Put(st) }
 // pool — Release the handle to keep steady-state scans
 // allocation-free.
 func (t *Table) Scan(e Expr) (*Scan, error) {
+	return t.ScanContext(context.Background(), e)
+}
+
+// ScanContext is Scan with a cancellation seam: the block iteration
+// checks ctx between blocks (and between parallel work items), so a
+// client that disconnects or a request that outlives its deadline
+// stops fetching and decoding mid-scan and returns ctx.Err(). A
+// Background context makes it exactly Scan — the check is one atomic
+// load per block, so the steady state stays allocation-free.
+func (t *Table) ScanContext(ctx context.Context, e Expr) (*Scan, error) {
 	if e == nil {
 		return nil, fmt.Errorf("table: Scan of a nil expression")
 	}
@@ -175,9 +224,9 @@ func (t *Table) Scan(e Expr) (*Scan, error) {
 	dst := sel.Get(t.n)
 	var err error
 	if t.aligned {
-		err = t.scanAligned(e, dst)
+		err = t.scanAligned(ctx, e, dst)
 	} else {
-		err = e.evalWhole(t, dst)
+		err = t.scanWhole(ctx, e, dst)
 	}
 	if err != nil {
 		dst.Release()
@@ -188,29 +237,49 @@ func (t *Table) Scan(e Expr) (*Scan, error) {
 	return s, nil
 }
 
+// scanWhole is the misaligned-table fallback: whole-column evaluation,
+// with the context checked once up front (the column paths have no
+// per-block seam to thread it through).
+func (t *Table) scanWhole(ctx context.Context, e Expr, dst *sel.Selection) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return e.evalWhole(t, dst)
+}
+
 // scanAligned is the per-block plan: classify every block through the
 // expression tree with stats only, then evaluate just the undecided
 // blocks, serially when one worker suffices (the allocation-free
 // path) or concurrently with a deterministic block-order merge.
-func (t *Table) scanAligned(e Expr, dst *sel.Selection) error {
+func (t *Table) scanAligned(ctx context.Context, e Expr, dst *sel.Selection) error {
 	blocks := t.cols[0].Col.Blocks
 	st := getScanState(len(blocks))
 	defer st.release()
+	skipped, proved := 0, 0
 	for i := range blocks {
 		st.classes[i] = e.prune(t, i)
 		switch st.classes[i] {
 		case triTrue:
+			proved++
 			dst.AddRun(int(blocks[i].Start), blocks[i].Count)
+		case triFalse:
+			skipped++
 		case triUnknown:
 			st.parts = append(st.parts, i)
 		}
 	}
+	t.counters.skipped.Add(int64(skipped))
+	t.counters.proved.Add(int64(proved))
+	t.counters.fetched.Add(int64(len(st.parts)))
 	workers := t.workers()
 	if workers > len(st.parts) {
 		workers = len(st.parts)
 	}
 	if workers <= 1 {
 		for _, i := range st.parts {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			b := &blocks[i]
 			local := sel.Get(b.Count)
 			if err := e.evalBlock(t, i, local); err != nil {
@@ -223,6 +292,9 @@ func (t *Table) scanAligned(e Expr, dst *sel.Selection) error {
 		return nil
 	}
 	err := blocked.ParallelFor(workers, len(st.parts), func(pi int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		i := st.parts[pi]
 		local := sel.Get(blocks[i].Count)
 		if err := e.evalBlock(t, i, local); err != nil {
@@ -289,6 +361,13 @@ func (s *Scan) Selection() *sel.Selection { return s.sel }
 // materializing, and only partially selected blocks decode (into
 // pooled scratch, so the steady state allocates nothing).
 func (s *Scan) Sum(col string) (int64, error) {
+	return s.SumContext(context.Background(), col)
+}
+
+// SumContext is Sum with the per-block cancellation seam: the block
+// loop checks ctx before each fetch, so an expired request stops
+// aggregating instead of decoding the rest of the column.
+func (s *Scan) SumContext(ctx context.Context, col string) (int64, error) {
 	c, err := s.t.colByName(col)
 	if err != nil {
 		return 0, err
@@ -297,6 +376,9 @@ func (s *Scan) Sum(col string) (int64, error) {
 	defer sc.Release()
 	var total int64
 	for i := range c.Blocks {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		b := &c.Blocks[i]
 		if b.Count == 0 {
 			continue
@@ -333,6 +415,153 @@ func (s *Scan) Materialize(col string) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.materializeColumn(c)
+}
+
+// StreamBatches visits the surviving rows in ascending order in
+// batches, late-materializing the named columns block by block — the
+// server's streaming projection: a million-row result never holds
+// more than one block per column plus one batch in memory. Each call
+// to fn receives the batch's global row positions and, parallel to
+// cols, each column's values at those rows; the slices are reused
+// across calls, so fn must consume (encode, copy) them before
+// returning. Batches hold at most batchSize rows (the final one may
+// be shorter); batchSize <= 0 defaults to 4096. The context is
+// checked between blocks, so an expired or disconnected request stops
+// fetching mid-stream.
+//
+// The block-wise path requires the requested columns to share block
+// boundaries (columns of one table encoded from equal-length inputs
+// always do); misaligned columns fall back to materializing each
+// column fully before batching, which is still exact but buffers the
+// whole result.
+func (s *Scan) StreamBatches(ctx context.Context, cols []string, batchSize int, fn func(rows []int64, vals [][]int64) error) error {
+	if batchSize <= 0 {
+		batchSize = 4096
+	}
+	handles := make([]*blocked.Column, len(cols))
+	for i, name := range cols {
+		c, err := s.t.colByName(name)
+		if err != nil {
+			return err
+		}
+		handles[i] = c
+	}
+	aligned := true
+	for _, c := range handles[1:] {
+		if !handles[0].BoundariesEqual(c) {
+			aligned = false
+			break
+		}
+	}
+	if len(handles) > 0 && !aligned {
+		return s.streamMisaligned(ctx, handles, batchSize, fn)
+	}
+
+	rows := make([]int64, 0, batchSize)
+	vals := make([][]int64, len(handles))
+	for i := range vals {
+		vals[i] = make([]int64, 0, batchSize)
+	}
+	flush := func() error {
+		emitted := 0
+		for emitted < len(rows) {
+			end := emitted + batchSize
+			if end > len(rows) {
+				end = len(rows)
+			}
+			sub := make([][]int64, len(vals))
+			for i := range vals {
+				sub[i] = vals[i][emitted:end]
+			}
+			if err := fn(rows[emitted:end], sub); err != nil {
+				return err
+			}
+			emitted = end
+		}
+		rows = rows[:0]
+		for i := range vals {
+			vals[i] = vals[i][:0]
+		}
+		return nil
+	}
+
+	// Blocks come from the first requested column, or — for a pure
+	// row-id stream — from the table's first column.
+	blocks := s.t.cols[0].Col.Blocks
+	if len(handles) > 0 {
+		blocks = handles[0].Blocks
+	}
+	sc := core.GetScratch()
+	defer sc.Release()
+	for i := range blocks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b := &blocks[i]
+		if b.Count == 0 {
+			continue
+		}
+		start := int(b.Start)
+		if s.sel.CountRange(start, start+b.Count) == 0 {
+			continue
+		}
+		rows = maskedAppendRows(rows, s.sel, start, b.Count)
+		for ci, c := range handles {
+			decoded := sc.I64(b.Count)
+			if err := c.DecompressBlock(i, decoded); err != nil {
+				sc.PutI64(decoded)
+				return err
+			}
+			vals[ci] = maskedAppend(vals[ci], s.sel, start, decoded)
+			sc.PutI64(decoded)
+		}
+		if len(rows) >= batchSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// streamMisaligned is StreamBatches' fallback for columns with
+// differing block boundaries: materialize every requested column in
+// full, then emit batches of the buffered result.
+func (s *Scan) streamMisaligned(ctx context.Context, handles []*blocked.Column, batchSize int, fn func(rows []int64, vals [][]int64) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	rows := s.sel.Rows()
+	full := make([][]int64, len(handles))
+	for i, c := range handles {
+		var err error
+		full[i], err = s.materializeColumn(c)
+		if err != nil {
+			return err
+		}
+	}
+	for start := 0; start < len(rows); start += batchSize {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := start + batchSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		sub := make([][]int64, len(full))
+		for i := range full {
+			sub[i] = full[i][start:end]
+		}
+		if err := fn(rows[start:end], sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// materializeColumn is Materialize by handle rather than by name.
+func (s *Scan) materializeColumn(c *blocked.Column) ([]int64, error) {
 	sc := core.GetScratch()
 	defer sc.Release()
 	out := make([]int64, 0, s.sel.Count())
@@ -342,8 +571,7 @@ func (s *Scan) Materialize(col string) ([]int64, error) {
 			continue
 		}
 		start := int(b.Start)
-		cnt := s.sel.CountRange(start, start+b.Count)
-		if cnt == 0 {
+		if s.sel.CountRange(start, start+b.Count) == 0 {
 			continue
 		}
 		vals := sc.I64(b.Count)
@@ -355,6 +583,37 @@ func (s *Scan) Materialize(col string) ([]int64, error) {
 		sc.PutI64(vals)
 	}
 	return out, nil
+}
+
+// maskedAppendRows appends the global positions of the set bits in
+// [start, start+count) to out, mirroring maskedAppend's walk.
+func maskedAppendRows(out []int64, bm *sel.Selection, start, count int) []int64 {
+	words := bm.Words()
+	r := 0
+	for r < count {
+		pos := start + r
+		if pos&63 == 0 && count-r >= 64 {
+			switch w := words[pos>>6]; w {
+			case 0:
+			case ^uint64(0):
+				for k := 0; k < 64; k++ {
+					out = append(out, int64(pos+k))
+				}
+			default:
+				for w != 0 {
+					out = append(out, int64(pos+bits.TrailingZeros64(w)))
+					w &= w - 1
+				}
+			}
+			r += 64
+			continue
+		}
+		if words[pos>>6]&(1<<(uint(pos)&63)) != 0 {
+			out = append(out, int64(pos))
+		}
+		r++
+	}
+	return out
 }
 
 // maskedSum adds the values of vals (a block decoded at row offset

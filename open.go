@@ -34,6 +34,20 @@ type BlockExtent = storage.BlockExtent
 // lookups by outcome, evictions, and resident bytes against budget.
 type CacheStats = storage.CacheStats
 
+// SharedBlockCache is a block cache several open containers share
+// under one byte budget: pass it to OpenFile / OpenContainer /
+// OpenTable through WithSharedBlockCache and every member container's
+// verified payloads compete in one LRU. Stats snapshots the pooled
+// counters; each member container still reports its own hit/miss
+// traffic through CacheStats.
+type SharedBlockCache = storage.SharedCache
+
+// NewSharedBlockCache returns a shared block cache with the given
+// byte budget, or nil (meaning "no cache") when bytes <= 0.
+func NewSharedBlockCache(bytes int64) *SharedBlockCache {
+	return storage.NewSharedCache(bytes)
+}
+
 // OpenFile opens an LWC container file and returns its column
 // without reading any block payload: only the header and the block
 // index are read (O(index), not O(file)). Queries on the returned

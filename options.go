@@ -22,6 +22,7 @@ type options struct {
 	enc blocked.EncodeOptions
 	// open mirrors storage.OpenOptions plus the column selector.
 	cacheBytes   int64
+	sharedCache  *storage.SharedCache
 	mmap         bool
 	columnName   string
 	columnChosen bool
@@ -107,6 +108,17 @@ func WithBlockCache(bytes int64) Option {
 	return func(o *options) { o.cacheBytes = bytes }
 }
 
+// WithSharedBlockCache makes the opened container join sc instead of
+// creating its own block cache: the container's verified payloads
+// compete with every other member container's under sc's one byte
+// budget. A server mounting a directory of containers opens them all
+// with one shared cache, so total resident payload bytes stay bounded
+// no matter how many tables are open. A nil sc opens the container
+// uncached. Overrides WithBlockCache.
+func WithSharedBlockCache(sc *SharedBlockCache) Option {
+	return func(o *options) { o.sharedCache = sc }
+}
+
 // WithMmap asks OpenFile / OpenContainer to memory-map the container
 // instead of issuing positioned reads, letting the OS page cache own
 // residency. On platforms without mmap support (or if the mapping
@@ -136,5 +148,5 @@ func buildOptions(opts []Option) options {
 // openOptions projects the merged options onto the storage layer's
 // open configuration.
 func (o *options) openOptions() storage.OpenOptions {
-	return storage.OpenOptions{CacheBytes: o.cacheBytes, Mmap: o.mmap}
+	return storage.OpenOptions{CacheBytes: o.cacheBytes, Shared: o.sharedCache, Mmap: o.mmap}
 }

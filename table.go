@@ -54,6 +54,14 @@ func NewTable(cols []NamedColumn) (*Table, error) {
 	return table.New(cols, nil)
 }
 
+// NewTableWithClosers builds a table whose columns come from several
+// open containers — a server mounting one single-column container per
+// column, for example. Close releases every closer exactly once, no
+// matter how many times (or from how many goroutines) it is called.
+func NewTableWithClosers(cols []NamedColumn, closers ...io.Closer) (*Table, error) {
+	return table.NewWithClosers(cols, closers...)
+}
+
 // OpenTable opens a container file as a lazily backed table: only the
 // header and block index are read, and scans fetch exactly the blocks
 // their predicate stats admit. All open options apply (WithBlockCache,
@@ -116,6 +124,13 @@ func Or(kids ...Expr) Expr { return table.Or(kids...) }
 // Not returns the negation of kid, evaluated as a word-granular
 // bitmap complement.
 func Not(kid Expr) Expr { return table.Not(kid) }
+
+// ParseError is the structured error ParsePredicate returns for
+// input outside the mini-language: the message, the byte offset of
+// the offending token, and the token's text. Extract it with
+// errors.As to surface the offset to users (a 400 body, an editor
+// caret); its Error() string includes both fields.
+type ParseError = table.ParseError
 
 // ParsePredicate reads a predicate in the scan mini-language — the
 // textual form `lwc query -where` accepts and Expr.String renders:
