@@ -19,14 +19,23 @@
 //	lwc query -i dates.lwc -sum
 //	lwc query -i dates.lwc -range 730200:730400 --mmap
 //	lwc query -i orders.lwc -where 'date >= 730200 and date <= 730400 and status = 1' -sum -col amount
+//	lwc verify -i dates.lwc
 //	lwc serve -dir /data/containers -addr 127.0.0.1:7207
 //
 // compress writes lazily openable (v3) containers; every command also
-// reads v2/v1 containers written by older builds. stat, query and
-// decompress open containers lazily — header and block index only,
-// block payloads on demand (--mmap maps the file instead of reading
-// it) — so stat never decodes a payload and query reads only the
-// blocks the query touches.
+// reads v2/v1 containers written by older builds. Container writes are
+// crash-safe: the file is written to a temporary name in the same
+// directory, fsynced, and renamed into place, so an interrupted
+// compress never leaves a torn container under the final name. stat,
+// query and decompress open containers lazily — header and block index
+// only, block payloads on demand (--mmap maps the file instead of
+// reading it) — so stat never decodes a payload and query reads only
+// the blocks the query touches.
+//
+// verify is the offline fsck: it re-reads every block payload, checks
+// its CRC, decodes and decompresses it, and re-derives the block's
+// [min, max] against the index stats, reporting every finding and
+// exiting non-zero if any check failed.
 //
 // query -where runs a table scan over all of a container's columns:
 // the predicate (comparisons and in-lists under and/or/not; and binds
@@ -41,11 +50,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"lwcomp"
 	"lwcomp/internal/server"
+	"lwcomp/internal/storage"
 	"lwcomp/internal/workload"
 )
 
@@ -70,6 +81,8 @@ func main() {
 		err = cmdInspect(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
 	case "serve":
 		err = server.Main(os.Args[2:])
 	case "help", "-h", "--help":
@@ -96,6 +109,7 @@ commands:
   stat        print a container's block index without decoding payloads
   inspect     show the scheme tree and sizes of a container
   query       run sum/range/point queries, or -where table scans, on a container
+  verify      fsck a container: re-read, CRC-check and decode every block
   serve       serve a directory of containers as tables over HTTP (same as lwcd)
 
 run 'lwc <command> -h' for flags`)
@@ -111,7 +125,10 @@ func writeRaw(path string, col []int64) error {
 	for _, v := range col {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
 	}
-	return os.WriteFile(path, buf, 0o644)
+	return storage.AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(buf)
+		return err
+	})
 }
 
 func readRaw(path string) ([]int64, error) {
@@ -238,15 +255,10 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
-	if err != nil {
+	if err := lwcomp.WriteColumnsFile(*out, []lwcomp.NamedColumn{{Name: *name, Col: col}}); err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := lwcomp.WriteColumns(f, []lwcomp.NamedColumn{{Name: *name, Col: col}}); err != nil {
-		return err
-	}
-	st, err := f.Stat()
+	st, err := os.Stat(*out)
 	if err != nil {
 		return err
 	}
@@ -417,6 +429,50 @@ func cmdQuery(args []string) error {
 	}
 	if *cache {
 		printCacheStats(column)
+	}
+	return nil
+}
+
+// cmdVerify fsck-walks containers: every block payload re-read,
+// CRC-checked, decoded, decompressed, and its re-derived [min, max]
+// compared against the index stats. Findings print one per line;
+// any finding makes the command exit non-zero.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("i", "", "container to verify (or pass containers as positional arguments)")
+	quiet := fs.Bool("q", false, "print findings only, no per-file summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if *in != "" {
+		paths = append([]string{*in}, paths...)
+	}
+	if len(paths) == 0 {
+		return errors.New("nothing to verify: pass -i or positional container paths")
+	}
+	bad := 0
+	for _, path := range paths {
+		rep, err := storage.VerifyFile(path)
+		if err != nil {
+			return err
+		}
+		for _, issue := range rep.Issues {
+			fmt.Printf("%s: %s\n", path, issue)
+		}
+		if !rep.OK() {
+			bad++
+		}
+		if !*quiet {
+			status := "ok"
+			if !rep.OK() {
+				status = fmt.Sprintf("%d issue(s)", len(rep.Issues))
+			}
+			fmt.Printf("%s: %d column(s), %d block(s): %s\n", path, rep.Columns, rep.Blocks, status)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d container(s) failed verification", bad, len(paths))
 	}
 	return nil
 }

@@ -7,12 +7,28 @@
 //	lwcd -dir /data/containers -addr 127.0.0.1:7207
 //	curl localhost:7207/tables
 //	curl -d '{"table":"orders","where":"status = 1","op":"count"}' localhost:7207/query
+//	curl -d '{"table":"orders","op":"sum","columns":["amount"],"allow_degraded":true}' localhost:7207/query
 //	curl localhost:7207/metrics
+//	curl localhost:7207/healthz   # liveness: the process is up
+//	curl localhost:7207/readyz    # readiness: 503 mid-reload or while draining
 //
 // SIGHUP (or POST /-/reload) re-mounts the directory without dropping
-// in-flight queries. See the internal/server package documentation for
-// the endpoint contracts and resource-governance knobs; `lwc serve` is
-// the same server embedded in the multi-tool.
+// in-flight queries; /readyz answers 503 while the swap is in progress
+// or a retired table set is still draining, so load balancers route
+// around the reload without the process restarting. /healthz stays
+// pure liveness.
+//
+// Under failures the daemon degrades instead of dying: transient read
+// errors are retried with capped backoff (-read-retries), a block that
+// fails its CRC is quarantined on first touch (default queries on it
+// answer 500; requests with "allow_degraded": true skip it and report
+// the exact omission), and a panicking query answers 500 while the
+// process keeps serving. /metrics exposes the retry, quarantine and
+// panic counters.
+//
+// See the internal/server package documentation for the endpoint
+// contracts and resource-governance knobs; `lwc serve` is the same
+// server embedded in the multi-tool.
 package main
 
 import (

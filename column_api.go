@@ -95,6 +95,18 @@ func WriteColumns(w io.Writer, cols []NamedColumn) error {
 	return storage.WriteContainerV3(w, cols)
 }
 
+// WriteColumnsFile writes named columns as a v3 container file,
+// crash-safely: the container is written to a temporary file in the
+// destination's directory, fsynced, and renamed over path. A crash at
+// any point — power loss, kill -9 mid-write — leaves either the old
+// file or the complete new one under the final name, never a torn
+// container. `lwc compress` writes through this.
+func WriteColumnsFile(path string, cols []NamedColumn) error {
+	return storage.AtomicWriteFile(path, func(w io.Writer) error {
+		return storage.WriteContainerV3(w, cols)
+	})
+}
+
 // ReadColumns eagerly reads a container of any generation — v3 or v2
 // written by WriteColumns past or present, or a v1 container written
 // by WriteContainer, whose single forms come back as single-block

@@ -1,6 +1,8 @@
 package lwcomp_test
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 
 	"lwcomp"
@@ -259,6 +261,103 @@ func FuzzSelectRangeEquivalence(f *testing.F) {
 		back, err := col.Decompress()
 		if err != nil || !equal(back, data) {
 			t.Fatalf("Decompress roundtrip: %v", err)
+		}
+	})
+}
+
+// FuzzOpenCorrupt asserts the fault-tolerance contract of the whole
+// read stack over arbitrary corruption: mutate any byte of a valid v3
+// container, open it and query it, and nothing may panic or hang —
+// every failure is a classified error (ErrCorrupt / ErrChecksum /
+// ErrCorruptForm / ErrUnknownScheme / ErrQuarantined), and a degraded
+// table scan over the same bytes either fails the same way or answers
+// with the omission recorded in its manifest.
+func FuzzOpenCorrupt(f *testing.F) {
+	vals := make([]int64, 1024)
+	for i := range vals {
+		vals[i] = int64((i * 31) % 257)
+	}
+	col, err := lwcomp.Encode(vals, lwcomp.WithBlockSize(128))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lwcomp.WriteColumns(&buf, []lwcomp.NamedColumn{{Name: "c", Col: col}}); err != nil {
+		f.Fatal(err)
+	}
+	template := buf.Bytes()
+
+	f.Add(uint32(0), byte(0xFF))                       // magic
+	f.Add(uint32(5), byte(0x80))                       // version
+	f.Add(uint32(9), byte(0x01))                       // index length
+	f.Add(uint32(40), byte(0x10))                      // inside the index
+	f.Add(uint32(uint32(len(template)-8)), byte(0x04)) // payload tail
+
+	allowed := func(err error) bool {
+		for _, sentinel := range []error{
+			lwcomp.ErrCorrupt, lwcomp.ErrChecksum, lwcomp.ErrCorruptForm,
+			lwcomp.ErrUnknownScheme, lwcomp.ErrQuarantined,
+		} {
+			if errors.Is(err, sentinel) {
+				return true
+			}
+		}
+		return false
+	}
+
+	f.Fuzz(func(t *testing.T, pos uint32, mut byte) {
+		data := append([]byte(nil), template...)
+		data[int(pos)%len(data)] ^= mut
+
+		c, err := lwcomp.OpenReader(bytes.NewReader(data), int64(len(data)), lwcomp.WithBlockCache(-1))
+		if err != nil {
+			if !allowed(err) {
+				t.Fatalf("open: unclassified error %v", err)
+			}
+		} else {
+			if _, err := c.Sum(); err != nil && !allowed(err) {
+				t.Fatalf("sum: unclassified error %v", err)
+			}
+			if _, err := c.CountRange(10, 200); err != nil && !allowed(err) {
+				t.Fatalf("count: unclassified error %v", err)
+			}
+			// A block that failed permanently above must now be
+			// quarantined: the second pass fails fast, same class.
+			if _, err := c.Decompress(); err != nil && !allowed(err) {
+				t.Fatalf("decompress: unclassified error %v", err)
+			}
+		}
+
+		tbl, err := lwcomp.OpenTableReader(bytes.NewReader(data), int64(len(data)),
+			lwcomp.WithBlockCache(-1), lwcomp.WithDegradedScan(true))
+		if err != nil {
+			if !allowed(err) {
+				t.Fatalf("open table: unclassified error %v", err)
+			}
+			return
+		}
+		defer tbl.Close()
+		scan, err := tbl.Scan(lwcomp.Range("c", 10, 200))
+		if err != nil {
+			if !allowed(err) {
+				t.Fatalf("degraded scan: unclassified error %v", err)
+			}
+			return
+		}
+		defer scan.Release()
+		if _, err := scan.Sum("c"); err != nil && !allowed(err) {
+			t.Fatalf("degraded sum: unclassified error %v", err)
+		}
+		// Whatever was skipped is accounted for, exactly once each.
+		seen := map[int]bool{}
+		for _, sb := range scan.Manifest().Skipped() {
+			if seen[sb.Block] && sb.Column == "c" {
+				t.Fatalf("manifest lists block %d twice", sb.Block)
+			}
+			seen[sb.Block] = true
+			if sb.RowCount <= 0 || sb.Reason == "" {
+				t.Fatalf("malformed manifest entry %+v", sb)
+			}
 		}
 	})
 }

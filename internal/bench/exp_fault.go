@@ -1,0 +1,402 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lwcomp/internal/blocked"
+	"lwcomp/internal/faults"
+	"lwcomp/internal/server"
+	"lwcomp/internal/storage"
+	"lwcomp/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "T",
+		Title: "Fault tolerance: transient-fault absorption, quarantine + degraded scans, panic containment, crash-safe writes",
+		Claim: `under 1% injected transient read faults a retrying lwcd serves a 200-client herd with zero client-visible errors — a corrupted block quarantines once and degrades scans by exactly its row range (or fails fast by default), a panicking scan worker costs one 500 and nothing else, and an aborted write leaves no torn container behind`,
+		Run:   runExpT,
+	})
+}
+
+// faultMetrics mirrors the fault-facing slice of /metrics.
+type faultMetrics struct {
+	Queries struct {
+		Total  int64 `json:"total"`
+		Errors int64 `json:"errors"`
+	} `json:"queries"`
+	PanicsRecovered int64 `json:"panics_recovered"`
+	Tables          map[string]struct {
+		BlocksQuarantined int   `json:"blocks_quarantined"`
+		ReadRetries       int64 `json:"read_retries"`
+		ReadGiveups       int64 `json:"read_giveups"`
+	} `json:"tables"`
+}
+
+// scrapeFaultMetrics fetches and decodes the fault counters.
+func scrapeFaultMetrics(url string) (faultMetrics, error) {
+	var m faultMetrics
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	return m, json.NewDecoder(resp.Body).Decode(&m)
+}
+
+// faultQueryResult is the response slice EXP-T asserts on.
+type faultQueryResult struct {
+	Matched  int64            `json:"matched"`
+	Sums     map[string]int64 `json:"sums"`
+	Degraded []struct {
+		Column   string `json:"column"`
+		Block    int    `json:"block"`
+		RowStart int64  `json:"row_start"`
+		RowCount int    `json:"row_count"`
+		Reason   string `json:"reason"`
+	} `json:"degraded"`
+}
+
+// postOnce posts one query and decodes the body (whatever the status).
+func postOnce(url string, body []byte) (int, faultQueryResult, error) {
+	var out faultQueryResult
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, out, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, out, err
+	}
+	json.Unmarshal(data, &out) // error bodies are not query results; ignore
+	return resp.StatusCode, out, nil
+}
+
+// writeFaultTable writes an lwcd-mountable orders table (amount,
+// status; one single-column container per column) and returns the
+// generated columns.
+func writeFaultTable(dir string, n, blockSize int, seed int64) (amount, status []int64, err error) {
+	amount = workload.RandomWalk(n, 12, 1<<30, seed)
+	status = workload.LowCardinality(n, 8, seed+1)
+	for name, data := range map[string][]int64{"amount": amount, "status": status} {
+		col, err := blocked.Encode(data, blocked.EncodeOptions{BlockSize: blockSize})
+		if err != nil {
+			return nil, nil, err
+		}
+		path := filepath.Join(dir, "orders."+name+".lwc")
+		werr := storage.AtomicWriteFile(path, func(w io.Writer) error {
+			return storage.WriteContainerV3(w, []storage.BlockedColumn{{Name: "c", Col: col}})
+		})
+		if werr != nil {
+			return nil, nil, werr
+		}
+	}
+	return amount, status, nil
+}
+
+// corruptPayloadByte flips one byte inside the given block's payload
+// of the container's only column — persistent on-disk bit rot.
+func corruptPayloadByte(path string, block int) error {
+	cf, err := storage.OpenContainerFile(path, storage.OpenOptions{CacheBytes: -1})
+	if err != nil {
+		return err
+	}
+	exts := cf.Extents(0)
+	cf.Close()
+	if exts == nil || block >= len(exts) {
+		return fmt.Errorf("no extent for block %d of %s", block, path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	indexLen := binary.LittleEndian.Uint64(data[6:14])
+	off := 14 + int64(indexLen) + exts[block].Offset
+	data[off] ^= 0xFF
+	return os.WriteFile(path, data, 0o644)
+}
+
+func runExpT(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:    "T",
+		Title: "Fault tolerance: transient-fault absorption, quarantine + degraded scans, panic containment, crash-safe writes",
+		Claim: "1% transient faults: zero client-visible errors; corrupted block: fail-fast 500 or exact-manifest degraded scan; worker panic: one 500, daemon lives; aborted write: no torn file",
+		Headers: []string{
+			"scenario", "queries", "ok", "5xx", "observation",
+		},
+	}
+
+	// Scenario 1: 1% of read offsets are transiently fault-prone (each
+	// fails up to 2 consecutive reads); the server retries up to 4
+	// times. The 200-client herd must see zero errors. The injection is
+	// seeded; if a seed happens to miss every offset the containers
+	// actually read, bump it — the criterion needs at least one
+	// absorbed fault to be a statement about retries, not about luck.
+	dir, err := os.MkdirTemp("", "lwcomp-expt-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	amount, status, err := writeFaultTable(dir, cfg.N, 1<<12, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	where := fmt.Sprintf("amount >= %d and status = %d", amount[cfg.N/2], status[0])
+	sumBody, _ := json.Marshal(map[string]any{
+		"table": "orders", "where": where, "op": "sum", "columns": []string{"amount"}})
+
+	const perClient = 3
+	var (
+		okN, failN, rejN int64
+		retries, giveups int64
+		elapsed          time.Duration
+		injected         int64
+	)
+	for attempt := 0; ; attempt++ {
+		wrap, last := faults.Wrap(faults.Config{
+			Seed:          cfg.Seed + int64(attempt),
+			TransientProb: 0.01,
+		})
+		srv, err := server.New(server.Config{
+			Dir: dir, MaxQueue: 100000, ReadRetries: 4, FaultInjection: wrap,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		start := time.Now()
+		okN, rejN, failN, _ = fireClients(ts.URL, sumBody, expSClients, perClient)
+		elapsed = time.Since(start)
+		m, merr := scrapeFaultMetrics(ts.URL)
+		ts.Close()
+		srv.Close()
+		if merr != nil {
+			return nil, merr
+		}
+		retries, giveups = 0, 0
+		for _, tb := range m.Tables {
+			retries += tb.ReadRetries
+			giveups += tb.ReadGiveups
+		}
+		if w := last(); w != nil {
+			injected = w.InjectedTransient()
+		}
+		if failN > 0 || rejN > 0 {
+			return nil, fmt.Errorf("EXP-T transient: %d failures, %d rejections under injected faults — retries must absorb all of them", failN, rejN)
+		}
+		if giveups > 0 {
+			return nil, fmt.Errorf("EXP-T transient: %d read giveups with retry budget 4 > max 2 consecutive faults", giveups)
+		}
+		if retries > 0 {
+			break
+		}
+		// At reduced -n the containers read only a handful of distinct
+		// offsets, so a given seed's 1% coverage may miss all of them;
+		// walking seeds keeps the run deterministic without raising the
+		// fault rate the claim names.
+		if attempt >= 63 {
+			return nil, fmt.Errorf("EXP-T transient: no injected fault landed on a read offset in 64 seeds")
+		}
+	}
+	t.AddRow("1% transient faults, retries=4", itoa(int(okN)), itoa(int(okN)), "0",
+		fmt.Sprintf("read_retries=%d giveups=0", retries))
+	t.AddMetric("fault/transient absorbed", cfg.N, elapsed/time.Duration(okN), 0)
+
+	// Scenario 2: one corrupted payload block. Default mode fails fast
+	// with a 500 (and quarantines the block); degraded mode answers
+	// with the exact omitted row range; the rest of the table — and the
+	// process — keep serving; lwc verify flags the file.
+	dir2, err := os.MkdirTemp("", "lwcomp-expt2-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir2)
+	bs := 1 << 12
+	amount2, status2, err := writeFaultTable(dir2, cfg.N, bs, cfg.Seed+100)
+	if err != nil {
+		return nil, err
+	}
+	blocks := (cfg.N + bs - 1) / bs
+	bi := blocks / 2
+	amtPath := filepath.Join(dir2, "orders.amount.lwc")
+	if err := corruptPayloadByte(amtPath, bi); err != nil {
+		return nil, err
+	}
+	srv2, err := server.New(server.Config{Dir: dir2, MaxQueue: 1000})
+	if err != nil {
+		return nil, err
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer srv2.Close()
+	defer ts2.Close()
+
+	allBody, _ := json.Marshal(map[string]any{
+		"table": "orders", "where": "status >= 0", "op": "sum", "columns": []string{"amount"}})
+	st, _, err := postOnce(ts2.URL, allBody)
+	if err != nil {
+		return nil, err
+	}
+	if st != http.StatusInternalServerError {
+		return nil, fmt.Errorf("EXP-T corrupt: default-mode sum over a corrupted block = HTTP %d, want 500", st)
+	}
+	t.AddRow("corrupt block, default mode", "1", "0", "1", "fail-fast 500, block quarantined")
+
+	degBody, _ := json.Marshal(map[string]any{
+		"table": "orders", "where": "status >= 0", "op": "sum",
+		"columns": []string{"amount"}, "allow_degraded": true})
+	st, res, err := postOnce(ts2.URL, degBody)
+	if err != nil {
+		return nil, err
+	}
+	if st != http.StatusOK {
+		return nil, fmt.Errorf("EXP-T corrupt: degraded sum = HTTP %d, want 200", st)
+	}
+	var want int64
+	lo, hi := bi*bs, (bi+1)*bs
+	if hi > cfg.N {
+		hi = cfg.N
+	}
+	for i, v := range amount2 {
+		if i < lo || i >= hi {
+			want += v
+		}
+	}
+	if res.Sums["amount"] != want {
+		return nil, fmt.Errorf("EXP-T corrupt: degraded sum = %d, want exactly %d (all rows minus block %d)", res.Sums["amount"], want, bi)
+	}
+	if len(res.Degraded) != 1 || res.Degraded[0].Column != "amount" ||
+		res.Degraded[0].Block != bi || res.Degraded[0].RowStart != int64(lo) ||
+		res.Degraded[0].RowCount != hi-lo || res.Degraded[0].Reason == "" {
+		return nil, fmt.Errorf("EXP-T corrupt: degradation manifest %+v, want exactly {amount, block %d, rows [%d,%d)}", res.Degraded, bi, lo, hi)
+	}
+	// The untouched column still answers exactly, on the same process.
+	cntBody, _ := json.Marshal(map[string]any{
+		"table": "orders", "where": fmt.Sprintf("status = %d", status2[0]), "op": "count"})
+	st, cres, err := postOnce(ts2.URL, cntBody)
+	if err != nil {
+		return nil, err
+	}
+	var wantCnt int64
+	for _, v := range status2 {
+		if v == status2[0] {
+			wantCnt++
+		}
+	}
+	if st != http.StatusOK || cres.Matched != wantCnt {
+		return nil, fmt.Errorf("EXP-T corrupt: healthy-column count after degradation = HTTP %d matched %d, want 200 and %d", st, cres.Matched, wantCnt)
+	}
+	m2, err := scrapeFaultMetrics(ts2.URL)
+	if err != nil {
+		return nil, err
+	}
+	if m2.Tables["orders"].BlocksQuarantined != 1 {
+		return nil, fmt.Errorf("EXP-T corrupt: blocks_quarantined = %d, want 1", m2.Tables["orders"].BlocksQuarantined)
+	}
+	rep, err := storage.VerifyFile(amtPath)
+	if err != nil {
+		return nil, err
+	}
+	if rep.OK() {
+		return nil, fmt.Errorf("EXP-T corrupt: lwc verify passed a corrupted container")
+	}
+	t.AddRow("corrupt block, degraded mode", "2", "2", "0",
+		fmt.Sprintf("manifest={amount, block %d, rows [%d,%d)}, sums exact", bi, lo, hi))
+
+	// Scenario 3: a panicking scan worker. The crash barrier converts
+	// it to one 500; restoring the source heals the table completely.
+	srv3, err := server.New(server.Config{Dir: dir, MaxQueue: 1000})
+	if err != nil {
+		return nil, err
+	}
+	ts3 := httptest.NewServer(srv3.Handler())
+	defer srv3.Close()
+	defer ts3.Close()
+	tbl, ok := srv3.Table("orders")
+	if !ok {
+		return nil, fmt.Errorf("EXP-T panic: orders not mounted")
+	}
+	col, err := tbl.Column("amount")
+	if err != nil {
+		return nil, err
+	}
+	panics := make(map[int]bool, len(col.Blocks))
+	for i := range col.Blocks {
+		panics[i] = true
+	}
+	orig := col.Source
+	col.Source = faults.NewBlockSource(orig, nil, panics)
+	st, _, err = postOnce(ts3.URL, allBody)
+	if err != nil {
+		return nil, err
+	}
+	if st != http.StatusInternalServerError {
+		return nil, fmt.Errorf("EXP-T panic: query over panicking source = HTTP %d, want 500", st)
+	}
+	m3, err := scrapeFaultMetrics(ts3.URL)
+	if err != nil {
+		return nil, err
+	}
+	if m3.PanicsRecovered < 1 {
+		return nil, fmt.Errorf("EXP-T panic: panics_recovered = %d after an injected panic", m3.PanicsRecovered)
+	}
+	col.Source = orig
+	st, res3, err := postOnce(ts3.URL, allBody)
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, v := range amount {
+		total += v
+	}
+	if st != http.StatusOK || res3.Sums["amount"] != total {
+		return nil, fmt.Errorf("EXP-T panic: healed query = HTTP %d sum %d, want 200 and %d", st, res3.Sums["amount"], total)
+	}
+	t.AddRow("injected worker panic", "2", "1", "1",
+		fmt.Sprintf("one 500, panics_recovered=%d, healed query exact", m3.PanicsRecovered))
+
+	// Scenario 4: a write that dies mid-stream must leave neither a
+	// torn container under the final name nor temp-file litter.
+	tornPath := filepath.Join(dir2, "torn.lwc")
+	boom := errors.New("simulated crash mid-write")
+	werr := storage.AtomicWriteFile(tornPath, func(w io.Writer) error {
+		w.Write(make([]byte, 1<<16))
+		return boom
+	})
+	if !errors.Is(werr, boom) {
+		return nil, fmt.Errorf("EXP-T atomic: aborted write returned %v", werr)
+	}
+	if _, err := os.Stat(tornPath); !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("EXP-T atomic: aborted write left a file at the final path")
+	}
+	entries, err := os.ReadDir(dir2)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if m, _ := filepath.Match(".*.tmp-*", e.Name()); m {
+			return nil, fmt.Errorf("EXP-T atomic: leaked temp file %s", e.Name())
+		}
+	}
+	t.AddRow("aborted atomic write", "-", "-", "-", "no file at final path, no temp litter")
+
+	t.Metrics = append(t.Metrics,
+		Metric{Name: "fault/reads retried then absorbed", AllocsPerOp: float64(retries)},
+		Metric{Name: "fault/transient faults injected", AllocsPerOp: float64(injected)})
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("transient row: %d clients x %d sum queries; every injected fault (prob 0.01/offset, <=2 consecutive) absorbed by the 4-retry budget — no 429s, no 5xx, no giveups", expSClients, perClient),
+		fmt.Sprintf("corrupt row: one flipped payload byte in block %d of orders.amount; default queries fail fast with 500 + quarantine, allow_degraded answers with the omitted range and exact sums over surviving rows; storage.VerifyFile flags the file", bi),
+		"counters ride in allocs_per_op (the metric schema has no dedicated slot), as EXP-S does for its 429 fraction")
+	return t, nil
+}

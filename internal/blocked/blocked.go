@@ -75,6 +75,13 @@ type Column struct {
 	// nil (the lazy, file-backed path). In-memory columns leave it
 	// nil.
 	Source BlockSource
+
+	// quarMu guards quar, the per-block quarantine ledger: block index
+	// → the permanent error that condemned it. Quarantined blocks fail
+	// fast on every later touch instead of re-fetching payload bytes
+	// that are known bad (see faulttolerance.go).
+	quarMu sync.Mutex
+	quar   map[int]error
 }
 
 // form returns block i's form: the resident one when present,
@@ -89,13 +96,23 @@ func (c *Column) form(i int) (*core.Form, error) {
 		return nil, fmt.Errorf("%w: block %d has no form and the column has no source",
 			core.ErrCorruptForm, i)
 	}
+	if qerr, ok := c.QuarantineError(i); ok {
+		// The block already failed permanently; fail fast instead of
+		// re-reading payload bytes that are known bad.
+		return nil, fmt.Errorf("%w: block %d: %w", ErrQuarantined, i, qerr)
+	}
 	f, err := c.Source.BlockForm(i)
 	if err != nil {
+		if IsPermanent(err) {
+			c.quarantine(i, err)
+		}
 		return nil, err
 	}
 	if f == nil || f.N != b.Count {
-		return nil, fmt.Errorf("%w: block %d fetched form does not match index count %d",
+		err := fmt.Errorf("%w: block %d fetched form does not match index count %d",
 			core.ErrCorruptForm, i, b.Count)
+		c.quarantine(i, err)
+		return nil, err
 	}
 	return f, nil
 }
@@ -572,6 +589,20 @@ func ParallelFor(workers, n int, fn func(i int) error) error {
 		errMu sync.Mutex
 		first error
 	)
+	// call shields the worker goroutines from panics in fn: a panic in
+	// one block's kernel must surface as that block's error, not kill
+	// the whole process (a server runs these workers on behalf of HTTP
+	// requests). The one closure per ParallelFor call is amortized over
+	// all n indices.
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				recoveredPanics.Add(1)
+				err = fmt.Errorf("blocked: panic in parallel worker on index %d: %v", i, r)
+			}
+		}()
+		return fn(i)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -581,7 +612,7 @@ func ParallelFor(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := call(i); err != nil {
 					errMu.Lock()
 					if first == nil {
 						first = err

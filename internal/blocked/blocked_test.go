@@ -124,7 +124,7 @@ func TestValidateRejectsBrokenIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	broken := *col
+	broken := &Column{N: col.N, BlockSize: col.BlockSize}
 	broken.Blocks = append([]Block{}, col.Blocks...)
 	broken.Blocks[1].Start = 999
 	if err := broken.Validate(); !errors.Is(err, core.ErrCorruptForm) {

@@ -1,0 +1,127 @@
+package blocked
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+
+	"lwcomp/internal/core"
+)
+
+// This file is the column-level half of the fault-tolerance layer:
+// classifying errors as transient vs permanent, quarantining blocks
+// whose payloads are permanently bad, and surfacing retry and panic
+// counters. The storage layer below retries transient I/O; this layer
+// remembers permanent failures so a bad block is fetched once, fails
+// fast forever after, and can be skipped exactly by a degraded scan.
+
+// ErrQuarantined marks errors returned for blocks that previously
+// failed with a permanent error (bad CRC, undecodable form) and were
+// quarantined on the column. Use errors.Is to test for it. The
+// original condemning error stays in the chain.
+var ErrQuarantined = errors.New("blocked: block quarantined")
+
+// permanentError is the marker interface storage's integrity
+// sentinels implement. Detecting it via errors.As keeps this package
+// free of a storage import (storage imports blocked, not vice versa).
+type permanentError interface {
+	// PermanentStorageError reports whether the error is a
+	// data-integrity failure retrying cannot fix.
+	PermanentStorageError() bool
+}
+
+// IsPermanent reports whether err is a data-integrity failure that
+// retrying cannot fix: checksum mismatches, corrupt containers or
+// forms, unknown schemes, and quarantined blocks. Everything else —
+// in particular wrapped I/O errors from the byte source — is treated
+// as transient and eligible for retry.
+func IsPermanent(err error) bool {
+	var p permanentError
+	if errors.As(err, &p) {
+		return p.PermanentStorageError()
+	}
+	return errors.Is(err, core.ErrCorruptForm) ||
+		errors.Is(err, core.ErrUnknownScheme) ||
+		errors.Is(err, ErrQuarantined)
+}
+
+// quarantine records a permanent failure of block i. First writer
+// wins; later failures of the same block keep the original cause.
+func (c *Column) quarantine(i int, err error) {
+	c.quarMu.Lock()
+	if c.quar == nil {
+		c.quar = make(map[int]error)
+	}
+	if _, dup := c.quar[i]; !dup {
+		c.quar[i] = err
+	}
+	c.quarMu.Unlock()
+}
+
+// QuarantineError returns the permanent error that condemned block i,
+// if the block is quarantined.
+func (c *Column) QuarantineError(i int) (err error, ok bool) {
+	c.quarMu.Lock()
+	err, ok = c.quar[i]
+	c.quarMu.Unlock()
+	return err, ok
+}
+
+// QuarantineCount returns the number of quarantined blocks.
+func (c *Column) QuarantineCount() int {
+	c.quarMu.Lock()
+	n := len(c.quar)
+	c.quarMu.Unlock()
+	return n
+}
+
+// QuarantinedBlocks returns the quarantined block indices in
+// ascending order (nil when the column is healthy).
+func (c *Column) QuarantinedBlocks() []int {
+	c.quarMu.Lock()
+	var out []int
+	for i := range c.quar {
+		out = append(out, i)
+	}
+	c.quarMu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// ReadStats is the cumulative retry tally of a column's byte source:
+// transient read failures absorbed by backoff, and reads abandoned
+// after the retry budget ran out. Like CacheStats, the canonical type
+// lives here so the storage layer and a server's metrics endpoint can
+// speak it without import cycles.
+type ReadStats struct {
+	// Retries counts re-issued reads after a transient failure.
+	Retries int64
+	// Giveups counts reads that still failed after the last retry.
+	Giveups int64
+}
+
+// ReadStatsSource is implemented by block sources whose reads retry
+// transient failures (the lazily opened container's column readers).
+type ReadStatsSource interface {
+	// ReadStats snapshots the source's retry counters.
+	ReadStats() ReadStats
+}
+
+// ReadStats snapshots the retry counters behind a lazily opened
+// column. ok is false for in-memory columns and sources without retry
+// accounting.
+func (c *Column) ReadStats() (stats ReadStats, ok bool) {
+	if s, has := c.Source.(ReadStatsSource); has {
+		return s.ReadStats(), true
+	}
+	return ReadStats{}, false
+}
+
+// recoveredPanics counts panics converted to errors by ParallelFor
+// workers, process-wide.
+var recoveredPanics atomic.Int64
+
+// RecoveredPanics returns the process-wide count of panics ParallelFor
+// workers have recovered and converted into block errors. A server
+// folds it into its panics_recovered metric.
+func RecoveredPanics() int64 { return recoveredPanics.Load() }

@@ -10,20 +10,58 @@ import (
 	"time"
 
 	"lwcomp"
+	"lwcomp/internal/blocked"
 )
 
-// Handler returns the server's HTTP mux.
+// Handler returns the server's HTTP mux, wrapped in the panic
+// recovery barrier.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /tables", s.handleTables)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /-/reload", s.handleReload)
+	// /healthz is pure liveness: the process is up and serving HTTP.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write([]byte(`{"ok":true}` + "\n"))
 	})
-	return mux
+	// /readyz is readiness: 503 while closed, mid-reload, or draining a
+	// retired mount set. A deploy should pull a draining server from
+	// rotation, not restart it — which is why the two probes differ.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if !s.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"ready":false}` + "\n"))
+			return
+		}
+		w.Write([]byte(`{"ready":true}` + "\n"))
+	})
+	return s.recovered(mux)
+}
+
+// recovered is the handler-level crash barrier: a panic escaping a
+// request handler becomes a 500 and a panics_recovered tick instead of
+// a dead connection (net/http would recover it anyway, but silently
+// and without a response). http.ErrAbortHandler re-panics — that is
+// net/http's own abort protocol, not a crash.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(rec)
+			}
+			s.met.panics.Add(1)
+			s.met.errors.Add(1)
+			writeError(w, http.StatusInternalServerError, "internal error: %v", rec)
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // errorBody is every non-200's JSON shape. Offset and Token are set
@@ -154,6 +192,11 @@ type queryRequest struct {
 	BatchRows int `json:"batch_rows"`
 	// Limit caps the rows streamed by op=rows; 0 means all.
 	Limit int64 `json:"limit"`
+	// AllowDegraded opts this query into degraded execution: blocks
+	// quarantined by permanent integrity failures are skipped (their
+	// rows treated as non-matching) and the omission reported exactly
+	// in the response's degraded list, instead of failing the query.
+	AllowDegraded bool `json:"allow_degraded"`
 }
 
 // queryResult is the single-object response of count and sum queries,
@@ -175,6 +218,11 @@ type queryResult struct {
 	// ElapsedMS is the server-side query time (omitted on the rows
 	// header frame, where the stream is still running).
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Degraded lists the blocks a degraded scan omitted — present only
+	// when the request set allow_degraded and at least one block was
+	// quarantined. Its presence means Matched and Sums undercount the
+	// unreadable rows by exactly the listed row ranges.
+	Degraded []lwcomp.SkippedBlock `json:"degraded,omitempty"`
 }
 
 // errStreamLimit aborts a rows stream cleanly once the limit is hit.
@@ -263,7 +311,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	scan, err := mt.tbl.ScanContext(ctx, expr)
+	scan, err := mt.tbl.ScanWith(ctx, expr, lwcomp.ScanOptions{Degraded: req.AllowDegraded})
 	if err != nil {
 		s.queryError(w, err)
 		return
@@ -273,6 +321,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	res := queryResult{Table: req.Table, Op: op, Where: expr.String(), Matched: int64(scan.Count())}
 	switch op {
 	case "count":
+		res.Degraded = degradedBlocks(scan)
 		res.ElapsedMS = msSince(started)
 		writeJSON(w, res)
 	case "sum":
@@ -285,11 +334,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 			res.Sums[colName] = v
 		}
+		// Extracted after the sums: an aggregation can quarantine
+		// blocks the predicate evaluation never touched.
+		res.Degraded = degradedBlocks(scan)
 		res.ElapsedMS = msSince(started)
 		writeJSON(w, res)
 	case "rows":
 		s.streamRows(ctx, w, scan, req, res, started)
 	}
+}
+
+// degradedBlocks extracts a scan's degradation manifest for the JSON
+// surface; nil (omitted from the response) for a clean or fail-fast
+// scan.
+func degradedBlocks(scan *lwcomp.Scan) []lwcomp.SkippedBlock {
+	if m := scan.Manifest(); m != nil && m.Len() > 0 {
+		return m.Skipped()
+	}
+	return nil
 }
 
 // retryAfterSeconds rounds the query deadline up to whole seconds —
@@ -358,14 +420,21 @@ func (s *Server) streamRows(ctx context.Context, w http.ResponseWriter, scan *lw
 	})
 	if err != nil && !errors.Is(err, errStreamLimit) {
 		// The 200 and header frame are gone; the error becomes the
-		// stream's final frame so clients can tell truncation from
-		// success. Deadline hits still count as timeouts.
+		// stream's terminal frame — with an explicit "done": false — so
+		// clients can tell truncation from success and from a stream
+		// cut mid-frame. Deadline hits still count as timeouts.
 		if errors.Is(err, context.DeadlineExceeded) {
 			s.met.timeouts.Add(1)
 		} else if !errors.Is(err, context.Canceled) {
 			s.met.errors.Add(1)
 		}
-		enc.Encode(errorBody{Error: err.Error()})
+		enc.Encode(struct {
+			// Error is the failure that truncated the stream.
+			Error string `json:"error"`
+			// Done is false: frames before this one are valid, but the
+			// stream is incomplete.
+			Done bool `json:"done"`
+		}{err.Error(), false})
 		return
 	}
 	enc.Encode(struct {
@@ -376,7 +445,10 @@ func (s *Server) streamRows(ctx context.Context, w http.ResponseWriter, scan *lw
 		Streamed int64 `json:"streamed"`
 		// ElapsedMS is the server-side query time.
 		ElapsedMS float64 `json:"elapsed_ms"`
-	}{true, streamed, msSince(started)})
+		// Degraded lists the blocks a degraded scan omitted; see
+		// queryResult.Degraded.
+		Degraded []lwcomp.SkippedBlock `json:"degraded,omitempty"`
+	}{true, streamed, msSince(started), degradedBlocks(scan)})
 }
 
 // appendRowsFrame renders one NDJSON row frame:
@@ -464,6 +536,16 @@ type metricsTable struct {
 	BlocksProved int64 `json:"blocks_proved"`
 	// BlocksFetched counts undecided blocks whose payloads were read.
 	BlocksFetched int64 `json:"blocks_fetched"`
+	// BlocksQuarantined is the number of blocks currently quarantined
+	// across the table's columns (permanent integrity failures pinned
+	// at first detection).
+	BlocksQuarantined int `json:"blocks_quarantined"`
+	// ReadRetries counts transiently failed reads absorbed by the
+	// retry policy across the table's containers.
+	ReadRetries int64 `json:"read_retries"`
+	// ReadGiveups counts reads that still failed after the retry
+	// budget ran out.
+	ReadGiveups int64 `json:"read_giveups"`
 }
 
 // metricsBody is the /metrics JSON shape (expvar-style: one flat
@@ -500,6 +582,10 @@ type metricsBody struct {
 		// P99 is the 99th percentile bound.
 		P99 int64 `json:"p99"`
 	} `json:"latency_us"`
+	// PanicsRecovered counts panics caught and converted to errors —
+	// by the handler crash barrier and by the scan engine's worker
+	// recovery — instead of killing the process.
+	PanicsRecovered int64 `json:"panics_recovered"`
 	// Cache is the shared cache's pooled counters.
 	Cache metricsCache `json:"cache"`
 	// Tables holds each mounted table's counters.
@@ -524,16 +610,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	body.LatencyUs.P50 = snap.quantile(0.50)
 	body.LatencyUs.P90 = snap.quantile(0.90)
 	body.LatencyUs.P99 = snap.quantile(0.99)
+	body.PanicsRecovered = s.met.panics.Load() + blocked.RecoveredPanics()
 	body.Cache = toMetricsCache(s.cache.Stats())
 	body.Tables = make(map[string]metricsTable, len(ms.tables))
 	for name, mt := range ms.tables {
 		sc := mt.tbl.ScanCounters()
+		quar := 0
+		for _, colName := range mt.tbl.ColumnNames() {
+			if col, err := mt.tbl.Column(colName); err == nil {
+				quar += col.QuarantineCount()
+			}
+		}
+		var rst lwcomp.ReadStats
+		for _, cf := range mt.containers {
+			st := cf.ReadStats()
+			rst.Retries += st.Retries
+			rst.Giveups += st.Giveups
+		}
 		body.Tables[name] = metricsTable{
-			Rows:          mt.tbl.NumRows(),
-			Cache:         toMetricsCache(mt.cacheStats()),
-			BlocksSkipped: sc.Skipped,
-			BlocksProved:  sc.Proved,
-			BlocksFetched: sc.Fetched,
+			Rows:              mt.tbl.NumRows(),
+			Cache:             toMetricsCache(mt.cacheStats()),
+			BlocksSkipped:     sc.Skipped,
+			BlocksProved:      sc.Proved,
+			BlocksFetched:     sc.Fetched,
+			BlocksQuarantined: quar,
+			ReadRetries:       rst.Retries,
+			ReadGiveups:       rst.Giveups,
 		}
 	}
 	writeJSON(w, body)

@@ -93,6 +93,7 @@ type metrics struct {
 	rejected atomic.Int64 // 429s at the admission gate
 	timeouts atomic.Int64 // queries that hit their deadline (504)
 	errors   atomic.Int64 // queries that failed any other way
+	panics   atomic.Int64 // panics the handler crash barrier recovered
 	hist     latencyHist
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"lwcomp"
+	"lwcomp/internal/storage"
 )
 
 // mountedTable is one served table: the scan handle, the containers
@@ -48,9 +49,10 @@ type mountSet struct {
 	tables map[string]*mountedTable
 	names  []string
 
-	mu      sync.Mutex
-	refs    int
-	retired bool
+	mu        sync.Mutex
+	refs      int
+	retired   bool
+	onDrained func()
 }
 
 // newMountSet wraps tables (which may be nil/empty) as a set.
@@ -86,10 +88,13 @@ func (ms *mountSet) release() {
 }
 
 // retire marks the set replaced; it closes immediately when idle,
-// otherwise when the last in-flight query releases.
-func (ms *mountSet) retire() {
+// otherwise when the last in-flight query releases. onDrained, when
+// non-nil, runs once after the containers close — the server's
+// readiness gauge hangs off it.
+func (ms *mountSet) retire(onDrained func()) {
 	ms.mu.Lock()
 	ms.retired = true
+	ms.onDrained = onDrained
 	closeNow := ms.refs == 0
 	ms.mu.Unlock()
 	if closeNow {
@@ -98,10 +103,13 @@ func (ms *mountSet) retire() {
 }
 
 // closeTables closes every table (each closes its containers exactly
-// once — the Table.Close contract).
+// once — the Table.Close contract), then fires the drain callback.
 func (ms *mountSet) closeTables() {
 	for _, mt := range ms.tables {
 		mt.tbl.Close()
+	}
+	if ms.onDrained != nil {
+		ms.onDrained()
 	}
 }
 
@@ -167,12 +175,23 @@ func mountTable(cfg Config, cache *lwcomp.SharedBlockCache, name string, files [
 		return nil, err
 	}
 	for _, f := range files {
-		cf, err := lwcomp.OpenContainer(f.path,
-			lwcomp.WithSharedBlockCache(cache),
-			lwcomp.WithParallelism(cfg.Parallelism),
-			lwcomp.WithMmap(cfg.Mmap))
+		// Open through the storage layer directly: the retry policy and
+		// the fault-injection reader hook are serving-infrastructure
+		// knobs, not public API options.
+		cf, err := storage.OpenContainerFile(f.path, storage.OpenOptions{
+			CacheBytes: storage.DefaultBlockCacheBytes,
+			Shared:     cache,
+			Mmap:       cfg.Mmap,
+			Retry:      cfg.retryPolicy(),
+			WrapReader: cfg.FaultInjection,
+		})
 		if err != nil {
 			return cleanup(fmt.Errorf("mount %s: %w", f.path, err))
+		}
+		if cfg.Parallelism > 0 {
+			for _, c := range cf.Columns() {
+				c.Col.Parallelism = cfg.Parallelism
+			}
 		}
 		closers = append(closers, cf)
 		mt.containers = append(mt.containers, cf)

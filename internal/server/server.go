@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"lwcomp"
+	"lwcomp/internal/storage"
 )
 
 // Config is the server's resource-governance configuration. The zero
@@ -47,6 +49,16 @@ type Config struct {
 	BatchRows int
 	// Mmap maps containers instead of issuing positioned reads.
 	Mmap bool
+	// ReadRetries bounds how many times a transiently failed container
+	// read is re-issued (capped exponential backoff, 1ms doubling to
+	// 50ms) before the error surfaces; 0 means 3, negative disables
+	// retrying. Integrity failures are permanent and never retried.
+	ReadRetries int
+	// FaultInjection, when non-nil, wraps every mounted container's
+	// reader — the hook fault-injection tests and lwcbench's EXP-T use
+	// to exercise the retry and quarantine paths (see internal/faults).
+	// Setting it disables mmap for the mounted containers.
+	FaultInjection func(io.ReaderAt) io.ReaderAt
 }
 
 // DefaultCacheBytes is the shared block-cache budget used when the
@@ -72,7 +84,23 @@ func (c Config) withDefaults() Config {
 	if c.BatchRows <= 0 {
 		c.BatchRows = 4096
 	}
+	if c.ReadRetries == 0 {
+		c.ReadRetries = 3
+	}
 	return c
+}
+
+// retryPolicy maps the ReadRetries knob onto the storage layer's
+// backoff policy.
+func (c Config) retryPolicy() storage.RetryPolicy {
+	if c.ReadRetries <= 0 {
+		return storage.RetryPolicy{}
+	}
+	return storage.RetryPolicy{
+		MaxRetries: c.ReadRetries,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   50 * time.Millisecond,
+	}
 }
 
 // Server serves Table scans over a mounted directory of containers.
@@ -88,6 +116,12 @@ type Server struct {
 	mu     sync.RWMutex
 	mounts *mountSet
 	closed atomic.Bool
+
+	// reloading and draining drive /readyz: a reload in progress, or a
+	// retired mount set whose containers have not closed yet, means
+	// "serving but not ready for more traffic".
+	reloading atomic.Int64
+	draining  atomic.Int64
 }
 
 // New builds a server over cfg and performs the initial mount. An
@@ -113,6 +147,8 @@ func New(cfg Config) (*Server, error) {
 // started on; the old set's containers close when its last query
 // drains. On error the previous set keeps serving untouched.
 func (s *Server) Reload() error {
+	s.reloading.Add(1)
+	defer s.reloading.Add(-1)
 	ms, err := mountDir(s.cfg, s.cache)
 	if err != nil {
 		return err
@@ -122,7 +158,8 @@ func (s *Server) Reload() error {
 	s.mounts = ms
 	s.mu.Unlock()
 	if old != nil {
-		old.retire()
+		s.draining.Add(1)
+		old.retire(func() { s.draining.Add(-1) })
 	}
 	return nil
 }
@@ -136,9 +173,30 @@ func (s *Server) Close() error {
 	s.mounts = newMountSet(nil)
 	s.mu.Unlock()
 	if old != nil {
-		old.retire()
+		old.retire(nil)
 	}
 	return nil
+}
+
+// Ready reports whether the server should pass readiness probes: not
+// closed, no reload in progress, and no retired mount set still
+// draining — /readyz reads through this.
+func (s *Server) Ready() bool {
+	return !s.closed.Load() && s.reloading.Load() == 0 && s.draining.Load() == 0
+}
+
+// Table returns the named table's scan handle from the current mount
+// set — the hook fault-injection tests and lwcbench's EXP-T use to
+// wrap a mounted column's block source. The handle is safe to use only
+// while no reload retires the set it came from.
+func (s *Server) Table(name string) (*lwcomp.Table, bool) {
+	ms := s.acquireMounts()
+	defer ms.release()
+	mt, ok := ms.tables[name]
+	if !ok {
+		return nil, false
+	}
+	return mt.tbl, true
 }
 
 // Tables returns the currently mounted table names, sorted — the
@@ -225,6 +283,7 @@ func Main(args []string) error {
 	fs.IntVar(&cfg.Parallelism, "parallel", 0, "concurrent block workers per scan (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.BatchRows, "batch-rows", 0, "rows per streamed NDJSON frame (0 = 4096)")
 	fs.BoolVar(&cfg.Mmap, "mmap", false, "memory-map containers instead of reading them")
+	fs.IntVar(&cfg.ReadRetries, "read-retries", 0, "retries per transiently failed container read (0 = 3, negative = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

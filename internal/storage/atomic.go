@@ -1,0 +1,56 @@
+package storage
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes a file crash-safely: the content goes to a
+// temporary file in the destination's directory, is fsynced, and only
+// then renamed over path. A crash — power loss, kill -9 — at any point
+// leaves either the old file or the new one visible under the final
+// name, never a torn prefix; the worst leftover is an orphaned
+// .<name>.tmp-* file. The directory itself is fsynced after the rename
+// (best-effort: not every platform or filesystem supports it) so the
+// rename is durable, not just atomic.
+func AtomicWriteFile(path string, write func(w io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := write(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	// CreateTemp's 0600 is right for a scratch file but not for the
+	// published artifact.
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("hello"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("content %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestAtomicWriteFileAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	boom := errors.New("mid-write failure")
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the writer's failure", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("final path exists after aborted write (stat err %v)", err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestAtomicWriteFileAbortPreservesOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("mid-write failure")
+	if err := AtomicWriteFile(path, func(w io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "old" {
+		t.Fatalf("previous content not preserved: %q, %v", got, err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// assertNoTempFiles fails if the atomic writer leaked a .tmp file.
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if m, _ := filepath.Match(".*.tmp-*", e.Name()); m {
+			t.Fatalf("leaked temp file %s", e.Name())
+		}
+	}
+}

@@ -55,6 +55,16 @@ type OpenOptions struct {
 	// support it or the mapping fails. Only honored by
 	// OpenContainerFile — OpenContainer has no file to map.
 	Mmap bool
+	// Retry, when its MaxRetries is positive, re-issues transiently
+	// failed reads with capped exponential backoff. Integrity errors
+	// (ErrCorrupt, ErrChecksum) are permanent and never retried. The
+	// container's ReadStats reports the retry traffic.
+	Retry RetryPolicy
+	// WrapReader, when non-nil, decorates the container's io.ReaderAt
+	// before any byte is read — the fault-injection seam tests and
+	// benchmarks hook (see internal/faults). Setting it disables Mmap:
+	// a mapping would bypass the wrapper.
+	WrapReader func(ra io.ReaderAt) io.ReaderAt
 }
 
 // byteSource abstracts where a lazy container's bytes live.
@@ -149,7 +159,7 @@ func OpenContainerFile(path string, opt OpenOptions) (*ContainerFile, error) {
 		return nil, err
 	}
 	size := st.Size()
-	if opt.Mmap && mmapSupported && size > 0 {
+	if opt.Mmap && opt.WrapReader == nil && mmapSupported && size > 0 {
 		if data, merr := mmapFile(f, size); merr == nil {
 			// The mapping survives the descriptor; drop it now.
 			f.Close()
@@ -178,12 +188,22 @@ func OpenContainerFile(path string, opt OpenOptions) (*ContainerFile, error) {
 // prefix and index are read; earlier generations fall back to one
 // eager full read. If ra also implements io.Closer, Close closes it.
 func OpenContainer(ra io.ReaderAt, size int64, opt OpenOptions) (*ContainerFile, error) {
+	// Close targets the original reader even when a fault-injection
+	// wrapper sits between it and the container.
 	closer, _ := ra.(io.Closer)
+	if opt.WrapReader != nil {
+		ra = opt.WrapReader(ra)
+	}
 	return openSource(&readerAtSource{ra: ra, closer: closer}, size, opt)
 }
 
 // openSource dispatches on the container generation behind src.
 func openSource(src byteSource, size int64, opt OpenOptions) (*ContainerFile, error) {
+	if opt.Retry.MaxRetries > 0 {
+		// Decorate below everything so the open-time prefix and index
+		// reads enjoy the same tolerance as block fetches.
+		src = &retrySource{src: src, policy: opt.Retry.withDefaults()}
+	}
 	if size < 4 {
 		return nil, fmt.Errorf("%w: container too short", ErrCorrupt)
 	}

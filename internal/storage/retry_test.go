@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"lwcomp/internal/blocked"
+	"lwcomp/internal/faults"
+)
+
+// flakySource fails its first failN views transiently (or every view
+// with a permanent error), counting calls.
+type flakySource struct {
+	data  []byte
+	failN int
+	perm  error
+	calls int
+}
+
+func (s *flakySource) view(off int64, n int, scratch []byte) ([]byte, error) {
+	s.calls++
+	if s.perm != nil {
+		return nil, fmt.Errorf("decorated: %w", s.perm)
+	}
+	if s.calls <= s.failN {
+		return nil, errors.New("transient I/O error")
+	}
+	return s.data[off : off+int64(n)], nil
+}
+
+func (s *flakySource) Close() error { return nil }
+
+func TestFaultRetryAbsorbsTransient(t *testing.T) {
+	src := &flakySource{data: []byte("payload"), failN: 2}
+	rs := &retrySource{src: src, policy: RetryPolicy{MaxRetries: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}}
+	got, err := rs.view(0, 7, nil)
+	if err != nil {
+		t.Fatalf("view after transient failures: %v", err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("view = %q", got)
+	}
+	st := rs.stats()
+	if st.Retries != 2 || st.Giveups != 0 {
+		t.Fatalf("stats = %+v, want 2 retries, 0 giveups", st)
+	}
+}
+
+func TestFaultRetryGivesUp(t *testing.T) {
+	src := &flakySource{data: []byte("payload"), failN: 100}
+	rs := &retrySource{src: src, policy: RetryPolicy{MaxRetries: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}}
+	_, err := rs.view(0, 7, nil)
+	if err == nil {
+		t.Fatal("view succeeded past the retry budget")
+	}
+	if src.calls != 3 {
+		t.Fatalf("source called %d times, want 1 + 2 retries", src.calls)
+	}
+	st := rs.stats()
+	if st.Retries != 2 || st.Giveups != 1 {
+		t.Fatalf("stats = %+v, want 2 retries, 1 giveup", st)
+	}
+}
+
+func TestFaultRetryNeverRetriesPermanent(t *testing.T) {
+	for _, perm := range []error{ErrChecksum, ErrCorrupt} {
+		src := &flakySource{perm: perm}
+		rs := &retrySource{src: src, policy: RetryPolicy{MaxRetries: 5, BaseDelay: time.Microsecond}}
+		_, err := rs.view(0, 1, nil)
+		if !errors.Is(err, perm) {
+			t.Fatalf("error %v does not preserve the permanent sentinel", err)
+		}
+		if src.calls != 1 {
+			t.Fatalf("%v: source called %d times — permanent errors must not be retried", perm, src.calls)
+		}
+		if st := rs.stats(); st.Retries != 0 || st.Giveups != 0 {
+			t.Fatalf("%v: stats = %+v, want zero", perm, st)
+		}
+	}
+}
+
+// buildV3 encodes one column and renders it as v3 container bytes.
+func buildV3(t *testing.T, vals []int64, blockSize int) []byte {
+	t.Helper()
+	col, err := blocked.Encode(vals, blocked.EncodeOptions{BlockSize: blockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteContainerV3(&buf, []BlockedColumn{{Name: "c", Col: col}}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFaultInjectedContainerSurvivesWithRetry is the end-to-end pairing:
+// a container read through a deterministic fault injector answers every
+// query correctly as long as the retry budget exceeds the injector's
+// consecutive-failure bound — open-time index reads included.
+func TestFaultInjectedContainerSurvivesWithRetry(t *testing.T) {
+	vals := make([]int64, 2048)
+	for i := range vals {
+		vals[i] = int64(i*3 - 1000)
+	}
+	data := buildV3(t, vals, 256)
+	inj := faults.NewReaderAt(bytes.NewReader(data), faults.Config{
+		Seed: 11, TransientProb: 0.5, MaxConsecutive: 2,
+	})
+	cf, err := OpenContainer(inj, int64(len(data)), OpenOptions{
+		CacheBytes: -1,
+		Retry:      RetryPolicy{MaxRetries: 4, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond},
+	})
+	if err != nil {
+		t.Fatalf("open through injector: %v", err)
+	}
+	defer cf.Close()
+	col := cf.Columns()[0].Col
+	got, err := col.Decompress()
+	if err != nil {
+		t.Fatalf("decompress through injector: %v", err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("row %d: got %d want %d", i, got[i], vals[i])
+		}
+	}
+	if inj.InjectedTransient() == 0 {
+		t.Fatal("injector fired nothing — the test proved nothing")
+	}
+	if st := cf.ReadStats(); st.Retries == 0 || st.Giveups != 0 {
+		t.Fatalf("ReadStats = %+v, want absorbed retries and no giveups", st)
+	}
+}
+
+// TestFaultInjectedContainerFailsWithoutRetry pins the control case:
+// the same injection with retries disabled surfaces the transient
+// error instead of silently absorbing it.
+func TestFaultInjectedContainerFailsWithoutRetry(t *testing.T) {
+	data := buildV3(t, []int64{1, 2, 3, 4}, 2)
+	inj := faults.NewReaderAt(bytes.NewReader(data), faults.Config{
+		Seed: 11, TransientProb: 1, MaxConsecutive: 2,
+	})
+	_, err := OpenContainer(inj, int64(len(data)), OpenOptions{CacheBytes: -1})
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("open without retry: %v, want the injected transient error", err)
+	}
+}

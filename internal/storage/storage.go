@@ -2,7 +2,6 @@ package storage
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -27,11 +26,30 @@ const (
 	payloadBytes  = 3
 )
 
-// ErrCorrupt is returned for any structurally invalid encoding.
-var ErrCorrupt = errors.New("storage: corrupt encoding")
+// ErrCorrupt is returned for any structurally invalid encoding. It is
+// a permanent error: retrying the read cannot fix it (see
+// blocked.IsPermanent).
+var ErrCorrupt error = &permanentSentinel{msg: "storage: corrupt encoding"}
 
-// ErrChecksum is returned when a container's CRC does not match.
-var ErrChecksum = errors.New("storage: checksum mismatch")
+// ErrChecksum is returned when a container's CRC does not match. Like
+// ErrCorrupt it is permanent and never retried.
+var ErrChecksum error = &permanentSentinel{msg: "storage: checksum mismatch"}
+
+// permanentSentinel is an error value carrying the permanent-failure
+// marker the blocked layer classifies with (via errors.As), so the
+// retry loop never re-reads bytes whose content — not transport — is
+// the problem. Identity-based errors.Is comparisons against the
+// sentinels above keep working: each sentinel is a unique pointer.
+type permanentSentinel struct{ msg string }
+
+func (e *permanentSentinel) Error() string { return e.msg }
+
+// PermanentStorageError marks the sentinel permanent for
+// blocked.IsPermanent.
+func (e *permanentSentinel) PermanentStorageError() bool { return true }
+
+// ensure the marker stays in sync with the blocked layer's detection.
+var _ interface{ PermanentStorageError() bool } = (*permanentSentinel)(nil)
 
 // maxNameLen bounds scheme/child/param name lengths.
 const maxNameLen = 255

@@ -1,0 +1,120 @@
+package table
+
+import (
+	"sort"
+	"sync"
+
+	"lwcomp/internal/blocked"
+)
+
+// This file is the graceful-degradation half of the table scan: a
+// scan opted into degraded mode treats permanently unreadable blocks
+// (bad CRC, quarantined, undecodable) as skipped instead of fatal,
+// and records every omission — exactly which column, block, and row
+// range — in a Manifest the caller (and the query server's response)
+// can surface. Default scans keep today's fail-fast contract.
+
+// SkippedBlock describes one block a degraded scan omitted.
+type SkippedBlock struct {
+	// Column names the column whose block was unreadable. It is empty
+	// when the failure could not be pinned to a quarantined column
+	// (an in-memory form failing to decode, for example).
+	Column string `json:"column,omitempty"`
+	// Block is the block index within the column.
+	Block int `json:"block"`
+	// RowStart and RowCount delimit the omitted row range
+	// [RowStart, RowStart+RowCount): those rows are absent from the
+	// scan's selection and from every projection and aggregate.
+	RowStart int64 `json:"row_start"`
+	// RowCount is the number of omitted rows.
+	RowCount int `json:"row_count"`
+	// Reason is the permanent error that condemned the block.
+	Reason string `json:"reason"`
+}
+
+// Manifest is the exact record of what a degraded scan omitted. It is
+// safe for concurrent use — parallel scan workers record into one
+// manifest — and deduplicates by (column, block).
+type Manifest struct {
+	mu     sync.Mutex
+	blocks []SkippedBlock
+	seen   map[manifestKey]bool
+}
+
+type manifestKey struct {
+	col string
+	blk int
+}
+
+// add records one omission, ignoring duplicates of the same
+// (column, block).
+func (m *Manifest) add(sb SkippedBlock) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.seen == nil {
+		m.seen = make(map[manifestKey]bool)
+	}
+	k := manifestKey{col: sb.Column, blk: sb.Block}
+	if m.seen[k] {
+		return
+	}
+	m.seen[k] = true
+	m.blocks = append(m.blocks, sb)
+}
+
+// Len returns the number of recorded omissions.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blocks)
+}
+
+// Skipped returns the omissions sorted by (column, block) — a copy,
+// safe to hold after the scan is released.
+func (m *Manifest) Skipped() []SkippedBlock {
+	m.mu.Lock()
+	out := make([]SkippedBlock, len(m.blocks))
+	copy(out, m.blocks)
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Column != out[j].Column {
+			return out[i].Column < out[j].Column
+		}
+		return out[i].Block < out[j].Block
+	})
+	return out
+}
+
+// ScanOptions configures one scan's failure handling.
+type ScanOptions struct {
+	// Degraded makes the scan skip permanently unreadable blocks —
+	// treating their rows as non-matching and recording each omission
+	// in the scan's Manifest — instead of failing the whole query.
+	// Transient I/O errors are still fatal (the retry layer below
+	// handles those); only permanent integrity failures degrade.
+	Degraded bool
+}
+
+// noteEvalSkip records block i's omission during predicate
+// evaluation. The expression tree does not report which column's
+// fetch failed, but the failing column quarantined the block on the
+// way out — so the exact (column, block) comes from asking every
+// column for its quarantine verdict at i. The fallback (no column
+// quarantined — a resident in-memory form failed to decode) records
+// the block with the raw error and no column attribution.
+func (t *Table) noteEvalSkip(man *Manifest, i int, b *blocked.Block, err error) {
+	found := false
+	for _, c := range t.cols {
+		if i >= len(c.Col.Blocks) {
+			continue
+		}
+		if qerr, ok := c.Col.QuarantineError(i); ok {
+			man.add(SkippedBlock{Column: c.Name, Block: i,
+				RowStart: b.Start, RowCount: b.Count, Reason: qerr.Error()})
+			found = true
+		}
+	}
+	if !found {
+		man.add(SkippedBlock{Block: i, RowStart: b.Start, RowCount: b.Count, Reason: err.Error()})
+	}
+}

@@ -1,0 +1,207 @@
+package table
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"lwcomp/internal/blocked"
+	"lwcomp/internal/core"
+	"lwcomp/internal/storage"
+)
+
+// failingSource serves a resident column's forms but answers a
+// permanent error for chosen blocks.
+type failingSource struct {
+	orig *blocked.Column
+	fail map[int]error
+}
+
+func (s *failingSource) BlockForm(i int) (*core.Form, error) {
+	if err, ok := s.fail[i]; ok {
+		return nil, err
+	}
+	return s.orig.Blocks[i].Form, nil
+}
+
+// degradedTable builds a 3-column aligned table (a=2, b=i, amount=i%100;
+// 256 rows, 4 blocks of 64) whose amount column is lazily sourced and
+// fails permanently on block 2 (rows 128..191).
+func degradedTable(t *testing.T) *Table {
+	t.Helper()
+	n := 256
+	a := make([]int64, n)
+	b := make([]int64, n)
+	amount := make([]int64, n)
+	for i := 0; i < n; i++ {
+		a[i] = 2
+		b[i] = int64(i)
+		amount[i] = int64(i % 100)
+	}
+	enc := func(vals []int64) *blocked.Column {
+		col, err := blocked.Encode(vals, blocked.EncodeOptions{BlockSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return col
+	}
+	amtOrig := enc(amount)
+	lazy := &blocked.Column{N: amtOrig.N, BlockSize: amtOrig.BlockSize,
+		Blocks: append([]blocked.Block(nil), amtOrig.Blocks...)}
+	for i := range lazy.Blocks {
+		lazy.Blocks[i].Form = nil
+	}
+	lazy.Source = &failingSource{orig: amtOrig,
+		fail: map[int]error{2: fmt.Errorf("payload rot: %w", core.ErrCorruptForm)}}
+	tbl, err := New([]storage.BlockedColumn{
+		{Name: "a", Col: enc(a)},
+		{Name: "b", Col: enc(b)},
+		{Name: "amount", Col: lazy},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestFaultScanFailFastByDefault(t *testing.T) {
+	tbl := degradedTable(t)
+	// Eq over amount is stats-undecidable on every block, so block 2's
+	// fetch fails the whole scan — today's contract, unchanged.
+	if _, err := tbl.Scan(Eq("amount", 50)); !errors.Is(err, core.ErrCorruptForm) {
+		t.Fatalf("default scan error = %v, want the permanent decode failure", err)
+	}
+	// The failure quarantined the block; a retry fails fast the same way.
+	if _, err := tbl.Scan(Eq("amount", 50)); !errors.Is(err, blocked.ErrQuarantined) {
+		t.Fatalf("second scan error = %v, want ErrQuarantined", err)
+	}
+}
+
+func TestFaultDegradedScanExactManifest(t *testing.T) {
+	tbl := degradedTable(t)
+	scan, err := tbl.ScanWith(context.Background(), Eq("amount", 50), ScanOptions{Degraded: true})
+	if err != nil {
+		t.Fatalf("degraded scan: %v", err)
+	}
+	defer scan.Release()
+	if !scan.Degraded() {
+		t.Fatal("scan does not report degraded mode")
+	}
+	// amount = i%100 hits 50 at rows 50, 150, 250; row 150 lives in the
+	// unreadable block, so a degraded scan finds exactly the other two.
+	if got := scan.Count(); got != 2 {
+		t.Fatalf("degraded count = %d, want 2 (row 150 omitted)", got)
+	}
+	rows := scan.Rows()
+	if len(rows) != 2 || rows[0] != 50 || rows[1] != 250 {
+		t.Fatalf("degraded rows = %v, want [50 250]", rows)
+	}
+	sk := scan.Manifest().Skipped()
+	if len(sk) != 1 {
+		t.Fatalf("manifest = %v, want exactly one entry", sk)
+	}
+	want := SkippedBlock{Column: "amount", Block: 2, RowStart: 128, RowCount: 64, Reason: sk[0].Reason}
+	if sk[0] != want {
+		t.Fatalf("manifest entry = %+v, want %+v", sk[0], want)
+	}
+	if sk[0].Reason == "" {
+		t.Fatal("manifest entry has no reason")
+	}
+	// The matched rows still aggregate exactly.
+	sum, err := scan.Sum("a")
+	if err != nil {
+		t.Fatalf("sum over healthy column: %v", err)
+	}
+	if sum != 4 {
+		t.Fatalf("sum(a) over 2 matches = %d, want 4", sum)
+	}
+}
+
+func TestFaultDegradedSumSkipsBlock(t *testing.T) {
+	tbl := degradedTable(t)
+	// The empty conjunction matches every row without touching amount;
+	// the failure then happens in the aggregation phase, which knows
+	// the failing column directly.
+	scan, err := tbl.ScanWith(context.Background(), And(), ScanOptions{Degraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scan.Release()
+	sum, err := scan.SumContext(context.Background(), "amount")
+	if err != nil {
+		t.Fatalf("degraded sum: %v", err)
+	}
+	// Full sum of i%100 over 0..255 is 11440; block 2 (rows 128..191,
+	// values 28..91) contributes 3808.
+	if want := int64(11440 - 3808); sum != want {
+		t.Fatalf("degraded sum = %d, want %d", sum, want)
+	}
+	sk := scan.Manifest().Skipped()
+	if len(sk) != 1 || sk[0].Column != "amount" || sk[0].Block != 2 {
+		t.Fatalf("manifest after sum = %v", sk)
+	}
+}
+
+func TestFaultDegradedStreamSkipsBlock(t *testing.T) {
+	tbl := degradedTable(t)
+	scan, err := tbl.ScanWith(context.Background(), And(), ScanOptions{Degraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scan.Release()
+	var rows []int64
+	var sumB, sumAmt int64
+	err = scan.StreamBatches(context.Background(), []string{"b", "amount"}, 50,
+		func(r []int64, vals [][]int64) error {
+			rows = append(rows, r...)
+			for _, v := range vals[0] {
+				sumB += v
+			}
+			for _, v := range vals[1] {
+				sumAmt += v
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("degraded stream: %v", err)
+	}
+	if len(rows) != 192 {
+		t.Fatalf("streamed %d rows, want 192 (one block of 64 omitted)", len(rows))
+	}
+	for _, r := range rows {
+		if r >= 128 && r < 192 {
+			t.Fatalf("row %d from the unreadable block leaked into the stream", r)
+		}
+	}
+	// Both projected columns stay in lockstep: b sums to the row ids,
+	// amount to their values — over exactly the surviving rows.
+	var wantB, wantAmt int64
+	for i := int64(0); i < 256; i++ {
+		if i >= 128 && i < 192 {
+			continue
+		}
+		wantB += i
+		wantAmt += i % 100
+	}
+	if sumB != wantB || sumAmt != wantAmt {
+		t.Fatalf("streamed sums b=%d amount=%d, want %d and %d", sumB, sumAmt, wantB, wantAmt)
+	}
+	sk := scan.Manifest().Skipped()
+	if len(sk) != 1 || sk[0].Column != "amount" || sk[0].Block != 2 {
+		t.Fatalf("manifest after stream = %v", sk)
+	}
+}
+
+func TestFaultDegradedDefaultViaTableFlag(t *testing.T) {
+	tbl := degradedTable(t)
+	tbl.Degraded = true
+	scan, err := tbl.ScanContext(context.Background(), Eq("amount", 50))
+	if err != nil {
+		t.Fatalf("scan with table-level degraded default: %v", err)
+	}
+	defer scan.Release()
+	if scan.Count() != 2 || scan.Manifest().Len() != 1 {
+		t.Fatalf("count=%d manifest=%d", scan.Count(), scan.Manifest().Len())
+	}
+}

@@ -31,9 +31,13 @@ type Table struct {
 	// Parallelism bounds the number of blocks scanned concurrently;
 	// <= 0 means GOMAXPROCS. New seeds it from the first column.
 	Parallelism int
-	closers     []io.Closer
-	closeOnce   sync.Once
-	closeErr    error
+	// Degraded makes Scan and ScanContext run in degraded mode by
+	// default (see ScanOptions.Degraded); ScanWith overrides it per
+	// scan. OpenTable's WithDegradedScan option sets it.
+	Degraded  bool
+	closers   []io.Closer
+	closeOnce sync.Once
+	closeErr  error
 	// counters accumulates block-level plan outcomes across every
 	// scan on the table (see ScanCounters).
 	counters struct{ skipped, proved, fetched atomic.Int64 }
@@ -215,16 +219,30 @@ func (t *Table) Scan(e Expr) (*Scan, error) {
 // Background context makes it exactly Scan — the check is one atomic
 // load per block, so the steady state stays allocation-free.
 func (t *Table) ScanContext(ctx context.Context, e Expr) (*Scan, error) {
+	return t.ScanWith(ctx, e, ScanOptions{Degraded: t.Degraded})
+}
+
+// ScanWith is ScanContext with per-scan options: opt.Degraded lets
+// this one scan skip permanently unreadable blocks (recording each
+// omission in the result's Manifest) regardless of the table's
+// default. Degradation needs the per-block plan — on a misaligned
+// table the whole-column fallback has no block to skip, so permanent
+// errors stay fatal there.
+func (t *Table) ScanWith(ctx context.Context, e Expr, opt ScanOptions) (*Scan, error) {
 	if e == nil {
 		return nil, fmt.Errorf("table: Scan of a nil expression")
 	}
 	if err := e.check(t); err != nil {
 		return nil, err
 	}
+	var man *Manifest
+	if opt.Degraded {
+		man = &Manifest{}
+	}
 	dst := sel.Get(t.n)
 	var err error
 	if t.aligned {
-		err = t.scanAligned(ctx, e, dst)
+		err = t.scanAligned(ctx, e, dst, man)
 	} else {
 		err = t.scanWhole(ctx, e, dst)
 	}
@@ -233,7 +251,7 @@ func (t *Table) ScanContext(ctx context.Context, e Expr) (*Scan, error) {
 		return nil, err
 	}
 	s := scanPool.Get().(*Scan)
-	s.t, s.sel = t, dst
+	s.t, s.sel, s.manifest = t, dst, man
 	return s, nil
 }
 
@@ -250,8 +268,11 @@ func (t *Table) scanWhole(ctx context.Context, e Expr, dst *sel.Selection) error
 // scanAligned is the per-block plan: classify every block through the
 // expression tree with stats only, then evaluate just the undecided
 // blocks, serially when one worker suffices (the allocation-free
-// path) or concurrently with a deterministic block-order merge.
-func (t *Table) scanAligned(ctx context.Context, e Expr, dst *sel.Selection) error {
+// path) or concurrently with a deterministic block-order merge. A
+// non-nil man puts the evaluation in degraded mode: blocks whose
+// payloads fail permanently contribute no rows and are recorded in
+// man instead of failing the scan.
+func (t *Table) scanAligned(ctx context.Context, e Expr, dst *sel.Selection, man *Manifest) error {
 	blocks := t.cols[0].Col.Blocks
 	st := getScanState(len(blocks))
 	defer st.release()
@@ -284,6 +305,10 @@ func (t *Table) scanAligned(ctx context.Context, e Expr, dst *sel.Selection) err
 			local := sel.Get(b.Count)
 			if err := e.evalBlock(t, i, local); err != nil {
 				local.Release()
+				if man != nil && blocked.IsPermanent(err) {
+					t.noteEvalSkip(man, i, b, err)
+					continue
+				}
 				return err
 			}
 			dst.OrAt(local, int(b.Start))
@@ -299,6 +324,10 @@ func (t *Table) scanAligned(ctx context.Context, e Expr, dst *sel.Selection) err
 		local := sel.Get(blocks[i].Count)
 		if err := e.evalBlock(t, i, local); err != nil {
 			local.Release()
+			if man != nil && blocked.IsPermanent(err) {
+				t.noteEvalSkip(man, i, &blocks[i], err)
+				return nil
+			}
 			return err
 		}
 		st.sels[i] = local
@@ -314,6 +343,10 @@ func (t *Table) scanAligned(ctx context.Context, e Expr, dst *sel.Selection) err
 		return err
 	}
 	for _, i := range st.parts {
+		if st.sels[i] == nil {
+			// Degraded-skipped block: no selection to merge.
+			continue
+		}
 		dst.OrAt(st.sels[i], int(blocks[i].Start))
 		st.sels[i].Release()
 		st.sels[i] = nil
@@ -329,20 +362,42 @@ func (t *Table) scanAligned(ctx context.Context, e Expr, dst *sel.Selection) err
 type Scan struct {
 	t   *Table
 	sel *sel.Selection
+	// manifest is non-nil exactly when the scan ran degraded; the
+	// projection and aggregation methods keep recording omissions into
+	// it as they encounter unreadable blocks.
+	manifest *Manifest
 }
 
 var scanPool = sync.Pool{New: func() any { return new(Scan) }}
 
 // Release returns the scan's selection and the handle itself to their
 // pools. The handle, and any Selection view obtained from it, must
-// not be used afterwards.
+// not be used afterwards. The Manifest, if one was obtained, remains
+// valid — it is not pooled.
 func (s *Scan) Release() {
 	if s.sel != nil {
 		s.sel.Release()
 		s.sel = nil
 	}
 	s.t = nil
+	s.manifest = nil
 	scanPool.Put(s)
+}
+
+// Degraded reports whether the scan ran in degraded mode.
+func (s *Scan) Degraded() bool { return s.manifest != nil }
+
+// Manifest returns the degradation record: every block the scan (and
+// any projection or aggregate run on it so far) skipped. It is nil
+// unless the scan ran in degraded mode, and stays valid after
+// Release.
+func (s *Scan) Manifest() *Manifest { return s.manifest }
+
+// noteSkip records a block omitted by a projection or aggregation
+// method — there the failing column is known directly.
+func (s *Scan) noteSkip(col string, i int, b *blocked.Block, err error) {
+	s.manifest.add(SkippedBlock{Column: col, Block: i,
+		RowStart: b.Start, RowCount: b.Count, Reason: err.Error()})
 }
 
 // Count returns the number of surviving rows.
@@ -391,6 +446,10 @@ func (s *Scan) SumContext(ctx context.Context, col string) (int64, error) {
 		if cnt == b.Count {
 			v, err := c.SumBlock(i)
 			if err != nil {
+				if s.manifest != nil && blocked.IsPermanent(err) {
+					s.noteSkip(col, i, b, err)
+					continue
+				}
 				return 0, err
 			}
 			total += v
@@ -399,6 +458,10 @@ func (s *Scan) SumContext(ctx context.Context, col string) (int64, error) {
 		vals := sc.I64(b.Count)
 		if err := c.DecompressBlock(i, vals); err != nil {
 			sc.PutI64(vals)
+			if s.manifest != nil && blocked.IsPermanent(err) {
+				s.noteSkip(col, i, b, err)
+				continue
+			}
 			return 0, err
 		}
 		total += maskedSum(s.sel, start, vals)
@@ -415,7 +478,7 @@ func (s *Scan) Materialize(col string) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.materializeColumn(c)
+	return s.materializeColumn(c, col)
 }
 
 // StreamBatches visits the surviving rows in ascending order in
@@ -455,7 +518,7 @@ func (s *Scan) StreamBatches(ctx context.Context, cols []string, batchSize int, 
 		}
 	}
 	if len(handles) > 0 && !aligned {
-		return s.streamMisaligned(ctx, handles, batchSize, fn)
+		return s.streamMisaligned(ctx, cols, handles, batchSize, fn)
 	}
 
 	rows := make([]int64, 0, batchSize)
@@ -494,6 +557,7 @@ func (s *Scan) StreamBatches(ctx context.Context, cols []string, batchSize int, 
 	}
 	sc := core.GetScratch()
 	defer sc.Release()
+blockLoop:
 	for i := range blocks {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -506,11 +570,23 @@ func (s *Scan) StreamBatches(ctx context.Context, cols []string, batchSize int, 
 		if s.sel.CountRange(start, start+b.Count) == 0 {
 			continue
 		}
+		// mark lets a degraded skip roll the batch back to the state
+		// before this block: rows and every vals[ci] grow in lockstep,
+		// so one length captures them all.
+		mark := len(rows)
 		rows = maskedAppendRows(rows, s.sel, start, b.Count)
 		for ci, c := range handles {
 			decoded := sc.I64(b.Count)
 			if err := c.DecompressBlock(i, decoded); err != nil {
 				sc.PutI64(decoded)
+				if s.manifest != nil && blocked.IsPermanent(err) {
+					rows = rows[:mark]
+					for cj := 0; cj < ci; cj++ {
+						vals[cj] = vals[cj][:mark]
+					}
+					s.noteSkip(cols[ci], i, b, err)
+					continue blockLoop
+				}
 				return err
 			}
 			vals[ci] = maskedAppend(vals[ci], s.sel, start, decoded)
@@ -528,7 +604,7 @@ func (s *Scan) StreamBatches(ctx context.Context, cols []string, batchSize int, 
 // streamMisaligned is StreamBatches' fallback for columns with
 // differing block boundaries: materialize every requested column in
 // full, then emit batches of the buffered result.
-func (s *Scan) streamMisaligned(ctx context.Context, handles []*blocked.Column, batchSize int, fn func(rows []int64, vals [][]int64) error) error {
+func (s *Scan) streamMisaligned(ctx context.Context, cols []string, handles []*blocked.Column, batchSize int, fn func(rows []int64, vals [][]int64) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -536,7 +612,7 @@ func (s *Scan) streamMisaligned(ctx context.Context, handles []*blocked.Column, 
 	full := make([][]int64, len(handles))
 	for i, c := range handles {
 		var err error
-		full[i], err = s.materializeColumn(c)
+		full[i], err = s.materializeColumn(c, cols[i])
 		if err != nil {
 			return err
 		}
@@ -560,8 +636,9 @@ func (s *Scan) streamMisaligned(ctx context.Context, handles []*blocked.Column, 
 	return nil
 }
 
-// materializeColumn is Materialize by handle rather than by name.
-func (s *Scan) materializeColumn(c *blocked.Column) ([]int64, error) {
+// materializeColumn is Materialize by handle rather than by name; the
+// name rides along for degraded-mode manifest attribution.
+func (s *Scan) materializeColumn(c *blocked.Column, name string) ([]int64, error) {
 	sc := core.GetScratch()
 	defer sc.Release()
 	out := make([]int64, 0, s.sel.Count())
@@ -577,6 +654,10 @@ func (s *Scan) materializeColumn(c *blocked.Column) ([]int64, error) {
 		vals := sc.I64(b.Count)
 		if err := c.DecompressBlock(i, vals); err != nil {
 			sc.PutI64(vals)
+			if s.manifest != nil && blocked.IsPermanent(err) {
+				s.noteSkip(name, i, b, err)
+				continue
+			}
 			return nil, err
 		}
 		out = maskedAppend(out, s.sel, start, vals)

@@ -116,9 +116,16 @@ var (
 	ErrNoCandidate      = core.ErrNoCandidate
 	// ErrCorrupt is returned for structurally invalid serialized
 	// forms and containers; ErrChecksum when a container's CRC does
-	// not match.
+	// not match. Both are permanent: WithReadRetry never retries
+	// them, and a block failing with either is quarantined on its
+	// column.
 	ErrCorrupt  = storage.ErrCorrupt
 	ErrChecksum = storage.ErrChecksum
+	// ErrQuarantined marks fetches of blocks that previously failed
+	// permanently and were quarantined; the condemning error stays in
+	// the chain. Degraded scans skip such blocks (see
+	// WithDegradedScan); default scans surface this error.
+	ErrQuarantined = blocked.ErrQuarantined
 )
 
 // Compress encodes src with the named registered scheme ("ns",

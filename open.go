@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"lwcomp/internal/blocked"
 	"lwcomp/internal/storage"
 )
 
@@ -33,6 +34,17 @@ type BlockExtent = storage.BlockExtent
 // CacheStats reports an open container's block-cache traffic —
 // lookups by outcome, evictions, and resident bytes against budget.
 type CacheStats = storage.CacheStats
+
+// RetryPolicy configures WithReadRetry's capped exponential backoff:
+// MaxRetries re-reads per failed fetch (0 disables), sleeping
+// BaseDelay (default 1ms) doubling up to MaxDelay (default 100ms).
+type RetryPolicy = storage.RetryPolicy
+
+// ReadStats reports an open container's transient-read retry traffic:
+// reads re-issued after a transient failure and reads abandoned after
+// the retry budget ran out. Container.ReadStats and Column.ReadStats
+// snapshot it.
+type ReadStats = blocked.ReadStats
 
 // SharedBlockCache is a block cache several open containers share
 // under one byte budget: pass it to OpenFile / OpenContainer /

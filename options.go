@@ -24,6 +24,8 @@ type options struct {
 	cacheBytes   int64
 	sharedCache  *storage.SharedCache
 	mmap         bool
+	retry        storage.RetryPolicy
+	degraded     bool
 	columnName   string
 	columnChosen bool
 }
@@ -128,6 +130,28 @@ func WithMmap(enabled bool) Option {
 	return func(o *options) { o.mmap = enabled }
 }
 
+// WithReadRetry makes an opened container re-issue transiently failed
+// reads with capped exponential backoff before surfacing the error:
+// p.MaxRetries attempts, sleeping p.BaseDelay doubling up to
+// p.MaxDelay between them. Integrity failures — ErrChecksum,
+// ErrCorrupt — are permanent and are never retried; only the
+// transport saying it could not deliver the bytes is. The container's
+// ReadStats reports the absorbed retries and final giveups.
+func WithReadRetry(p RetryPolicy) Option {
+	return func(o *options) { o.retry = p }
+}
+
+// WithDegradedScan sets the default failure mode of scans on a table
+// opened with OpenTable: when enabled, a scan that hits a permanently
+// unreadable block (bad CRC → quarantined) skips the block — treating
+// its rows as non-matching — and records the exact omission in the
+// scan's Manifest, instead of failing the query. Disabled, the
+// default, keeps fail-fast semantics; Table.ScanWith can still opt a
+// single scan in.
+func WithDegradedScan(enabled bool) Option {
+	return func(o *options) { o.degraded = enabled }
+}
+
 // WithColumn selects which named column OpenFile returns from a
 // multi-column container. Without it, OpenFile requires the container
 // to hold exactly one column.
@@ -148,5 +172,5 @@ func buildOptions(opts []Option) options {
 // openOptions projects the merged options onto the storage layer's
 // open configuration.
 func (o *options) openOptions() storage.OpenOptions {
-	return storage.OpenOptions{CacheBytes: o.cacheBytes, Shared: o.sharedCache, Mmap: o.mmap}
+	return storage.OpenOptions{CacheBytes: o.cacheBytes, Shared: o.sharedCache, Mmap: o.mmap, Retry: o.retry}
 }

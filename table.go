@@ -42,6 +42,22 @@ type Table = table.Table
 // blocks still holding set bits. Release it when done.
 type Scan = table.Scan
 
+// ScanOptions configures one scan's failure handling — pass it to
+// Table.ScanWith to run a single scan degraded (or fail-fast)
+// regardless of the table's WithDegradedScan default.
+type ScanOptions = table.ScanOptions
+
+// DegradationManifest is the exact record of what a degraded scan
+// omitted: one SkippedBlock per unreadable (column, block), with the
+// row range the omission removed from the result. Scan.Manifest
+// returns it; it stays valid after the scan is released.
+type DegradationManifest = table.Manifest
+
+// SkippedBlock describes one block a degraded scan omitted — the
+// column, block index, omitted row range, and the permanent error
+// that condemned it.
+type SkippedBlock = table.SkippedBlock
+
 // Expr is a composable predicate over a table's columns: Range, Eq
 // and In leaves under And, Or and Not combinators. Expressions are
 // immutable, reusable across scans and tables, and render back to the
@@ -67,15 +83,18 @@ func NewTableWithClosers(cols []NamedColumn, closers ...io.Closer) (*Table, erro
 // their predicate stats admit. All open options apply (WithBlockCache,
 // WithMmap, WithParallelism); Close the table to release the file.
 func OpenTable(path string, opts ...Option) (*Table, error) {
-	cf, err := OpenContainer(path, opts...)
+	o := buildOptions(opts)
+	cf, err := storage.OpenContainerFile(path, o.openOptions())
 	if err != nil {
 		return nil, err
 	}
+	applyColumnOptions(cf, &o)
 	t, err := table.New(cf.Columns(), cf)
 	if err != nil {
 		cf.Close()
 		return nil, err
 	}
+	t.Degraded = o.degraded
 	return t, nil
 }
 
@@ -95,6 +114,7 @@ func OpenTableReader(r io.ReaderAt, size int64, opts ...Option) (*Table, error) 
 		cf.Close()
 		return nil, err
 	}
+	t.Degraded = o.degraded
 	return t, nil
 }
 
