@@ -6,6 +6,8 @@
 package lwcomp_test
 
 import (
+	"bytes"
+	"context"
 	"testing"
 
 	"lwcomp"
@@ -219,6 +221,105 @@ func TestTableScanAllocs(t *testing.T) {
 	mustZeroAllocs(t, "table-scan-sum", func() {
 		if _, err := s.Sum("amount"); err != nil {
 			t.Fatal(err)
+		}
+	})
+}
+
+// TestFusedAggregateAllocs: the fused scan+aggregate paths —
+// CountWhere and SumWhere over leaf and composite predicates,
+// including the packed-word fast paths and the prefetch announce that
+// runs one block ahead of the serial loop — stay allocation-free in
+// steady state on an aligned in-memory table.
+func TestFusedAggregateAllocs(t *testing.T) {
+	const n, bs = 1 << 15, 1 << 12
+	date := workload.Sorted(n, 1<<40, 21)
+	status := workload.LowCardinality(n, 4, 22)
+	amount := workload.RandomWalk(n, 10, 1<<30, 23)
+	var cols []lwcomp.NamedColumn
+	for _, c := range []struct {
+		name string
+		data []int64
+	}{{"date", date}, {"status", status}, {"amount", amount}} {
+		col, err := lwcomp.Encode(c.data, lwcomp.WithBlockSize(bs), lwcomp.WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols = append(cols, lwcomp.NamedColumn{Name: c.name, Col: col})
+	}
+	tbl, err := lwcomp.NewTable(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	lo, hi := date[n/4], date[3*n/4]
+	exprLeaf := lwcomp.Range("date", lo, hi)
+	exprAnd := lwcomp.And(lwcomp.Range("date", lo, hi), lwcomp.Eq("status", status[n/3]))
+
+	wantCnt, err := tbl.CountWhere(ctx, exprLeaf)
+	if err != nil || wantCnt == 0 {
+		t.Fatalf("CountWhere = %d, %v; the fixture is broken", wantCnt, err)
+	}
+	mustZeroAllocs(t, "fused-count-leaf", func() {
+		if cnt, err := tbl.CountWhere(ctx, exprLeaf); err != nil || cnt != wantCnt {
+			t.Fatalf("CountWhere = %d, %v", cnt, err)
+		}
+	})
+	mustZeroAllocs(t, "fused-count-and", func() {
+		if _, err := tbl.CountWhere(ctx, exprAnd); err != nil {
+			t.Fatal(err)
+		}
+	})
+	mustZeroAllocs(t, "fused-sum-same-column", func() {
+		if _, _, err := tbl.SumWhere(ctx, exprLeaf, "date"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	mustZeroAllocs(t, "fused-sum-other-column", func() {
+		if _, _, err := tbl.SumWhere(ctx, exprLeaf, "amount"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	mustZeroAllocs(t, "fused-sum-and", func() {
+		if _, _, err := tbl.SumWhere(ctx, exprAnd, "amount"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestPrefetchAnnounceAllocs: announcing block prefetches against a
+// lazy container — the scan paths do it once per undecided block —
+// allocates nothing in steady state, whether the block is already
+// cached (presence probe, skip) or queued to the prefetch worker
+// (struct send on a buffered channel).
+func TestPrefetchAnnounceAllocs(t *testing.T) {
+	const n, bs = 1 << 14, 1 << 11
+	date := workload.Sorted(n, 1<<40, 31)
+	col, err := lwcomp.Encode(date, lwcomp.WithBlockSize(bs), lwcomp.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lwcomp.WriteColumns(&buf, []lwcomp.NamedColumn{{Name: "date", Col: col}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	tbl, err := lwcomp.OpenTableReader(bytes.NewReader(data), int64(len(data)), lwcomp.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	// Warm the cache so the announces hit the presence probe.
+	if _, err := tbl.CountWhere(context.Background(), lwcomp.Range("date", date[0], date[n-1])); err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := tbl.Column("date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mustZeroAllocs(t, "prefetch-announce", func() {
+		for i := 0; i < lazy.NumBlocks(); i++ {
+			lazy.Prefetch(ctx, i)
 		}
 	})
 }

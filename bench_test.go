@@ -10,6 +10,7 @@
 package lwcomp_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -984,4 +985,75 @@ func BenchmarkTableScan(b *testing.B) {
 		}
 		reportElems(b, benchN)
 	})
+}
+
+// BenchmarkFusedAggregate measures the fused one-pass aggregates
+// (CountWhere / SumWhere) against the classic Scan+Count+Sum pipeline
+// across data shapes that drive the encoder to different scheme
+// families — runs (RLE), low cardinality (dict), step segments
+// (model) — the Go-harness twin of EXP-U.
+func BenchmarkFusedAggregate(b *testing.B) {
+	ctx := context.Background()
+	for _, sh := range []struct {
+		name string
+		data []int64
+	}{
+		{"runs", workload.Runs(benchN, 64, 1<<20, 42)},
+		{"lowcard", workload.LowCardinality(benchN, 64, 43)},
+		{"step", workload.StepData(benchN, 512, 44)},
+	} {
+		col, err := lwcomp.Encode(sh.data, lwcomp.WithBlockSize(1<<14))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl, err := lwcomp.NewTable([]lwcomp.NamedColumn{{Name: "v", Col: col}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mn, mx := sh.data[0], sh.data[0]
+		for _, v := range sh.data {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		span := mx - mn
+		expr := lwcomp.Range("v", mn+span/5, mn+span*4/5)
+
+		b.Run(sh.name+"/fused-count", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tbl.CountWhere(ctx, expr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportElems(b, benchN)
+		})
+		b.Run(sh.name+"/fused-sum", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tbl.SumWhere(ctx, expr, "v"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportElems(b, benchN)
+		})
+		b.Run(sh.name+"/classic-scan-count-sum", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := tbl.Scan(expr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = s.Count()
+				if _, err := s.Sum("v"); err != nil {
+					b.Fatal(err)
+				}
+				s.Release()
+			}
+			reportElems(b, benchN)
+		})
+	}
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	lwcbench                 # run every experiment at full scale
-//	lwcbench -exp A,C,F      # run a subset (IDs A..T)
+//	lwcbench -exp A,C,F      # run a subset (IDs A..U)
 //	lwcbench -n 262144       # reduced column length
 //	lwcbench -json out.json  # also write machine-readable results
 //	lwcbench -list           # list experiments
@@ -53,7 +53,7 @@ type jsonExperiment struct {
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (A..T) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (A..U) or 'all'")
 		nFlag    = flag.Int("n", 1<<20, "base column length")
 		seedFlag = flag.Int64("seed", 42, "workload seed")
 		repsFlag = flag.Int("reps", 3, "timing repetitions (best kept)")

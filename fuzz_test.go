@@ -2,6 +2,7 @@ package lwcomp_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -173,6 +174,150 @@ func FuzzTableScanEquivalence(f *testing.F) {
 		defer scan2.Release()
 		if scan2.Count() != len(wantRows) {
 			t.Fatalf("parsed scan = %d rows, want %d", scan2.Count(), len(wantRows))
+		}
+	})
+}
+
+// FuzzFusedSchemeEquivalence asserts the fused scan+aggregate path —
+// CountWhere, SumWhere and Aggregate, including the leaf fast paths
+// that answer Range/Eq/In on the packed words without a selection —
+// agrees exactly with both naive decompress-then-filter and the
+// classic Scan → Count → Sum pipeline. The mode bits steer the data
+// generator toward different scheme families (low-cardinality → dict
+// and RLE, signed walk → model and FOR, wide → shifted NS, sorted →
+// linear, constant-with-outliers → RPE), so every fused kernel family
+// faces its own scheme.
+func FuzzFusedSchemeEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0), int64(1), int64(6))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint8(17), int64(-40), int64(40))
+	f.Add([]byte{255, 0, 255, 0, 9, 9, 9, 9, 9, 9, 9, 9}, uint8(34), int64(1<<22), int64(200)<<22)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(51), int64(0), int64(0))
+	f.Add([]byte{7, 7, 7, 7, 200, 7, 7, 7, 7, 7, 7, 90}, uint8(68), int64(7), int64(7))
+
+	f.Fuzz(func(t *testing.T, raw []byte, shape uint8, lo, hi int64) {
+		if len(raw) == 0 || len(raw) > 1024 {
+			return
+		}
+		n := len(raw)
+		v := make([]int64, n) // predicate + fused-sum column
+		w := make([]int64, n) // second column: forces the selection path
+		var acc int64
+		for i, b := range raw {
+			switch shape >> 4 & 7 {
+			case 0: // low cardinality → dict / RLE
+				v[i] = int64(b & 7)
+			case 1: // signed random walk → model / FOR
+				acc += int64(int8(b))
+				v[i] = acc
+			case 2: // wide values → shifted NS
+				v[i] = int64(b) << 22
+			case 3: // non-decreasing → linear / delta
+				acc += int64(b)
+				v[i] = acc
+			default: // constant with rare outliers → RPE
+				v[i] = 7
+				if b > 250 {
+					v[i] = int64(b) << 10
+				}
+			}
+			w[i] = int64(b) - 128
+		}
+		blockSizes := []int{0, 7, 64, 100}
+		bs := blockSizes[int(shape)%len(blockSizes)]
+		workers := 1 + int(shape>>6) // 1..4
+		var cols []lwcomp.NamedColumn
+		for _, c := range []struct {
+			name string
+			data []int64
+		}{{"v", v}, {"w", w}} {
+			col, err := lwcomp.Encode(c.data, lwcomp.WithBlockSize(bs), lwcomp.WithParallelism(workers))
+			if err != nil {
+				t.Fatalf("Encode %s: %v", c.name, err)
+			}
+			cols = append(cols, lwcomp.NamedColumn{Name: c.name, Col: col})
+		}
+		tbl, err := lwcomp.NewTable(cols)
+		if err != nil {
+			t.Fatalf("NewTable: %v", err)
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		inVals := []int64{v[int(shape)%n], v[(int(shape)+n/2)%n] + 1, lo}
+
+		for _, tc := range []struct {
+			expr lwcomp.Expr
+			ref  func(int) bool
+		}{
+			{lwcomp.Range("v", lo, hi), func(i int) bool { return v[i] >= lo && v[i] <= hi }},
+			{lwcomp.Eq("v", lo), func(i int) bool { return v[i] == lo }},
+			{lwcomp.In("v", inVals...), func(i int) bool {
+				for _, x := range inVals {
+					if v[i] == x {
+						return true
+					}
+				}
+				return false
+			}},
+			{lwcomp.And(lwcomp.Range("v", lo, hi), lwcomp.Range("w", -64, 64)),
+				func(i int) bool { return v[i] >= lo && v[i] <= hi && w[i] >= -64 && w[i] <= 64 }},
+		} {
+			var wantCnt, wantSumV, wantSumW int64
+			wantRows := []int64{}
+			for i := 0; i < n; i++ {
+				if tc.ref(i) {
+					wantCnt++
+					wantSumV += v[i]
+					wantSumW += w[i]
+					wantRows = append(wantRows, int64(i))
+				}
+			}
+
+			ctx := context.Background()
+			cnt, err := tbl.CountWhere(ctx, tc.expr)
+			if err != nil {
+				t.Fatalf("CountWhere(%s): %v", tc.expr, err)
+			}
+			if cnt != wantCnt {
+				t.Fatalf("CountWhere(%s) = %d, want %d (bs=%d workers=%d)", tc.expr, cnt, wantCnt, bs, workers)
+			}
+			sumV, matched, err := tbl.SumWhere(ctx, tc.expr, "v")
+			if err != nil {
+				t.Fatalf("SumWhere(%s, v): %v", tc.expr, err)
+			}
+			if sumV != wantSumV || matched != wantCnt {
+				t.Fatalf("SumWhere(%s, v) = (%d, %d), want (%d, %d)", tc.expr, sumV, matched, wantSumV, wantCnt)
+			}
+			sumW, _, err := tbl.SumWhere(ctx, tc.expr, "w")
+			if err != nil {
+				t.Fatalf("SumWhere(%s, w): %v", tc.expr, err)
+			}
+			if sumW != wantSumW {
+				t.Fatalf("SumWhere(%s, w) = %d, want %d", tc.expr, sumW, wantSumW)
+			}
+			agg, err := tbl.Aggregate(ctx, tc.expr, []string{"v", "w"}, lwcomp.ScanOptions{})
+			if err != nil {
+				t.Fatalf("Aggregate(%s): %v", tc.expr, err)
+			}
+			if agg.Matched != wantCnt || agg.Sums[0] != wantSumV || agg.Sums[1] != wantSumW {
+				t.Fatalf("Aggregate(%s) = (%d, %v), want (%d, [%d %d])",
+					tc.expr, agg.Matched, agg.Sums, wantCnt, wantSumV, wantSumW)
+			}
+
+			// The classic pipeline agrees too — selection words included.
+			scan, err := tbl.Scan(tc.expr)
+			if err != nil {
+				t.Fatalf("Scan(%s): %v", tc.expr, err)
+			}
+			if got := scan.Rows(); !equal(got, wantRows) {
+				scan.Release()
+				t.Fatalf("Scan(%s): %d rows, want %d", tc.expr, len(got), len(wantRows))
+			}
+			scanSum, err := scan.Sum("v")
+			scan.Release()
+			if err != nil || scanSum != sumV {
+				t.Fatalf("Scan.Sum(%s) = (%d, %v), fused = %d", tc.expr, scanSum, err, sumV)
+			}
 		}
 	})
 }

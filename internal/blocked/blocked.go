@@ -1,6 +1,7 @@
 package blocked
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -55,6 +56,18 @@ type BlockSource interface {
 	// form must not be mutated by the caller; the source may hand the
 	// same form to concurrent callers.
 	BlockForm(i int) (*core.Form, error)
+}
+
+// BlockPrefetcher is the optional warm-ahead face of a BlockSource:
+// PrefetchBlock hints that block i's payload will be needed soon, so
+// the source can stage it (typically into the storage block cache)
+// while the caller is busy decoding the current block. It must be
+// asynchronous and best-effort — dropping a hint is always correct —
+// and must accept a nil ctx, meaning no cancellation. The scan paths
+// announce the next undecided block through it; sources without the
+// method simply never see the hints.
+type BlockPrefetcher interface {
+	PrefetchBlock(ctx context.Context, i int)
 }
 
 // Column is a compressed column partitioned into blocks.
@@ -125,6 +138,26 @@ func (c *Column) BlockForm(i int) (*core.Form, error) {
 		return nil, fmt.Errorf("blocked: block %d out of range [0, %d)", i, len(c.Blocks))
 	}
 	return c.form(i)
+}
+
+// Prefetch hints that block i will be needed soon, forwarding to the
+// column's source when it can warm blocks ahead of need. Resident
+// blocks, quarantined blocks, and sources without a prefetcher make
+// it a no-op; ctx may be nil (no cancellation). The scan paths call
+// it for the next undecided block while the current one decodes, so
+// cold payload reads overlap decode instead of serializing with it.
+func (c *Column) Prefetch(ctx context.Context, i int) {
+	if i < 0 || i >= len(c.Blocks) || c.Blocks[i].Form != nil {
+		return
+	}
+	p, ok := c.Source.(BlockPrefetcher)
+	if !ok {
+		return
+	}
+	if _, quarantined := c.QuarantineError(i); quarantined {
+		return
+	}
+	p.PrefetchBlock(ctx, i)
 }
 
 // Close releases the column's backing source (an open container
@@ -348,6 +381,9 @@ func (c *Column) DecompressInto(dst []int64) error {
 		s := core.GetScratch()
 		defer s.Release()
 		for i := range c.Blocks {
+			if i+1 < len(c.Blocks) {
+				c.Prefetch(nil, i+1)
+			}
 			if err := c.decompressBlockInto(dst, i, s); err != nil {
 				return err
 			}
@@ -355,6 +391,9 @@ func (c *Column) DecompressInto(dst []int64) error {
 		return nil
 	}
 	return ParallelFor(workers, len(c.Blocks), func(i int) error {
+		if i+1 < len(c.Blocks) {
+			c.Prefetch(nil, i+1)
+		}
 		s := core.GetScratch()
 		defer s.Release()
 		return c.decompressBlockInto(dst, i, s)
@@ -389,6 +428,9 @@ func (c *Column) Sum() (int64, error) {
 	if workers <= 1 {
 		var total int64
 		for i := range c.Blocks {
+			if i+1 < len(c.Blocks) {
+				c.Prefetch(nil, i+1)
+			}
 			f, err := c.form(i)
 			if err != nil {
 				return 0, err
@@ -403,6 +445,9 @@ func (c *Column) Sum() (int64, error) {
 	}
 	var total int64
 	err := ParallelFor(workers, len(c.Blocks), func(i int) error {
+		if i+1 < len(c.Blocks) {
+			c.Prefetch(nil, i+1)
+		}
 		f, err := c.form(i)
 		if err != nil {
 			return err
@@ -628,13 +673,21 @@ func ParallelFor(workers, n int, fn func(i int) error) error {
 
 // forEachPart runs fn over st.parts from min(workers, len(parts))
 // goroutines (inline when one suffices) and returns the first error.
+// Before each block is processed the next undecided block is
+// announced to the column's prefetcher, so its payload read overlaps
+// the current block's decode; in the parallel shape adjacent workers
+// may announce the same block, which the storage layer's coalescing
+// makes a cheap cache probe.
 func (c *Column) forEachPart(st *scanState, fn func(blockIdx int) error) error {
 	workers := c.workers()
 	if workers > len(st.parts) {
 		workers = len(st.parts)
 	}
 	if workers <= 1 {
-		for _, i := range st.parts {
+		for k, i := range st.parts {
+			if k+1 < len(st.parts) {
+				c.Prefetch(nil, st.parts[k+1])
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -642,6 +695,9 @@ func (c *Column) forEachPart(st *scanState, fn func(blockIdx int) error) error {
 		return nil
 	}
 	return ParallelFor(workers, len(st.parts), func(i int) error {
+		if i+1 < len(st.parts) {
+			c.Prefetch(nil, st.parts[i+1])
+		}
 		return fn(st.parts[i])
 	})
 }
@@ -768,13 +824,21 @@ func (c *Column) SelectRangeSel(lo, hi int64) (*sel.Selection, error) {
 		return dst, nil
 	}
 
-	// Serial: emit every block directly at its row offset.
+	// Serial: emit every block directly at its row offset, announcing
+	// the following undecided block before each fetch.
+	next := 0
 	for i := range c.Blocks {
 		b := &c.Blocks[i]
 		switch st.classes[i] {
 		case RangeAll:
 			dst.AddRun(int(b.Start), b.Count)
 		case RangePart:
+			if next < len(st.parts) && st.parts[next] == i {
+				next++
+			}
+			if next < len(st.parts) {
+				c.Prefetch(nil, st.parts[next])
+			}
 			f, err := c.form(i)
 			if err != nil {
 				dst.Release()

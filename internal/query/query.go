@@ -9,158 +9,6 @@ import (
 	"lwcomp/internal/vec"
 )
 
-// Sum returns the exact sum of the column represented by f, computed
-// without full materialization where the form's structure allows.
-func Sum(f *core.Form) (int64, error) {
-	switch f.Scheme {
-	case scheme.ConstName:
-		return f.Params["value"] * int64(f.N), nil
-
-	case scheme.RLEName:
-		lengths, err := core.DecompressChild(f, "lengths")
-		if err != nil {
-			return 0, err
-		}
-		values, err := core.DecompressChild(f, "values")
-		if err != nil {
-			return 0, err
-		}
-		return vec.DotProduct(lengths, values)
-
-	case scheme.RPEName:
-		positions, err := core.DecompressChild(f, "positions")
-		if err != nil {
-			return 0, err
-		}
-		values, err := core.DecompressChild(f, "values")
-		if err != nil {
-			return 0, err
-		}
-		lengths := vec.Delta(positions)
-		return vec.DotProduct(lengths, values)
-
-	case scheme.FORName:
-		refs, err := core.DecompressChild(f, "refs")
-		if err != nil {
-			return 0, err
-		}
-		offsets, err := core.DecompressChild(f, "offsets")
-		if err != nil {
-			return 0, err
-		}
-		segLen := int(f.Params["seglen"])
-		return sumStep(refs, segLen, f.N) + vec.Sum(offsets), nil
-
-	case scheme.StepName:
-		refs, err := core.DecompressChild(f, "refs")
-		if err != nil {
-			return 0, err
-		}
-		return sumStep(refs, int(f.Params["seglen"]), f.N), nil
-
-	case scheme.PlusName:
-		model, err := f.Child("model")
-		if err != nil {
-			return 0, err
-		}
-		residual, err := f.Child("residual")
-		if err != nil {
-			return 0, err
-		}
-		ms, err := Sum(model)
-		if err != nil {
-			return 0, err
-		}
-		rs, err := Sum(residual)
-		if err != nil {
-			return 0, err
-		}
-		return ms + rs, nil
-
-	case scheme.PatchName:
-		base, err := f.Child("base")
-		if err != nil {
-			return 0, err
-		}
-		// Sum of the base plus the per-exception corrections. The
-		// corrections need the base's values at the patched
-		// positions, which PointLookup provides without full
-		// decompression.
-		bs, err := Sum(base)
-		if err != nil {
-			return 0, err
-		}
-		positions, err := core.DecompressChild(f, "positions")
-		if err != nil {
-			return 0, err
-		}
-		values, err := core.DecompressChild(f, "values")
-		if err != nil {
-			return 0, err
-		}
-		for i, p := range positions {
-			bv, err := PointLookup(base, p)
-			if err != nil {
-				return 0, err
-			}
-			bs += values[i] - bv
-		}
-		return bs, nil
-
-	case scheme.DeltaName:
-		// Σ prefixsum(d) = Σ (n−i)·d[i]: one pass over the deltas.
-		deltas, err := core.DecompressChild(f, "deltas")
-		if err != nil {
-			return 0, err
-		}
-		var acc int64
-		n := int64(len(deltas))
-		for i, d := range deltas {
-			acc += (n - int64(i)) * d
-		}
-		return acc, nil
-
-	case scheme.DictName:
-		codes, err := core.DecompressChild(f, "codes")
-		if err != nil {
-			return 0, err
-		}
-		dict, err := core.DecompressChild(f, "dict")
-		if err != nil {
-			return 0, err
-		}
-		// Histogram the codes, then one multiply per distinct value.
-		counts := make([]int64, len(dict))
-		for _, c := range codes {
-			if c < 0 || c >= int64(len(dict)) {
-				return 0, fmt.Errorf("%w: dict code %d out of range", core.ErrCorruptForm, c)
-			}
-			counts[c]++
-		}
-		return vec.DotProduct(counts, dict)
-	}
-
-	// Fallback: materialize.
-	col, err := core.Decompress(f)
-	if err != nil {
-		return 0, err
-	}
-	return vec.Sum(col), nil
-}
-
-// sumStep sums a step function: Σ refs[s] · |segment s|.
-func sumStep(refs []int64, segLen, n int) int64 {
-	var acc int64
-	for s := 0; s*segLen < n; s++ {
-		size := segLen
-		if (s+1)*segLen > n {
-			size = n - s*segLen
-		}
-		acc += refs[s] * int64(size)
-	}
-	return acc
-}
-
 // PointLookup returns element row of the column represented by f,
 // using random-access paths where the form allows (RPE's binary
 // search, FOR's direct indexing, DICT's gather) and falling back to

@@ -387,3 +387,66 @@ func TestRLEOverrunningRuns(t *testing.T) {
 		t.Fatalf("CountRange on overrunning runs: err = %v, want ErrCorruptForm", err)
 	}
 }
+
+// TestCorruptRunBoundsSharedTable is the shared corrupt-payload table
+// for every consumer of RLE/RPE run bounds: the scalar decode path
+// (core.Decompress) and the fused select and aggregate kernels
+// (SelectRange, CountRange, Sum, SumRange) must all reject the same
+// corrupt run sets with the same error class, core.ErrCorruptForm. A
+// path that accepted a run set the others reject would let a corrupt
+// block answer differently depending on which kernel the planner
+// happened to pick.
+func TestCorruptRunBoundsSharedTable(t *testing.T) {
+	rle := func(lengths, values []int64, n int) *core.Form {
+		return &core.Form{
+			Scheme: scheme.RLEName,
+			N:      n,
+			Children: map[string]*core.Form{
+				"lengths": scheme.NewIDForm(lengths),
+				"values":  scheme.NewIDForm(values),
+			},
+		}
+	}
+	rpe := func(positions, values []int64, n int) *core.Form {
+		return &core.Form{
+			Scheme: scheme.RPEName,
+			N:      n,
+			Children: map[string]*core.Form{
+				"positions": scheme.NewIDForm(positions),
+				"values":    scheme.NewIDForm(values),
+			},
+		}
+	}
+	cases := []struct {
+		name string
+		f    *core.Form
+	}{
+		{"rle/overshoot", rle([]int64{3, 200}, []int64{1, 2}, 8)},
+		{"rle/undershoot", rle([]int64{3, 2}, []int64{1, 2}, 8)},
+		{"rle/negative-length", rle([]int64{10, -2}, []int64{1, 2}, 8)},
+		{"rle/child-length-mismatch", rle([]int64{4, 4}, []int64{1}, 8)},
+		{"rpe/decreasing", rpe([]int64{5, 3, 8}, []int64{1, 2, 3}, 8)},
+		{"rpe/undershoot", rpe([]int64{3, 6}, []int64{1, 2}, 8)},
+		{"rpe/overshoot", rpe([]int64{3, 200}, []int64{1, 2}, 8)},
+		{"rpe/child-length-mismatch", rpe([]int64{3, 8}, []int64{1}, 8)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := core.Decompress(tc.f); !errors.Is(err, core.ErrCorruptForm) {
+				t.Errorf("Decompress: err = %v, want ErrCorruptForm", err)
+			}
+			if _, err := SelectRange(tc.f, 0, 100); !errors.Is(err, core.ErrCorruptForm) {
+				t.Errorf("SelectRange: err = %v, want ErrCorruptForm", err)
+			}
+			if _, err := CountRange(tc.f, 0, 100); !errors.Is(err, core.ErrCorruptForm) {
+				t.Errorf("CountRange: err = %v, want ErrCorruptForm", err)
+			}
+			if _, err := Sum(tc.f); !errors.Is(err, core.ErrCorruptForm) {
+				t.Errorf("Sum: err = %v, want ErrCorruptForm", err)
+			}
+			if _, _, err := SumRange(tc.f, 0, 100); !errors.Is(err, core.ErrCorruptForm) {
+				t.Errorf("SumRange: err = %v, want ErrCorruptForm", err)
+			}
+		})
+	}
+}

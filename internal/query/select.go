@@ -88,6 +88,11 @@ func selectRangeSel(f *core.Form, lo, hi int64, dst *sel.Selection, base int, s 
 				dst.OrWord(base+pos, m)
 			})
 		}
+		if w, ok := fusedNSZZWidth(f); ok {
+			return bitpack.SelectRangeZZ(f.Packed, 0, f.N, w, lo, hi, func(pos int, m uint64) {
+				dst.OrWord(base+pos, m)
+			})
+		}
 
 	case scheme.VNSName:
 		if done, err := selectRangeSelVNS(f, lo, hi, dst, base, s); done || err != nil {
@@ -110,6 +115,11 @@ func selectRangeSel(f *core.Form, lo, hi int64, dst *sel.Selection, base int, s 
 			return err
 		}
 		return selectRangeSel(codes, cLo, cHi, dst, base, s)
+
+	case scheme.PlusName:
+		if done, err := selectRangeSelPlus(f, lo, hi, dst, base, s); done || err != nil {
+			return err
+		}
 	}
 
 	// Fallback: materialize into scratch and scan.
@@ -173,6 +183,9 @@ func countRange(f *core.Form, lo, hi int64, s *core.Scratch) (int64, error) {
 			}
 			return bitpack.CountRangeU(f.Packed, 0, f.N, w, ulo, uhi)
 		}
+		if w, ok := fusedNSZZWidth(f); ok {
+			return bitpack.CountRangeZZ(f.Packed, 0, f.N, w, lo, hi)
+		}
 
 	case scheme.VNSName:
 		if n, done, err := countRangeVNS(f, lo, hi, s); done || err != nil {
@@ -195,6 +208,11 @@ func countRange(f *core.Form, lo, hi int64, s *core.Scratch) (int64, error) {
 			return 0, err
 		}
 		return countRange(codes, cLo, cHi, s)
+
+	case scheme.PlusName:
+		if n, done, err := countRangePlus(f, lo, hi, s); done || err != nil {
+			return n, err
+		}
 	}
 
 	col := s.I64(f.N)
@@ -215,6 +233,182 @@ func fusedNSWidth(f *core.Form) (uint, bool) {
 		return 0, false
 	}
 	return uint(w), true
+}
+
+// fusedNSZZWidth reports whether an NS form's payload can be scanned
+// by the fused zigzag kernels, which decode the mapping inline and
+// compare in the signed domain — any width works there. The zigzag
+// parameter must be exactly 1, matching what decode treats as zigzag.
+func fusedNSZZWidth(f *core.Form) (uint, bool) {
+	w := f.Params["width"]
+	if f.Params["zigzag"] != 1 || w < 0 || w > 64 {
+		return 0, false
+	}
+	return uint(w), true
+}
+
+// translateRange maps the value window [lo, hi] into the residual
+// domain of a PLUS form whose model contributes m (v = m + r, so r
+// ranges over [lo-m, hi-m]), saturating at the int64 extremes. any is
+// false when no representable residual can land in the window.
+func translateRange(lo, hi, m int64) (tLo, tHi int64, any bool) {
+	tLo = lo - m
+	if m > 0 && tLo > lo {
+		tLo = minInt64 // lo-m underflows: every residual clears the lower bound
+	} else if m < 0 && tLo < lo {
+		return 0, 0, false // lo-m overflows: the window sits above the domain
+	}
+	tHi = hi - m
+	if m > 0 && tHi > hi {
+		return 0, 0, false // hi-m underflows: the window sits below the domain
+	} else if m < 0 && tHi < hi {
+		tHi = maxInt64 // hi-m overflows: every residual clears the upper bound
+	}
+	return tLo, tHi, true
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// plusModelParts returns the model and residual of a PLUS form when
+// the pair is structurally scannable (lengths agree with the parent).
+func plusModelParts(f *core.Form) (model, residual *core.Form, ok bool, err error) {
+	model, err = f.Child("model")
+	if err != nil {
+		return nil, nil, false, err
+	}
+	residual, err = f.Child("residual")
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if model.N != f.N || residual.N != f.N {
+		// Corrupt lengths: let the materialize fallback surface the
+		// decode error rather than scanning out of bounds here.
+		return nil, nil, false, nil
+	}
+	return model, residual, true, nil
+}
+
+// selectRangeSelPlus is the fused predict+residual+compare path for
+// PLUS forms: a constant model translates the window once and recurses
+// into the residual; a step model translates it per segment and runs
+// the fused kernels on the packed residual slice of that segment.
+// done=false (without error) falls back to materializing.
+func selectRangeSelPlus(f *core.Form, lo, hi int64, dst *sel.Selection, base int, s *core.Scratch) (bool, error) {
+	model, residual, ok, err := plusModelParts(f)
+	if !ok || err != nil {
+		return false, err
+	}
+	switch model.Scheme {
+	case scheme.ConstName:
+		tLo, tHi, any := translateRange(lo, hi, model.Params["value"])
+		if !any {
+			return true, nil
+		}
+		return true, selectRangeSel(residual, tLo, tHi, dst, base, s)
+	case scheme.StepName:
+		return plusStepSegments(model, residual, s, func(segLo, segCount int, tLo, tHi int64, w uint, zz bool, _ int64) error {
+			if zz {
+				return bitpack.SelectRangeZZ(residual.Packed, segLo, segCount, w, tLo, tHi,
+					func(pos int, m uint64) { dst.OrWord(base+pos, m) })
+			}
+			ulo, uhi, any := unsignedBounds(tLo, tHi)
+			if !any {
+				return nil
+			}
+			return bitpack.SelectRangeU(residual.Packed, segLo, segCount, w, ulo, uhi,
+				func(pos int, m uint64) { dst.OrWord(base+pos, m) })
+		}, lo, hi)
+	}
+	return false, nil
+}
+
+// countRangePlus is selectRangeSelPlus's counting twin.
+func countRangePlus(f *core.Form, lo, hi int64, s *core.Scratch) (int64, bool, error) {
+	model, residual, ok, err := plusModelParts(f)
+	if !ok || err != nil {
+		return 0, false, err
+	}
+	switch model.Scheme {
+	case scheme.ConstName:
+		tLo, tHi, any := translateRange(lo, hi, model.Params["value"])
+		if !any {
+			return 0, true, nil
+		}
+		n, err := countRange(residual, tLo, tHi, s)
+		return n, true, err
+	case scheme.StepName:
+		var total int64
+		done, err := plusStepSegments(model, residual, s, func(segLo, segCount int, tLo, tHi int64, w uint, zz bool, _ int64) error {
+			if zz {
+				n, err := bitpack.CountRangeZZ(residual.Packed, segLo, segCount, w, tLo, tHi)
+				total += n
+				return err
+			}
+			ulo, uhi, any := unsignedBounds(tLo, tHi)
+			if !any {
+				return nil
+			}
+			n, err := bitpack.CountRangeU(residual.Packed, segLo, segCount, w, ulo, uhi)
+			total += n
+			return err
+		}, lo, hi)
+		return total, done, err
+	}
+	return 0, false, nil
+}
+
+// plusStepSegments walks the segments of a step model over an NS
+// residual, translating the query window by each segment's reference
+// and handing visit the segment's residual row range, translated
+// window, kernel parameters and the reference itself (aggregating
+// callers add it back per match). done=false reports a shape the
+// fused path cannot take (non-NS residual, foreign widths, short
+// refs).
+func plusStepSegments(model, residual *core.Form, s *core.Scratch,
+	visit func(segLo, segCount int, tLo, tHi int64, w uint, zz bool, ref int64) error, lo, hi int64) (bool, error) {
+	if residual.Scheme != scheme.NSName {
+		return false, nil
+	}
+	w, ok := fusedNSWidth(residual)
+	zzPath := false
+	if !ok {
+		if w, ok = fusedNSZZWidth(residual); !ok {
+			return false, nil
+		}
+		zzPath = true
+	}
+	segLen := int(model.Params["seglen"])
+	if segLen < 1 {
+		return false, nil
+	}
+	refs, err := core.ChildScratch(model, "refs", s)
+	if err != nil {
+		return false, err
+	}
+	defer s.PutI64(refs)
+	n := residual.N
+	nseg := (n + segLen - 1) / segLen
+	if len(refs) < nseg {
+		return false, nil // short refs child: fall back so decode errors
+	}
+	for seg := 0; seg < nseg; seg++ {
+		segLo := seg * segLen
+		segHi := segLo + segLen
+		if segHi > n {
+			segHi = n
+		}
+		tLo, tHi, any := translateRange(lo, hi, refs[seg])
+		if !any {
+			continue
+		}
+		if err := visit(segLo, segHi-segLo, tLo, tHi, w, zzPath, refs[seg]); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
 }
 
 // unsignedBounds clamps a signed query range onto the non-negative
@@ -254,19 +448,18 @@ func scanSelRows(col []int64, lo, hi int64, dst *sel.Selection, base int) {
 
 // vnsWalk iterates the mini-blocks of a VNS form, handing each
 // visit the block's packed words, width, logical position and length.
-// It reports done=false (without error) when the form cannot take the
-// fused path (zigzag, or an implausible width).
-func vnsWalk(f *core.Form, s *core.Scratch, visit func(words []uint64, w uint, pos, count int) error) (done bool, err error) {
-	if f.Params["zigzag"] != 0 {
-		return false, nil
-	}
+// It reports done=false (without error) when a stored width exceeds
+// maxW (63 for the unsigned kernels, whose word-to-value
+// reinterpretation needs non-negative values; 64 for the zigzag and
+// sum kernels) or the layout is implausible.
+func vnsWalk(f *core.Form, s *core.Scratch, maxW int64, visit func(words []uint64, w uint, pos, count int) error) (done bool, err error) {
 	widths, err := core.ChildScratch(f, "widths", s)
 	if err != nil {
 		return false, err
 	}
 	defer s.PutI64(widths)
 	for _, w := range widths {
-		if w < 0 || w > 63 {
+		if w < 0 || w > maxW {
 			return false, nil
 		}
 	}
@@ -295,18 +488,24 @@ func vnsWalk(f *core.Form, s *core.Scratch, visit func(words []uint64, w uint, p
 }
 
 func selectRangeSelVNS(f *core.Form, lo, hi int64, dst *sel.Selection, base int, s *core.Scratch) (bool, error) {
+	if zz := f.Params["zigzag"]; zz == 1 {
+		return vnsWalk(f, s, 64, func(words []uint64, w uint, pos, count int) error {
+			return bitpack.SelectRangeZZ(words, 0, count, w, lo, hi, func(p int, m uint64) {
+				dst.OrWord(base+pos+p, m)
+			})
+		})
+	} else if zz != 0 {
+		return false, nil // unknown mapping: let decode interpret it
+	}
 	ulo, uhi, any := unsignedBounds(lo, hi)
 	if !any {
-		if f.Params["zigzag"] != 0 {
-			return false, nil // negative range can still match zigzag values
-		}
 		// "Fully negative range matches nothing" holds only if every
 		// stored width is ≤ 63 — a width-64 block reinterprets to
 		// negative values. vnsWalk performs exactly that check (and
 		// falls back when it fails), so walk with a no-op visit.
-		return vnsWalk(f, s, func([]uint64, uint, int, int) error { return nil })
+		return vnsWalk(f, s, 63, func([]uint64, uint, int, int) error { return nil })
 	}
-	return vnsWalk(f, s, func(words []uint64, w uint, pos, count int) error {
+	return vnsWalk(f, s, 63, func(words []uint64, w uint, pos, count int) error {
 		return bitpack.SelectRangeU(words, 0, count, w, ulo, uhi, func(p int, m uint64) {
 			dst.OrWord(base+pos+p, m)
 		})
@@ -314,18 +513,26 @@ func selectRangeSelVNS(f *core.Form, lo, hi int64, dst *sel.Selection, base int,
 }
 
 func countRangeVNS(f *core.Form, lo, hi int64, s *core.Scratch) (int64, bool, error) {
+	if zz := f.Params["zigzag"]; zz == 1 {
+		var total int64
+		done, err := vnsWalk(f, s, 64, func(words []uint64, w uint, pos, count int) error {
+			n, err := bitpack.CountRangeZZ(words, 0, count, w, lo, hi)
+			total += n
+			return err
+		})
+		return total, done, err
+	} else if zz != 0 {
+		return 0, false, nil // unknown mapping: let decode interpret it
+	}
 	ulo, uhi, any := unsignedBounds(lo, hi)
 	if !any {
-		if f.Params["zigzag"] != 0 {
-			return 0, false, nil
-		}
 		// See selectRangeSelVNS: width-64 blocks hold negative values,
 		// so the no-match shortcut must clear vnsWalk's width check.
-		done, err := vnsWalk(f, s, func([]uint64, uint, int, int) error { return nil })
+		done, err := vnsWalk(f, s, 63, func([]uint64, uint, int, int) error { return nil })
 		return 0, done, err
 	}
 	var total int64
-	done, err := vnsWalk(f, s, func(words []uint64, w uint, pos, count int) error {
+	done, err := vnsWalk(f, s, 63, func(words []uint64, w uint, pos, count int) error {
 		n, err := bitpack.CountRangeU(words, 0, count, w, ulo, uhi)
 		total += n
 		return err
@@ -353,10 +560,20 @@ func runBoundariesScratch(f *core.Form, s *core.Scratch) ([]int64, []int64, erro
 	default:
 		err = fmt.Errorf("query: runBoundaries on scheme %q", f.Scheme)
 	}
+	if err == nil && len(bounds) != len(values) {
+		// The scalar decode path rejects this via checkRLE/checkRPE;
+		// without the check here a short values child would panic in
+		// the fused run walks instead of erroring.
+		err = fmt.Errorf("%w: %s has %d runs but %d values",
+			core.ErrCorruptForm, f.Scheme, len(bounds), len(values))
+	}
 	if err == nil {
 		err = checkRunBounds(f, bounds)
 	}
 	if err != nil {
+		if bounds != nil {
+			s.PutI64(bounds)
+		}
 		s.PutI64(values)
 		return nil, nil, err
 	}

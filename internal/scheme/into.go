@@ -240,14 +240,13 @@ func (Plus) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
 	return nil
 }
 
-// DecompressInto implements core.IntoDecompressor: codes decode into
-// dst, then the gather rewrites dst in place (reading dst[i] before
-// writing it is safe element-wise).
+// DecompressInto implements core.IntoDecompressor. When the codes
+// child is a plain NS leaf the generated gather kernels unpack each
+// 64-code block and index the dictionary in the same pass; otherwise
+// the codes decode into dst and the gather rewrites dst in place
+// (reading dst[i] before writing it is safe element-wise).
 func (Dict) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
 	if err := checkDict(f); err != nil {
-		return err
-	}
-	if err := core.DecompressChildInto(f, "codes", dst, s); err != nil {
 		return err
 	}
 	dict, err := core.ChildScratch(f, "dict", s)
@@ -255,6 +254,21 @@ func (Dict) DecompressInto(f *core.Form, dst []int64, s *core.Scratch) error {
 		return err
 	}
 	defer s.PutI64(dict)
+	codes, err := f.Child("codes")
+	if err != nil {
+		return err
+	}
+	if codes.Scheme == NSName && codes.Params["zigzag"] != 1 {
+		if w := codes.Params["width"]; w >= 0 && w <= 32 && codes.N == f.N {
+			if err := bitpack.GatherU(codes.Packed, 0, f.N, uint(w), dict, dst[:f.N]); err != nil {
+				return fmt.Errorf("%w: dict gather: %v", core.ErrCorruptForm, err)
+			}
+			return nil
+		}
+	}
+	if err := core.DecompressChildInto(f, "codes", dst, s); err != nil {
+		return err
+	}
 	n := int64(len(dict))
 	for i, c := range dst {
 		if c < 0 || c >= n {

@@ -74,7 +74,11 @@ func (RLE) Decompress(f *core.Form) ([]int64, error) {
 	}
 	out := make([]int64, f.N)
 	if _, err := vec.RunExpandInto(out, values, lengths); err != nil {
-		return nil, fmt.Errorf("rle: %w", err)
+		// A run set that does not expand to exactly f.N elements —
+		// negative lengths, overshoot, undershoot — is a corrupt
+		// payload, the same class the fused select/aggregate kernels
+		// report for it (checkRunBounds).
+		return nil, fmt.Errorf("%w: rle: %v", core.ErrCorruptForm, err)
 	}
 	return out, nil
 }

@@ -58,7 +58,10 @@ func (RPE) Decompress(f *core.Form) ([]int64, error) {
 	}
 	out, err := vec.ExpandByBoundaries(values, positions)
 	if err != nil {
-		return nil, fmt.Errorf("rpe: %w", err)
+		// Decreasing or overshooting boundaries are a corrupt payload,
+		// the same class the fused select/aggregate kernels report for
+		// them (checkRunBounds).
+		return nil, fmt.Errorf("%w: rpe: %v", core.ErrCorruptForm, err)
 	}
 	if len(out) != f.N {
 		return nil, fmt.Errorf("%w: rpe expanded %d values, form declares %d",

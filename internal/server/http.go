@@ -311,35 +311,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	scan, err := mt.tbl.ScanWith(ctx, expr, lwcomp.ScanOptions{Degraded: req.AllowDegraded})
-	if err != nil {
-		s.queryError(w, err)
-		return
-	}
-	defer scan.Release()
-
-	res := queryResult{Table: req.Table, Op: op, Where: expr.String(), Matched: int64(scan.Count())}
+	res := queryResult{Table: req.Table, Op: op, Where: expr.String()}
 	switch op {
-	case "count":
-		res.Degraded = degradedBlocks(scan)
-		res.ElapsedMS = msSince(started)
-		writeJSON(w, res)
-	case "sum":
-		res.Sums = make(map[string]int64, len(req.Columns))
-		for _, colName := range req.Columns {
-			v, err := scan.SumContext(ctx, colName)
-			if err != nil {
-				s.queryError(w, err)
-				return
-			}
-			res.Sums[colName] = v
+	case "count", "sum":
+		// Count and sum run through the fused aggregate: one pass over
+		// the compressed blocks, no materialized selection.
+		var sumCols []string
+		if op == "sum" {
+			sumCols = req.Columns
 		}
-		// Extracted after the sums: an aggregation can quarantine
-		// blocks the predicate evaluation never touched.
-		res.Degraded = degradedBlocks(scan)
+		agg, err := mt.tbl.Aggregate(ctx, expr, sumCols, lwcomp.ScanOptions{Degraded: req.AllowDegraded})
+		if err != nil {
+			s.queryError(w, err)
+			return
+		}
+		res.Matched = agg.Matched
+		if op == "sum" {
+			res.Sums = make(map[string]int64, len(sumCols))
+			for i, colName := range sumCols {
+				res.Sums[colName] = agg.Sums[i]
+			}
+		}
+		if m := agg.Manifest; m != nil && m.Len() > 0 {
+			res.Degraded = m.Skipped()
+		}
 		res.ElapsedMS = msSince(started)
 		writeJSON(w, res)
 	case "rows":
+		scan, err := mt.tbl.ScanWith(ctx, expr, lwcomp.ScanOptions{Degraded: req.AllowDegraded})
+		if err != nil {
+			s.queryError(w, err)
+			return
+		}
+		defer scan.Release()
+		res.Matched = int64(scan.Count())
 		s.streamRows(ctx, w, scan, req, res, started)
 	}
 }

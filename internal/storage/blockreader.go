@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -140,9 +141,47 @@ type ContainerFile struct {
 	shared                 bool
 	localHits, localMisses atomic.Int64
 
+	// flights coalesces concurrent fetches of one block payload into a
+	// single source read: a prefetch and the demand fetch it races join
+	// the same flight instead of reading the same bytes twice.
+	flightMu sync.Mutex
+	flights  map[cacheKey]*payloadFlight
+
+	// The prefetch worker stages announced blocks into the cache in
+	// the background. It starts lazily on the first announcement and is
+	// drained and joined by Close, so no read outlives the source.
+	pfMu     sync.Mutex
+	pfCh     chan prefetchReq
+	pfClosed bool
+	pfWG     sync.WaitGroup
+
 	closeOnce sync.Once
 	closeErr  error
 }
+
+// payloadFlight is one in-progress block-payload fetch. Late callers
+// mark it shared and wait on done; the flight leader publishes data
+// and err before closing done. A shared flight's buffer is never
+// recycled — a waiter may still hold it.
+type payloadFlight struct {
+	done   chan struct{}
+	data   []byte
+	err    error
+	shared bool
+}
+
+// prefetchReq names one block a scan expects to need next. A nil ctx
+// means "no cancellation"; otherwise a request whose ctx has expired
+// by dequeue time is dropped.
+type prefetchReq struct {
+	ctx        context.Context
+	col, block int
+}
+
+// prefetchQueueLen bounds the prefetch backlog. Announcements beyond
+// it are dropped — prefetch is a hint, and the demand fetch reads the
+// block regardless.
+const prefetchQueueLen = 32
 
 // OpenContainerFile opens a container file lazily: for v3 it reads
 // only the prefix and block index (optionally mmapping the file when
@@ -247,6 +286,7 @@ func openSource(src byteSource, size int64, opt OpenOptions) (*ContainerFile, er
 		cols:         p.cols,
 		locs:         p.locs,
 		owner:        nextCacheOwner.Add(1),
+		flights:      make(map[cacheKey]*payloadFlight),
 	}
 	if opt.Shared != nil {
 		cf.cache, cf.shared = opt.Shared.c, true
@@ -365,15 +405,133 @@ func (cf *ContainerFile) Extents(ci int) []BlockExtent {
 }
 
 // Close releases the container's byte source (file handle or
-// mapping). It is idempotent, and closing any column of the container
-// forwards here.
+// mapping), first draining and joining the prefetch worker so no
+// background read outlives the source. It is idempotent, and closing
+// any column of the container forwards here.
 func (cf *ContainerFile) Close() error {
 	cf.closeOnce.Do(func() {
+		cf.pfMu.Lock()
+		cf.pfClosed = true
+		if cf.pfCh != nil {
+			close(cf.pfCh)
+		}
+		cf.pfMu.Unlock()
+		cf.pfWG.Wait()
 		if cf.src != nil {
 			cf.closeErr = cf.src.Close()
 		}
 	})
 	return cf.closeErr
+}
+
+// fetchPayload returns block (colIdx, i)'s CRC-verified payload
+// bytes, coalescing concurrent fetches of the same block — a prefetch
+// and the demand fetch it races, or two scan workers straddling one
+// block — into a single source read. owned reports that the caller
+// holds the only reference to a pooled scratch buffer and must
+// recycle it with putPayloadBuf when done; bytes belonging to the
+// mapping, the cache, or a concurrent waiter come back owned=false.
+func (cf *ContainerFile) fetchPayload(colIdx, i int) (data []byte, owned bool, err error) {
+	key := cacheKey{owner: cf.owner, col: colIdx, block: i}
+	cf.flightMu.Lock()
+	if fl, ok := cf.flights[key]; ok {
+		fl.shared = true
+		cf.flightMu.Unlock()
+		<-fl.done
+		return fl.data, false, fl.err
+	}
+	if d, ok := cf.cache.peek(key); ok {
+		// A finished flight (or another fetch) cached the block between
+		// the caller's cache miss and here.
+		cf.flightMu.Unlock()
+		return d, false, nil
+	}
+	fl := &payloadFlight{done: make(chan struct{})}
+	cf.flights[key] = fl
+	cf.flightMu.Unlock()
+
+	loc := cf.locs[colIdx][i]
+	n := int(loc.length)
+	scratch := getPayloadBuf(n)
+	data, err = cf.src.view(cf.payloadStart+loc.off, n, scratch)
+	if err == nil {
+		err = verifyBlockCRC(data, loc, cf.cols[colIdx].Name, i)
+	}
+	// ReadAt filled our scratch; an mmap source returned a view into
+	// the mapping and left scratch untouched.
+	fromPool := err == nil && len(data) > 0 && &data[0] == &scratch[0]
+	if !fromPool {
+		putPayloadBuf(scratch)
+	}
+	if err != nil {
+		data = nil
+	}
+	cached := false
+	if err == nil && cf.cache != nil && cf.cache.add(key, data) {
+		// Ownership moved to the cache for good: cached slices are
+		// handed to concurrent readers, so the buffer is never pooled
+		// again (mmap views just keep aliasing the mapping).
+		cached = true
+	}
+	cf.flightMu.Lock()
+	fl.data, fl.err = data, err
+	shared := fl.shared
+	delete(cf.flights, key)
+	cf.flightMu.Unlock()
+	close(fl.done)
+	return data, fromPool && !cached && !shared, err
+}
+
+// prefetchAsync asks the container's background worker to stage block
+// (colIdx, i) into the block cache. It is a best-effort hint: without
+// a cache there is nowhere to stage, an already-resident block is
+// skipped, and a full queue drops the request. ctx may be nil (no
+// cancellation); an expired ctx is dropped at dequeue time.
+func (cf *ContainerFile) prefetchAsync(ctx context.Context, colIdx, i int) {
+	if cf.cache == nil || cf.locs == nil {
+		return
+	}
+	if _, ok := cf.cache.peek(cacheKey{owner: cf.owner, col: colIdx, block: i}); ok {
+		return
+	}
+	cf.pfMu.Lock()
+	if cf.pfClosed {
+		cf.pfMu.Unlock()
+		return
+	}
+	if cf.pfCh == nil {
+		cf.pfCh = make(chan prefetchReq, prefetchQueueLen)
+		cf.pfWG.Add(1)
+		go cf.prefetchLoop(cf.pfCh)
+	}
+	select {
+	case cf.pfCh <- prefetchReq{ctx: ctx, col: colIdx, block: i}:
+	default:
+		// Backlogged: the demand fetch will read the block anyway.
+	}
+	cf.pfMu.Unlock()
+}
+
+// prefetchLoop is the container's one background prefetcher. Errors
+// are deliberately dropped: a failed prefetch leaves the block to the
+// demand fetch, whose own read reports (and quarantines) the failure
+// with full context.
+func (cf *ContainerFile) prefetchLoop(ch chan prefetchReq) {
+	defer cf.pfWG.Done()
+	for req := range ch {
+		if req.ctx != nil && req.ctx.Err() != nil {
+			continue
+		}
+		if _, ok := cf.cache.peek(cacheKey{owner: cf.owner, col: req.col, block: req.block}); ok {
+			continue
+		}
+		data, owned, err := cf.fetchPayload(req.col, req.block)
+		if err == nil && owned {
+			// The cache declined the buffer (raced duplicate, or the
+			// payload outweighs the budget); recycle it.
+			putPayloadBuf(data)
+		}
+	}
 }
 
 // colReader adapts one column of a lazy container to both the
@@ -399,62 +557,43 @@ func (r *colReader) Payload(i int, scratch []byte) ([]byte, error) {
 }
 
 // BlockForm implements blocked.BlockSource: fetch block i's payload
-// (from the cache when hot), verify its CRC on first touch, and
-// decode it. The decoded form does not alias the payload buffer, so
-// ReadAt scratch recycles through the pool.
+// (from the cache when hot, through the coalesced fetch path when
+// cold — its CRC is verified there, on first touch) and decode it.
+// The decoded form does not alias the payload buffer, so ReadAt
+// scratch recycles through the pool.
 func (r *colReader) BlockForm(i int) (*core.Form, error) {
 	cf := r.cf
-	loc := cf.locs[r.colIdx][i]
 	name := cf.cols[r.colIdx].Name
 	count := cf.cols[r.colIdx].Col.Blocks[i].Count
-	key := cacheKey{owner: cf.owner, col: r.colIdx, block: i}
 
 	if cf.cache != nil {
-		data, ok := cf.cache.get(key)
+		data, ok := cf.cache.get(cacheKey{owner: cf.owner, col: r.colIdx, block: i})
 		if ok {
 			cf.localHits.Add(1)
 			// Cached bytes were verified when inserted.
-			f, consumed, err := DecodeForm(data)
-			if err != nil {
-				return nil, fmt.Errorf("column %q block %d: %w", name, i, err)
-			}
-			if consumed != len(data) || f.N != count {
-				return nil, fmt.Errorf("%w: column %q block %d cached payload mismatch",
-					ErrCorrupt, name, i)
-			}
-			return f, nil
+			return decodeBlockBody(data, name, i, count)
 		}
 		cf.localMisses.Add(1)
 	}
 
-	n := int(loc.length)
-	scratch := getPayloadBuf(n)
-	data, err := cf.src.view(cf.payloadStart+loc.off, n, scratch)
+	data, owned, err := cf.fetchPayload(r.colIdx, i)
 	if err != nil {
-		putPayloadBuf(scratch)
 		return nil, err
 	}
-	f, err := decodeBlockPayload(data, loc, name, i, count)
-	if err != nil {
-		putPayloadBuf(scratch)
-		return nil, err
-	}
-	// ReadAt filled our scratch; an mmap source returned a view into
-	// the mapping and left scratch untouched.
-	owned := len(data) > 0 && &data[0] == &scratch[0]
-	if !owned {
-		putPayloadBuf(scratch)
-	}
-	if cf.cache != nil && cf.cache.add(key, data) {
-		// Ownership moved to the cache for good: cached slices are
-		// handed to concurrent readers, so the buffer is never pooled
-		// again (mmap views just keep aliasing the mapping).
-		return f, nil
-	}
+	f, err := decodeBlockBody(data, name, i, count)
 	if owned {
-		putPayloadBuf(scratch)
+		putPayloadBuf(data)
 	}
-	return f, nil
+	return f, err
+}
+
+// PrefetchBlock implements blocked.BlockPrefetcher: it hints that
+// block i's payload will be needed soon, staging it into the block
+// cache in the background so the demand fetch hits warm, verified
+// bytes. Best-effort — no cache, a resident block, a full queue, or
+// an expired ctx all drop the hint.
+func (r *colReader) PrefetchBlock(ctx context.Context, i int) {
+	r.cf.prefetchAsync(ctx, r.colIdx, i)
 }
 
 // Close forwards to the container: the column handle and the

@@ -88,6 +88,23 @@ func (c *blockCache) get(key cacheKey) ([]byte, bool) {
 	return e.Value.(*cacheEntry).data, true
 }
 
+// peek returns the cached payload for key without promoting it or
+// touching the hit/miss counters — the presence probe the prefetcher
+// uses to skip warm blocks and the fetch coalescer uses for its
+// last-moment recheck. Nil-safe, like stats.
+func (c *blockCache) peek(key cacheKey) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	return e.Value.(*cacheEntry).data, true
+}
+
 // add inserts a verified payload, evicting least-recently-used
 // entries until the budget holds. It reports whether the cache took
 // ownership of data: a false return (entry too large, or the key

@@ -1,0 +1,454 @@
+package table
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lwcomp/internal/blocked"
+	"lwcomp/internal/core"
+	"lwcomp/internal/query"
+	"lwcomp/internal/sel"
+)
+
+// This file is the fused scan+aggregate path: Count and Sum queries
+// answered in one pass over the compressed blocks, without ever
+// building the table-wide selection a Scan would hand back. The
+// per-block plan is the same as scanAligned's — stats-refuted blocks
+// never fetch, stats-proved blocks contribute whole-block counts and
+// compressed-form sums — but undecided blocks go straight from
+// predicate evaluation to the aggregate: a Range/Eq/In leaf whose sum
+// column is the predicate column (or a pure count) runs entirely on
+// the packed words through query.CountRange / query.SumRange, and
+// composite predicates consume their block-local selection in place
+// instead of merging it into a result bitmap. Degraded semantics
+// match the Scan-then-Sum pipeline exactly: a predicate-side failure
+// drops the block's rows from the count and every sum, a sum-side
+// failure on a matched block keeps the count and omits only that
+// column's contribution, and both record the block in the Manifest.
+
+// AggregateResult is what Table.Aggregate returns: the matched-row
+// count, one sum per requested column (parallel to the sumCols
+// argument), and — when the aggregate ran degraded — the manifest of
+// skipped blocks.
+type AggregateResult struct {
+	// Matched is the number of rows the predicate selected.
+	Matched int64
+	// Sums holds the per-column sums over the matched rows, parallel
+	// to the sumCols argument; nil when no sums were requested.
+	Sums []int64
+	// Manifest records the blocks a degraded aggregate skipped; nil
+	// unless the aggregate ran in degraded mode.
+	Manifest *Manifest
+}
+
+// Aggregate evaluates e and returns the matched-row count plus the
+// sums of sumCols over the matched rows, fused into a single pass —
+// the one-shot equivalent of Scan + Count + Sum that never
+// materializes the scan's selection. On a misaligned table it falls
+// back to exactly that pipeline, so results (including degraded-mode
+// semantics) are identical either way.
+func (t *Table) Aggregate(ctx context.Context, e Expr, sumCols []string, opt ScanOptions) (AggregateResult, error) {
+	if e == nil {
+		return AggregateResult{}, fmt.Errorf("table: Aggregate of a nil expression")
+	}
+	if err := e.check(t); err != nil {
+		return AggregateResult{}, err
+	}
+	if !t.aligned {
+		return t.aggregateWhole(ctx, e, sumCols, opt)
+	}
+	cols := make([]*blocked.Column, len(sumCols))
+	for i, name := range sumCols {
+		c, err := t.colByName(name)
+		if err != nil {
+			return AggregateResult{}, err
+		}
+		cols[i] = c
+	}
+	var man *Manifest
+	if opt.Degraded {
+		man = &Manifest{}
+	}
+	res := AggregateResult{Manifest: man}
+	if len(sumCols) > 0 {
+		res.Sums = make([]int64, len(sumCols))
+	}
+	matched, err := t.aggregateAligned(ctx, e, cols, sumCols, res.Sums, man)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	res.Matched = matched
+	return res, nil
+}
+
+// CountWhere returns the number of rows matching e without building a
+// selection — the fused count. It is allocation-free in the steady
+// state on an aligned table with one worker. Failures are always
+// fatal; use Aggregate for degraded counting.
+func (t *Table) CountWhere(ctx context.Context, e Expr) (int64, error) {
+	if e == nil {
+		return 0, fmt.Errorf("table: CountWhere of a nil expression")
+	}
+	if err := e.check(t); err != nil {
+		return 0, err
+	}
+	if !t.aligned {
+		s, err := t.ScanWith(ctx, e, ScanOptions{})
+		if err != nil {
+			return 0, err
+		}
+		n := int64(s.Count())
+		s.Release()
+		return n, nil
+	}
+	return t.aggregateAligned(ctx, e, nil, nil, nil, nil)
+}
+
+// SumWhere returns the sum of col over the rows matching e, plus the
+// matched-row count, in one fused pass. Like CountWhere it is
+// allocation-free in the serial steady state and always fail-fast;
+// use Aggregate for degraded sums.
+func (t *Table) SumWhere(ctx context.Context, e Expr, col string) (sum, matched int64, err error) {
+	if e == nil {
+		return 0, 0, fmt.Errorf("table: SumWhere of a nil expression")
+	}
+	if err := e.check(t); err != nil {
+		return 0, 0, err
+	}
+	c, err := t.colByName(col)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !t.aligned {
+		s, err := t.ScanWith(ctx, e, ScanOptions{})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer s.Release()
+		v, err := s.SumContext(ctx, col)
+		if err != nil {
+			return 0, 0, err
+		}
+		return v, int64(s.Count()), nil
+	}
+	// The argument arrays come from a pool: the parallel path's
+	// closure makes them escape, so stack arrays would heap-allocate
+	// per call even on the serial path.
+	a := aggArgsPool.Get().(*aggArgs)
+	a.cols[0], a.names[0], a.sums[0] = c, col, 0
+	matched, err = t.aggregateAligned(ctx, e, a.cols[:], a.names[:], a.sums[:], nil)
+	sum = a.sums[0]
+	aggArgsPool.Put(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sum, matched, nil
+}
+
+// aggArgs is SumWhere's pooled single-column argument block.
+type aggArgs struct {
+	cols  [1]*blocked.Column
+	names [1]string
+	sums  [1]int64
+}
+
+var aggArgsPool = sync.Pool{New: func() any { return new(aggArgs) }}
+
+// aggregateWhole is the misaligned-table fallback: the classic
+// Scan → Count → Sum pipeline, preserving its exact semantics.
+func (t *Table) aggregateWhole(ctx context.Context, e Expr, sumCols []string, opt ScanOptions) (AggregateResult, error) {
+	s, err := t.ScanWith(ctx, e, opt)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	defer s.Release()
+	res := AggregateResult{Matched: int64(s.Count()), Manifest: s.Manifest()}
+	if len(sumCols) > 0 {
+		res.Sums = make([]int64, len(sumCols))
+		for i, name := range sumCols {
+			if res.Sums[i], err = s.SumContext(ctx, name); err != nil {
+				return AggregateResult{}, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// aggregateAligned runs the fused per-block plan. cols/names/sums are
+// parallel (all may be empty for a pure count); sums is committed
+// with atomic adds so the parallel path and the serial path share one
+// code shape. A non-nil man puts the pass in degraded mode.
+func (t *Table) aggregateAligned(ctx context.Context, e Expr, cols []*blocked.Column, names []string, sums []int64, man *Manifest) (int64, error) {
+	blocks := t.cols[0].Col.Blocks
+	st := getScanState(len(blocks))
+	defer st.release()
+	skipped, proved := 0, 0
+	var matched int64
+	for i := range blocks {
+		st.classes[i] = e.prune(t, i)
+		switch st.classes[i] {
+		case triTrue:
+			proved++
+			matched += int64(blocks[i].Count)
+		case triFalse:
+			skipped++
+		case triUnknown:
+			st.parts = append(st.parts, i)
+		}
+	}
+	t.counters.skipped.Add(int64(skipped))
+	t.counters.proved.Add(int64(proved))
+	t.counters.fetched.Add(int64(len(st.parts)))
+
+	// Proved blocks contribute compressed-form sums without a
+	// selection; a permanent failure here keeps the block's count (the
+	// stats proved those rows match) and omits only the broken
+	// column's sum, exactly like Scan.Sum on a fully selected block.
+	if len(cols) > 0 && proved > 0 {
+		for i := range blocks {
+			if st.classes[i] != triTrue || blocks[i].Count == 0 {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			for ci, c := range cols {
+				v, err := c.SumBlock(i)
+				if err != nil {
+					if man != nil && blocked.IsPermanent(err) {
+						noteColSkip(man, names[ci], i, &blocks[i], err)
+						continue
+					}
+					return 0, err
+				}
+				atomic.AddInt64(&sums[ci], v)
+			}
+		}
+	}
+
+	workers := t.workers()
+	if workers > len(st.parts) {
+		workers = len(st.parts)
+	}
+	if workers <= 1 {
+		sc := core.GetScratch()
+		defer sc.Release()
+		for k, i := range st.parts {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			if k+1 < len(st.parts) {
+				t.announcePrefetch(ctx, e, st.parts[k+1])
+			}
+			cnt, err := t.aggregateBlock(e, i, cols, names, sums, sc, man)
+			if err != nil {
+				if man != nil && blocked.IsPermanent(err) {
+					t.noteEvalSkip(man, i, &blocks[i], err)
+					continue
+				}
+				return 0, err
+			}
+			matched += cnt
+		}
+		return matched, nil
+	}
+	// The concurrent remainder lives in its own function: its closure
+	// captures the accumulators and makes them escape, which would
+	// heap-allocate on every call — including the serial path's — if
+	// it shared this frame.
+	pm, err := t.aggregateParallel(ctx, e, blocks, st, cols, names, sums, man, workers)
+	if err != nil {
+		return 0, err
+	}
+	return matched + pm, nil
+}
+
+// aggregateParallel runs the undecided blocks concurrently, committing
+// counts and sums with atomic adds.
+func (t *Table) aggregateParallel(ctx context.Context, e Expr, blocks []blocked.Block, st *scanState, cols []*blocked.Column, names []string, sums []int64, man *Manifest, workers int) (int64, error) {
+	var matched int64
+	err := blocked.ParallelFor(workers, len(st.parts), func(pi int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if pi+1 < len(st.parts) {
+			t.announcePrefetch(ctx, e, st.parts[pi+1])
+		}
+		i := st.parts[pi]
+		sc := core.GetScratch()
+		defer sc.Release()
+		cnt, err := t.aggregateBlock(e, i, cols, names, sums, sc, man)
+		if err != nil {
+			if man != nil && blocked.IsPermanent(err) {
+				t.noteEvalSkip(man, i, &blocks[i], err)
+				return nil
+			}
+			return err
+		}
+		atomic.AddInt64(&matched, cnt)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return matched, nil
+}
+
+// aggregateBlock counts (and sums) one undecided block. Leaf
+// predicates whose sum column is the predicate column — or pure
+// counts — run on the compressed form through the fused range
+// kernels, one pass over the packed words with no selection at all.
+// Everything else evaluates the predicate into a pooled block-local
+// selection and consumes it immediately. An error means the block's
+// predicate side failed: the caller drops the block (count and sums)
+// and, in degraded mode, records it. Sum-side failures on matched
+// rows degrade in place, per column.
+func (t *Table) aggregateBlock(e Expr, i int, cols []*blocked.Column, names []string, sums []int64, sc *core.Scratch, man *Manifest) (int64, error) {
+	b := &t.cols[0].Col.Blocks[i]
+	if b.Count == 0 {
+		return 0, nil
+	}
+	switch n := e.(type) {
+	case *rangeNode:
+		c := n.column(t)
+		if len(cols) == 0 {
+			f, err := c.BlockForm(i)
+			if err != nil {
+				return 0, err
+			}
+			return query.CountRange(f, n.lo, n.hi)
+		}
+		if len(cols) == 1 && cols[0] == c {
+			f, err := c.BlockForm(i)
+			if err != nil {
+				return 0, err
+			}
+			s, cnt, err := query.SumRange(f, n.lo, n.hi)
+			if err != nil {
+				return 0, err
+			}
+			atomic.AddInt64(&sums[0], s)
+			return cnt, nil
+		}
+	case *inNode:
+		c := n.column(t)
+		if len(cols) == 0 || (len(cols) == 1 && cols[0] == c) {
+			return t.aggregateInLeaf(n, c, i, sums, len(cols) == 1)
+		}
+	}
+
+	local := sel.Get(b.Count)
+	if err := e.evalBlock(t, i, local); err != nil {
+		local.Release()
+		return 0, err
+	}
+	cnt := int64(local.Count())
+	if cnt > 0 {
+		for ci, c := range cols {
+			var v int64
+			var err error
+			if int(cnt) == b.Count {
+				v, err = c.SumBlock(i)
+			} else if lo, hi, f, ok := sameColRangeLeaf(e, t, c, i); ok {
+				// The predicate is a Range leaf over this very sum
+				// column: its matched rows are exactly the in-range
+				// rows, so the fused kernel sums them on the
+				// compressed form without a decode.
+				v, _, err = query.SumRange(f, lo, hi)
+			} else {
+				vals := sc.I64(b.Count)
+				if err = c.DecompressBlock(i, vals); err == nil {
+					v = maskedSum(local, 0, vals)
+				}
+				sc.PutI64(vals)
+			}
+			if err != nil {
+				if man != nil && blocked.IsPermanent(err) {
+					noteColSkip(man, names[ci], i, b, err)
+					continue
+				}
+				local.Release()
+				return 0, err
+			}
+			atomic.AddInt64(&sums[ci], v)
+		}
+	}
+	local.Release()
+	return cnt, nil
+}
+
+// aggregateInLeaf fuses an In leaf: each maximal run of consecutive
+// values probes the compressed form as one range. Runs are disjoint,
+// so per-run counts and sums add without double counting. The run
+// walk is inlined (no closure) to keep the serial path off the heap.
+func (t *Table) aggregateInLeaf(n *inNode, c *blocked.Column, i int, sums []int64, wantSum bool) (int64, error) {
+	cb := &c.Blocks[i]
+	var f *core.Form
+	var cnt, sum int64
+	vals := n.vals
+	for a := 0; a < len(vals); {
+		j := a + 1
+		for j < len(vals) && vals[j] == vals[j-1]+1 {
+			j++
+		}
+		lo, hi := vals[a], vals[j-1]
+		a = j
+		if cb.ClassifyRange(lo, hi) == blocked.RangeMiss {
+			continue
+		}
+		if f == nil {
+			var err error
+			if f, err = c.BlockForm(i); err != nil {
+				return 0, err
+			}
+		}
+		if wantSum {
+			s, rc, err := query.SumRange(f, lo, hi)
+			if err != nil {
+				return 0, err
+			}
+			sum += s
+			cnt += rc
+			continue
+		}
+		rc, err := query.CountRange(f, lo, hi)
+		if err != nil {
+			return 0, err
+		}
+		cnt += rc
+	}
+	if wantSum && sum != 0 {
+		atomic.AddInt64(&sums[0], sum)
+	}
+	return cnt, nil
+}
+
+// sameColRangeLeaf reports whether e is a Range leaf over exactly c
+// AND block i's form sums structurally, returning the bounds and form.
+// When both hold, the matched rows of the block are exactly the
+// in-range rows, so c's sum over them comes from the fused SumRange
+// kernel instead of a decode. Composite predicates match a subset of
+// the leaf's range and must not take this shortcut (they never reach
+// here: e is the whole expression); non-structural forms would pay
+// SumRange's materializing fallback on top of the decode the caller
+// is about to do anyway.
+func sameColRangeLeaf(e Expr, t *Table, c *blocked.Column, i int) (lo, hi int64, f *core.Form, ok bool) {
+	n, isRange := e.(*rangeNode)
+	if !isRange || n.column(t) != c {
+		return 0, 0, nil, false
+	}
+	f, err := c.BlockForm(i)
+	if err != nil || !query.SumRangeIsStructural(f) {
+		return 0, 0, nil, false
+	}
+	return n.lo, n.hi, f, true
+}
+
+// noteColSkip records a sum column's permanently unreadable block —
+// the aggregate-side analogue of Scan.noteSkip.
+func noteColSkip(man *Manifest, col string, i int, b *blocked.Block, err error) {
+	man.add(SkippedBlock{Column: col, Block: i,
+		RowStart: b.Start, RowCount: b.Count, Reason: err.Error()})
+}

@@ -40,6 +40,14 @@ type Expr interface {
 	// from stats alone; the conjunction planner evaluates the leaf
 	// with the smallest estimate first.
 	estimate(t *Table, blk int) float64
+	// prefetchCol names the table column whose payload evalBlock on
+	// block blk will fetch first, from stats alone — the scan paths
+	// announce it to the storage prefetcher one block ahead. ok is
+	// false when no fetch is certain. Implementations must stay in
+	// lockstep with their evalBlock's evaluation order: naming a
+	// column evalBlock then never touches turns prefetch into wasted
+	// reads (never incorrectness, but measurable I/O).
+	prefetchCol(t *Table, blk int) (col int, ok bool)
 }
 
 // tri is the three-valued verdict of stats-only pruning.
@@ -169,6 +177,15 @@ func (n *rangeNode) estimate(t *Table, blk int) float64 {
 	return (float64(hi) - float64(lo) + 1) / (float64(b.Max) - float64(b.Min) + 1)
 }
 
+func (n *rangeNode) prefetchCol(t *Table, blk int) (int, bool) {
+	// evalBlock fetches the leaf's column exactly when the stats leave
+	// the block undecided.
+	if n.column(t).Blocks[blk].ClassifyRange(n.lo, n.hi) != blocked.RangePart {
+		return 0, false
+	}
+	return t.index[n.col], true
+}
+
 // inNode is the In leaf: col ∈ vals, vals sorted and deduplicated.
 type inNode struct {
 	col  string
@@ -264,6 +281,23 @@ func (n *inNode) estimate(t *Table, blk int) float64 {
 		return est
 	}
 	return 1
+}
+
+func (n *inNode) prefetchCol(t *Table, blk int) (int, bool) {
+	// evalBlock probes each run against the payload; any run the stats
+	// cannot decide forces a fetch of the leaf's column.
+	b := &n.column(t).Blocks[blk]
+	hit := false
+	n.runs(func(lo, hi int64) error {
+		if b.ClassifyRange(lo, hi) == blocked.RangePart {
+			hit = true
+		}
+		return nil
+	})
+	if !hit {
+		return 0, false
+	}
+	return t.index[n.col], true
 }
 
 // andNode is the conjunction combinator.
@@ -371,6 +405,28 @@ func (n *andNode) estimate(t *Table, blk int) float64 {
 	return est
 }
 
+// prefetchCol mirrors evalBlock's planning: the undecided child with
+// the smallest estimate runs first, so its column is what the block's
+// evaluation fetches first.
+func (n *andNode) prefetchCol(t *Table, blk int) (int, bool) {
+	best, bestEst := -1, math.Inf(1)
+	for i, k := range n.kids {
+		switch k.prune(t, blk) {
+		case triFalse:
+			return 0, false
+		case triTrue:
+			continue
+		}
+		if est := k.estimate(t, blk); est < bestEst {
+			best, bestEst = i, est
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return n.kids[best].prefetchCol(t, blk)
+}
+
 // orNode is the disjunction combinator.
 type orNode struct {
 	kids []Expr
@@ -471,6 +527,21 @@ func (n *orNode) estimate(t *Table, blk int) float64 {
 	return est
 }
 
+// prefetchCol mirrors evalBlock's order: the first non-refuted child
+// evaluates first, so its first fetch is the disjunction's.
+func (n *orNode) prefetchCol(t *Table, blk int) (int, bool) {
+	for _, k := range n.kids {
+		switch k.prune(t, blk) {
+		case triFalse:
+			continue
+		case triTrue:
+			return 0, false
+		}
+		return k.prefetchCol(t, blk)
+	}
+	return 0, false
+}
+
 // notNode is the negation combinator.
 type notNode struct {
 	kid Expr
@@ -514,6 +585,10 @@ func (n *notNode) evalWhole(t *Table, dst *sel.Selection) error {
 
 func (n *notNode) estimate(t *Table, blk int) float64 {
 	return 1 - n.kid.estimate(t, blk)
+}
+
+func (n *notNode) prefetchCol(t *Table, blk int) (int, bool) {
+	return n.kid.prefetchCol(t, blk)
 }
 
 // joinKids renders a combinator's children, parenthesized, or the

@@ -297,9 +297,12 @@ func (t *Table) scanAligned(ctx context.Context, e Expr, dst *sel.Selection, man
 		workers = len(st.parts)
 	}
 	if workers <= 1 {
-		for _, i := range st.parts {
+		for k, i := range st.parts {
 			if err := ctx.Err(); err != nil {
 				return err
+			}
+			if k+1 < len(st.parts) {
+				t.announcePrefetch(ctx, e, st.parts[k+1])
 			}
 			b := &blocks[i]
 			local := sel.Get(b.Count)
@@ -319,6 +322,9 @@ func (t *Table) scanAligned(ctx context.Context, e Expr, dst *sel.Selection, man
 	err := blocked.ParallelFor(workers, len(st.parts), func(pi int) error {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if pi+1 < len(st.parts) {
+			t.announcePrefetch(ctx, e, st.parts[pi+1])
 		}
 		i := st.parts[pi]
 		local := sel.Get(blocks[i].Count)
@@ -352,6 +358,18 @@ func (t *Table) scanAligned(ctx context.Context, e Expr, dst *sel.Selection, man
 		st.sels[i] = nil
 	}
 	return nil
+}
+
+// announcePrefetch hints the storage layer about the next undecided
+// block's first payload fetch: the expression names the column its
+// evaluation order touches first, and that column's source overlaps
+// the read with the current block's decode. Best-effort — columns
+// without a prefetching source, resident blocks, and quarantined
+// blocks all no-op.
+func (t *Table) announcePrefetch(ctx context.Context, e Expr, blk int) {
+	if ci, ok := e.prefetchCol(t, blk); ok {
+		t.cols[ci].Col.Prefetch(ctx, blk)
+	}
 }
 
 // Scan is the result of Table.Scan: the surviving rows as a bitmap

@@ -1,0 +1,118 @@
+package lwcomp_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lwcomp"
+)
+
+// TestPrefetchReadsOnlyAdmittedBlocks is the prefetcher's read-set
+// guarantee: with the block cache (and therefore prefetching) enabled,
+// a cold two-predicate scan still reads exactly the payloads the
+// planner admits — the prefetch announces name only undecided blocks,
+// and the storage singleflight coalesces a prefetch racing the demand
+// fetch of the same block into one read. A second scan over the warm
+// cache reads nothing at all.
+func TestPrefetchReadsOnlyAdmittedBlocks(t *testing.T) {
+	const n, bs = 1 << 16, 4096
+	date, status, _, data := buildTableFixture(t, n, bs)
+	extents, payloadStart := allExtents(t, data)
+	const dateCol, statusCol = 0, 1
+
+	ra := &countingReaderAt{data: data}
+	tbl, err := lwcomp.OpenTableReader(ra, int64(len(data)), lwcomp.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+
+	lo, hi := date[6*bs+100], date[10*bs+99] // inside blocks 6 and 10
+	expr := lwcomp.And(lwcomp.Range("date", lo, hi), lwcomp.Eq("status", 1))
+	want := int64(0)
+	for i := range date {
+		if date[i] >= lo && date[i] <= hi && status[i] == 1 {
+			want++
+		}
+	}
+
+	ra.reset()
+	got, err := tbl.CountWhere(context.Background(), expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("CountWhere = %d, want %d", got, want)
+	}
+	// Exactly the admitted set, each block read once: status on blocks
+	// 8 and 9 (date proved there), both columns on block 10. Every
+	// prefetch announce named a block in this set, and none duplicated
+	// a demand fetch.
+	expected := [][2]int64{
+		extentRange(extents[statusCol][8], payloadStart),
+		extentRange(extents[statusCol][9], payloadStart),
+		extentRange(extents[dateCol][10], payloadStart),
+		extentRange(extents[statusCol][10], payloadStart),
+	}
+	_, _, ranges := ra.snapshot()
+	assertSameReads(t, "cold fused count", ranges, expected)
+
+	// Warm: every admitted payload is cached; no reads at all.
+	ra.reset()
+	if got, err := tbl.CountWhere(context.Background(), expr); err != nil || got != want {
+		t.Fatalf("warm CountWhere = %d, %v", got, err)
+	}
+	if calls, _, ranges := ra.snapshot(); calls != 0 {
+		t.Fatalf("warm scan issued %d reads: %v", calls, ranges)
+	}
+}
+
+// TestPrefetchExpiredContext: prefetches announced under an expired
+// context never touch the reader — the worker checks the request's
+// deadline before fetching — and closing the table drains the worker
+// without leaking its goroutine (the race sweep would flag a read
+// racing Close).
+func TestPrefetchExpiredContext(t *testing.T) {
+	const n, bs = 1 << 14, 2048
+	_, _, _, data := buildTableFixture(t, n, bs)
+
+	ra := &countingReaderAt{data: data}
+	tbl, err := lwcomp.OpenTableReader(ra, int64(len(data)), lwcomp.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := tbl.Column("amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before any announce
+	ra.reset()
+	for i := 0; i < col.NumBlocks(); i++ {
+		col.Prefetch(ctx, i)
+	}
+	// The worker may still be draining the queue; give it a moment.
+	// Whatever it has processed so far, expired requests fetch nothing,
+	// so the only acceptable read count is zero.
+	time.Sleep(50 * time.Millisecond)
+	if calls, _, ranges := ra.snapshot(); calls != 0 {
+		t.Fatalf("expired prefetches issued %d reads: %v", calls, ranges)
+	}
+
+	// Live prefetches do fetch — and Close waits for the worker, so no
+	// read can race the reader's release.
+	for i := 0; i < col.NumBlocks(); i++ {
+		col.Prefetch(context.Background(), i)
+	}
+	if err := tbl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	calls, _, _ := ra.snapshot()
+	after := calls
+	time.Sleep(20 * time.Millisecond)
+	if calls, _, _ := ra.snapshot(); calls != after {
+		t.Fatalf("reads continued after Close: %d -> %d", after, calls)
+	}
+}

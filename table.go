@@ -58,6 +58,14 @@ type DegradationManifest = table.Manifest
 // that condemned it.
 type SkippedBlock = table.SkippedBlock
 
+// AggregateResult is what Table.Aggregate returns: the matched-row
+// count, the per-column sums (parallel to the requested columns), and
+// — when the aggregate ran degraded — the manifest of skipped blocks.
+// Aggregate, CountWhere and SumWhere are the fused alternative to
+// Scan + Count + Sum: one pass over the compressed blocks that never
+// materializes the scan's selection.
+type AggregateResult = table.AggregateResult
+
 // Expr is a composable predicate over a table's columns: Range, Eq
 // and In leaves under And, Or and Not combinators. Expressions are
 // immutable, reusable across scans and tables, and render back to the
