@@ -20,6 +20,8 @@
 //	lwc query -i dates.lwc -range 730200:730400 --mmap
 //	lwc query -i orders.lwc -where 'date >= 730200 and date <= 730400 and status = 1' -sum -col amount
 //	lwc verify -i dates.lwc
+//	lwc compact -dry-run -dir /data/containers
+//	lwc compact -dir /data/containers -min-gain-bytes 4096 -merge
 //	lwc serve -dir /data/containers -addr 127.0.0.1:7207
 //
 // compress writes lazily openable (v3) containers; every command also
@@ -37,6 +39,16 @@
 // [min, max] against the index stats, reporting every finding and
 // exiting non-zero if any check failed.
 //
+// compact is the single-shot recompaction pass: each container is
+// re-analyzed block by block (exhaustively, or pruned with -trialk)
+// and atomically rewritten only when the byte win clears the
+// threshold — the candidate is verified value-for-value before the
+// rename, so a failed rewrite leaves the old file untouched. -dry-run
+// estimates per-container savings from the block stats alone, without
+// a trial encode or a write; -merge coalesces groups of small
+// same-table single-column containers into one container per table.
+// The same pass runs continuously inside lwcd under -compact.
+//
 // query -where runs a table scan over all of a container's columns:
 // the predicate (comparisons and in-lists under and/or/not; and binds
 // tighter) is planned per block, blocks any conjunct's [min, max]
@@ -52,9 +64,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"lwcomp"
+	"lwcomp/internal/compact"
 	"lwcomp/internal/server"
 	"lwcomp/internal/storage"
 	"lwcomp/internal/workload"
@@ -83,6 +97,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "compact":
+		err = cmdCompact(os.Args[2:])
 	case "serve":
 		err = server.Main(os.Args[2:])
 	case "help", "-h", "--help":
@@ -110,6 +126,7 @@ commands:
   inspect     show the scheme tree and sizes of a container
   query       run sum/range/point queries, or -where table scans, on a container
   verify      fsck a container: re-read, CRC-check and decode every block
+  compact     re-analyze containers and atomically rewrite the ones that shrink
   serve       serve a directory of containers as tables over HTTP (same as lwcd)
 
 run 'lwc <command> -h' for flags`)
@@ -473,6 +490,109 @@ func cmdVerify(args []string) error {
 	}
 	if bad > 0 {
 		return fmt.Errorf("%d of %d container(s) failed verification", bad, len(paths))
+	}
+	return nil
+}
+
+// cmdCompact runs one recompaction pass: walk the given containers
+// (or a directory of them), re-analyze each, and atomically rewrite
+// the ones whose byte win clears the threshold, printing a per-
+// container report of bytes before/after and CPU spent. With
+// -dry-run it only estimates savings from the block stats, largest
+// first. Any failed container makes the command exit non-zero.
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	dir := fs.String("dir", "", "directory of *.lwc containers to compact (or pass containers as positional arguments)")
+	dryRun := fs.Bool("dry-run", false, "estimate savings from block stats only; no trial encode, no write")
+	minGain := fs.Int64("min-gain-bytes", 0, "rewrite threshold in bytes (0 = 4096, negative = any gain)")
+	minFrac := fs.Float64("min-gain-frac", 0, "rewrite threshold as a fraction of the old container size (0 = off)")
+	trialK := fs.Int("trialk", 0, "prune the per-block scheme search to the top K estimates (0 = exhaustive)")
+	parallel := fs.Int("parallel", 0, "concurrent block encoders (0 = GOMAXPROCS)")
+	merge := fs.Bool("merge", false, "also merge small same-table single-column containers (directory mode only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if (*dir == "") == (len(paths) == 0) {
+		return errors.New("pass either -dir or positional container paths")
+	}
+	if *merge && *dir == "" {
+		return errors.New("-merge needs -dir (it coalesces sibling files)")
+	}
+	c := compact.New(compact.Options{
+		MinGainBytes:    *minGain,
+		MinGainFraction: *minFrac,
+		TrialK:          *trialK,
+		Parallelism:     *parallel,
+		MergeSmall:      *merge,
+	})
+
+	if *dryRun {
+		var ests []compact.Estimate
+		if *dir != "" {
+			var err error
+			ests, err = c.EstimateDir(*dir)
+			if err != nil {
+				return err
+			}
+		} else {
+			for _, p := range paths {
+				est, err := c.EstimateFile(p)
+				if err != nil {
+					return err
+				}
+				ests = append(ests, est)
+			}
+			sort.Slice(ests, func(i, j int) bool { return ests[i].EstSavings() > ests[j].EstSavings() })
+		}
+		var total int64
+		for _, est := range ests {
+			fmt.Printf("%s: %d bytes, est payload %d -> %d, est savings %d bytes (%.1f%%)\n",
+				est.Path, est.FileBytes, est.PayloadBytes, est.EstPayloadBytes,
+				est.EstSavings(), 100*est.EstSavingsFraction())
+			total += est.EstSavings()
+		}
+		fmt.Printf("dry run: %d container(s), est %d bytes reclaimable\n", len(ests), total)
+		return nil
+	}
+
+	var rep *compact.Report
+	if *dir != "" {
+		var err error
+		rep, err = c.CompactDir(*dir)
+		if err != nil {
+			return err
+		}
+	} else {
+		rep = &compact.Report{}
+		for _, p := range paths {
+			res, err := c.CompactFile(p)
+			if err != nil {
+				return err
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	for _, res := range rep.Results {
+		switch res.Action {
+		case compact.ActionRewritten:
+			fmt.Printf("%s: rewritten, %d -> %d bytes (saved %d, %.2fs cpu)\n",
+				res.Path, res.BytesBefore, res.BytesAfter, res.Gain(), res.CPUSeconds)
+		case compact.ActionMerged:
+			fmt.Printf("%s: merged %d part(s), %d -> %d bytes (%.2fs cpu)\n",
+				res.Path, len(res.MergedFrom), res.BytesBefore, res.BytesAfter, res.CPUSeconds)
+		case compact.ActionSkipped:
+			fmt.Printf("%s: skipped, %d bytes (candidate %d under threshold, %.2fs cpu)\n",
+				res.Path, res.BytesBefore, res.CandidateBytes, res.CPUSeconds)
+		case compact.ActionFailed:
+			fmt.Printf("%s: FAILED, old generation kept: %v\n", res.Path, res.Err)
+		}
+	}
+	rewritten, skipped, failed, mrg := rep.Counts()
+	fmt.Printf("compacted %d container(s): %d rewritten, %d merged, %d skipped, %d failed; %d bytes reclaimed, %.2fs cpu\n",
+		len(rep.Results), rewritten, mrg, skipped, failed, rep.BytesReclaimed(), rep.CPUSeconds())
+	if failed > 0 {
+		return fmt.Errorf("%d container(s) failed compaction", failed)
 	}
 	return nil
 }

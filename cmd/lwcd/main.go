@@ -5,6 +5,7 @@
 // Usage:
 //
 //	lwcd -dir /data/containers -addr 127.0.0.1:7207
+//	lwcd -dir /data/containers -compact -compact-interval 10m -compact-merge
 //	curl localhost:7207/tables
 //	curl -d '{"table":"orders","where":"status = 1","op":"count"}' localhost:7207/query
 //	curl -d '{"table":"orders","op":"sum","columns":["amount"],"allow_degraded":true}' localhost:7207/query
@@ -25,6 +26,17 @@
 // the exact omission), and a panicking query answers 500 while the
 // process keeps serving. /metrics exposes the retry, quarantine and
 // panic counters.
+//
+// -compact runs the background recompaction daemon (internal/compact)
+// over the mounted directory: low-priority sweeps re-analyze each
+// container and atomically rewrite the ones whose byte win clears the
+// -compact-min-gain threshold, yielding to query traffic so
+// compaction never takes an admission slot. A sweep that changed the
+// directory re-mounts it the same way SIGHUP does — in-flight queries
+// drain on the retired generation while new ones open the compacted
+// files. POST /-/compact triggers one synchronous sweep; /metrics
+// gains a compaction section (containers scanned/rewritten/skipped,
+// bytes reclaimed, compact cpu seconds).
 //
 // See the internal/server package documentation for the endpoint
 // contracts and resource-governance knobs; `lwc serve` is the same

@@ -1,0 +1,477 @@
+package compact
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"lwcomp/internal/blocked"
+	"lwcomp/internal/storage"
+)
+
+// DefaultMinGainBytes is the rewrite threshold used when Options does
+// not set one: a rewrite must win at least one 4 KiB page, so the
+// compactor never churns a directory for byte-level noise.
+const DefaultMinGainBytes int64 = 4096
+
+// DefaultSmallBytes is the merge-eligibility bound used when Options
+// does not set one: single-column containers under 1 MiB are "small"
+// and worth coalescing into one multi-column container.
+const DefaultSmallBytes int64 = 1 << 20
+
+// Options configures a Compactor. The zero value of every field means
+// "use the default".
+type Options struct {
+	// MinGainBytes is the absolute rewrite threshold: a container is
+	// rewritten only when the candidate saves at least this many
+	// bytes. 0 means DefaultMinGainBytes; negative means any positive
+	// win qualifies.
+	MinGainBytes int64
+	// MinGainFraction, when positive, additionally requires the win
+	// to be at least this fraction of the container's current size —
+	// the knob that keeps the compactor from rewriting a gigabyte to
+	// save a kilobyte.
+	MinGainFraction float64
+	// TrialK selects the re-analysis effort: 0 runs the exhaustive
+	// search (every candidate trial-compressed — ground truth), a
+	// positive value runs the size-biased pruned search, trialing
+	// only the top-K estimate-ranked candidates per block.
+	TrialK int
+	// Parallelism bounds concurrent block re-encodes per container;
+	// <= 0 means GOMAXPROCS.
+	Parallelism int
+	// MergeSmall lets CompactDir coalesce groups of small same-table
+	// single-column containers (`<table>.<column>.lwc`) into one
+	// multi-column `<table>.lwc` before compacting.
+	MergeSmall bool
+	// SmallBytes bounds merge eligibility: only containers under this
+	// size coalesce. 0 means DefaultSmallBytes.
+	SmallBytes int64
+}
+
+// minGain resolves the absolute threshold knob.
+func (o Options) minGain() int64 {
+	if o.MinGainBytes == 0 {
+		return DefaultMinGainBytes
+	}
+	if o.MinGainBytes < 0 {
+		return 1
+	}
+	return o.MinGainBytes
+}
+
+// threshold returns the byte win a container of oldSize bytes must
+// clear to be rewritten — the compaction threshold contract.
+func (o Options) threshold(oldSize int64) int64 {
+	min := o.minGain()
+	if frac := int64(o.MinGainFraction * float64(oldSize)); frac > min {
+		min = frac
+	}
+	return min
+}
+
+// smallBytes resolves the merge-eligibility bound.
+func (o Options) smallBytes() int64 {
+	if o.SmallBytes <= 0 {
+		return DefaultSmallBytes
+	}
+	return o.SmallBytes
+}
+
+// Action is what the compactor did with one container.
+type Action string
+
+const (
+	// ActionRewritten: the candidate cleared the threshold, verified
+	// clean, and was swapped in atomically.
+	ActionRewritten Action = "rewritten"
+	// ActionSkipped: the candidate's win was under the threshold; the
+	// file was not touched.
+	ActionSkipped Action = "skipped"
+	// ActionFailed: the container could not be read, re-encoded or
+	// verified; the old generation was kept untouched.
+	ActionFailed Action = "failed"
+	// ActionMerged: several small single-column containers were
+	// coalesced into this multi-column container.
+	ActionMerged Action = "merged"
+)
+
+// Result reports one container's compaction outcome.
+type Result struct {
+	// Path is the container the outcome applies to (for a merge, the
+	// coalesced output).
+	Path string
+	// Action is the outcome.
+	Action Action
+	// BytesBefore is the container's size before (for a merge, the
+	// summed size of the source parts).
+	BytesBefore int64
+	// BytesAfter is the container's size after the operation; equal
+	// to BytesBefore when nothing was written.
+	BytesAfter int64
+	// CandidateBytes is the re-encoded candidate's size, whether or
+	// not it was swapped in (0 when the candidate was never built).
+	CandidateBytes int64
+	// Generation is the compactor's generation stamp of a successful
+	// swap: strictly increasing across rewrites and merges, 0 when
+	// nothing was written.
+	Generation uint64
+	// CPUSeconds is the wall-clock time this container's re-analysis,
+	// verification and rewrite cost.
+	CPUSeconds float64
+	// Err is the failure behind ActionFailed.
+	Err error
+	// MergedFrom lists the source containers behind ActionMerged.
+	MergedFrom []string
+}
+
+// Gain is the byte win the operation realized (0 unless rewritten or
+// merged).
+func (r Result) Gain() int64 {
+	if r.Action != ActionRewritten && r.Action != ActionMerged {
+		return 0
+	}
+	return r.BytesBefore - r.BytesAfter
+}
+
+// Report aggregates a directory pass.
+type Report struct {
+	// Results holds one entry per container visited, in pass order
+	// (merges first, then the compaction walk).
+	Results []Result
+}
+
+// Counts tallies the report's outcomes by action.
+func (r *Report) Counts() (rewritten, skipped, failed, merged int) {
+	for _, res := range r.Results {
+		switch res.Action {
+		case ActionRewritten:
+			rewritten++
+		case ActionSkipped:
+			skipped++
+		case ActionFailed:
+			failed++
+		case ActionMerged:
+			merged++
+		}
+	}
+	return
+}
+
+// BytesReclaimed sums the realized byte wins.
+func (r *Report) BytesReclaimed() int64 {
+	var total int64
+	for _, res := range r.Results {
+		total += res.Gain()
+	}
+	return total
+}
+
+// CPUSeconds sums the per-container costs.
+func (r *Report) CPUSeconds() float64 {
+	var total float64
+	for _, res := range r.Results {
+		total += res.CPUSeconds
+	}
+	return total
+}
+
+// Counters is a snapshot of a Compactor's lifetime tallies — the
+// numbers the query server's /metrics compaction section reports.
+type Counters struct {
+	// Scanned counts containers examined (opened and re-analyzed).
+	Scanned int64
+	// Rewritten, Skipped and Failed count Scanned's outcomes.
+	Rewritten int64
+	// Skipped counts containers whose win missed the threshold.
+	Skipped int64
+	// Failed counts containers kept on their old generation after a
+	// read, encode or verification failure.
+	Failed int64
+	// Merged counts coalesced multi-column containers written.
+	Merged int64
+	// BytesReclaimed sums the realized byte wins.
+	BytesReclaimed int64
+	// CPUSeconds sums the wall-clock compaction cost.
+	CPUSeconds float64
+}
+
+// Compactor rewrites containers toward their exhaustive-search size.
+// It is safe for concurrent use; the generation stamp and the
+// counters are shared across all of its passes.
+type Compactor struct {
+	opt Options
+
+	gen            atomic.Uint64
+	scanned        atomic.Int64
+	rewritten      atomic.Int64
+	skipped        atomic.Int64
+	failed         atomic.Int64
+	merged         atomic.Int64
+	bytesReclaimed atomic.Int64
+	cpuNanos       atomic.Int64
+}
+
+// New builds a Compactor over opt.
+func New(opt Options) *Compactor { return &Compactor{opt: opt} }
+
+// Generation returns the stamp of the newest successful swap — 0
+// before the first one.
+func (c *Compactor) Generation() uint64 { return c.gen.Load() }
+
+// Counters snapshots the compactor's lifetime tallies.
+func (c *Compactor) Counters() Counters {
+	return Counters{
+		Scanned:        c.scanned.Load(),
+		Rewritten:      c.rewritten.Load(),
+		Skipped:        c.skipped.Load(),
+		Failed:         c.failed.Load(),
+		Merged:         c.merged.Load(),
+		BytesReclaimed: c.bytesReclaimed.Load(),
+		CPUSeconds:     float64(c.cpuNanos.Load()) / 1e9,
+	}
+}
+
+// testMutateCandidate, when non-nil, corrupts the candidate container
+// bytes before the pre-swap verification — the test seam proving that
+// a failed verification keeps the old generation untouched.
+var testMutateCandidate func([]byte)
+
+// CompactFile re-analyzes one container and swaps in the smaller
+// generation when the win clears the threshold. Integrity failures —
+// an unreadable block, a candidate that does not verify — come back
+// as an ActionFailed Result with a nil error and leave the old
+// generation byte-for-byte intact; only environmental failures (the
+// file missing, the rename failing) return a non-nil error.
+func (c *Compactor) CompactFile(path string) (res Result, err error) {
+	start := time.Now()
+	res = Result{Path: path}
+	// Named result: the deferred stamp must reach the caller's copy.
+	defer func() {
+		res.CPUSeconds = time.Since(start).Seconds()
+		c.cpuNanos.Add(time.Since(start).Nanoseconds())
+	}()
+
+	st, err := os.Stat(path)
+	if err != nil {
+		return res, err
+	}
+	res.BytesBefore, res.BytesAfter = st.Size(), st.Size()
+	c.scanned.Add(1)
+
+	fail := func(err error) (Result, error) {
+		res.Action, res.Err = ActionFailed, err
+		c.failed.Add(1)
+		return res, nil
+	}
+
+	names, data, blockSizes, err := readContainer(path)
+	if err != nil {
+		if blocked.IsPermanent(err) {
+			// A container we cannot prove we preserved is never
+			// rewritten; leave it for `lwc verify` to diagnose.
+			return fail(err)
+		}
+		return res, err
+	}
+
+	// Re-analyze every block at the configured effort. The encode is
+	// deterministic, so a container already at its best size yields an
+	// identical candidate and skips below.
+	cols := make([]storage.BlockedColumn, len(names))
+	for i := range names {
+		enc, err := blocked.Encode(data[i], blocked.EncodeOptions{
+			BlockSize:   blockSizes[i],
+			TrialK:      c.opt.TrialK,
+			Exhaustive:  c.opt.TrialK == 0,
+			Parallelism: c.opt.Parallelism,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("re-encoding column %q: %w", names[i], err))
+		}
+		cols[i] = storage.BlockedColumn{Name: names[i], Col: enc}
+	}
+	var buf bytes.Buffer
+	if err := storage.WriteContainerV3(&buf, cols); err != nil {
+		return fail(fmt.Errorf("serializing candidate: %w", err))
+	}
+	res.CandidateBytes = int64(buf.Len())
+
+	gain := res.BytesBefore - res.CandidateBytes
+	if gain < c.opt.threshold(res.BytesBefore) {
+		res.Action = ActionSkipped
+		c.skipped.Add(1)
+		return res, nil
+	}
+
+	if testMutateCandidate != nil {
+		testMutateCandidate(buf.Bytes())
+	}
+	// `lwc verify` semantics plus value equality, before the swap:
+	// every candidate block re-read through the CRC path, decoded,
+	// stats re-derived against the index, and the decompressed values
+	// compared against what the old generation held. Any mismatch
+	// keeps the old generation.
+	if err := verifyCandidate(buf.Bytes(), names, data); err != nil {
+		return fail(fmt.Errorf("candidate failed pre-swap verification: %w", err))
+	}
+
+	// The generation swap: temp + fsync + rename in the container's
+	// directory. Readers holding the old generation's descriptor
+	// finish on the retired inode; every open after the rename sees
+	// the compacted generation.
+	if err := storage.AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(buf.Bytes())
+		return err
+	}); err != nil {
+		return res, err
+	}
+	res.Action = ActionRewritten
+	res.BytesAfter = res.CandidateBytes
+	res.Generation = c.gen.Add(1)
+	c.rewritten.Add(1)
+	c.bytesReclaimed.Add(gain)
+	return res, nil
+}
+
+// CompactDir merges (when enabled) and then compacts every *.lwc
+// container under dir. Per-container integrity failures land in the
+// report as ActionFailed results; a non-nil error means the pass
+// itself could not proceed (directory unreadable, rename failed).
+func (c *Compactor) CompactDir(dir string) (*Report, error) {
+	rep := &Report{}
+	if c.opt.MergeSmall {
+		merged, err := c.MergeDir(dir)
+		if err != nil {
+			return rep, err
+		}
+		rep.Results = append(rep.Results, merged...)
+	}
+	paths, err := ListContainers(dir)
+	if err != nil {
+		return rep, err
+	}
+	for _, p := range paths {
+		r, err := c.CompactFile(p)
+		if err != nil {
+			return rep, err
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep, nil
+}
+
+// ListContainers returns dir's *.lwc container paths, sorted.
+func ListContainers(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".lwc") {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// readContainer decompresses every column of the container at path:
+// the names, the raw values, and each column's encode-time block size
+// (what a faithful re-encode must preserve).
+func readContainer(path string) (names []string, data [][]int64, blockSizes []int, err error) {
+	cf, err := storage.OpenContainerFile(path, storage.OpenOptions{CacheBytes: -1})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer cf.Close()
+	for _, bc := range cf.Columns() {
+		raw := make([]int64, bc.Col.N)
+		if err := bc.Col.DecompressInto(raw); err != nil {
+			return nil, nil, nil, fmt.Errorf("column %q: %w", bc.Name, err)
+		}
+		names = append(names, bc.Name)
+		data = append(data, raw)
+		blockSizes = append(blockSizes, bc.Col.BlockSize)
+	}
+	return names, data, blockSizes, nil
+}
+
+// verifyCandidate fsck-walks a candidate container held in memory:
+// structure, per-block CRC + decode (DecompressBlock pulls every
+// payload through the checksum path), index stats re-derived from the
+// decoded values, and the values themselves compared against want.
+// It is the abort-before-swap gate — nothing it rejects ever reaches
+// the filesystem.
+func verifyCandidate(candidate []byte, names []string, want [][]int64) error {
+	cf, err := storage.OpenContainer(bytes.NewReader(candidate), int64(len(candidate)),
+		storage.OpenOptions{CacheBytes: -1})
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	cols := cf.Columns()
+	if len(cols) != len(names) {
+		return fmt.Errorf("%w: candidate has %d column(s), want %d", storage.ErrCorrupt, len(cols), len(names))
+	}
+	var buf []int64
+	for ci, bc := range cols {
+		if bc.Name != names[ci] {
+			return fmt.Errorf("%w: candidate column %d is %q, want %q", storage.ErrCorrupt, ci, bc.Name, names[ci])
+		}
+		if err := bc.Col.Validate(); err != nil {
+			return fmt.Errorf("column %q: %w", bc.Name, err)
+		}
+		if bc.Col.N != len(want[ci]) {
+			return fmt.Errorf("%w: candidate column %q holds %d row(s), want %d",
+				storage.ErrCorrupt, bc.Name, bc.Col.N, len(want[ci]))
+		}
+		for i := range bc.Col.Blocks {
+			b := &bc.Col.Blocks[i]
+			if cap(buf) < b.Count {
+				buf = make([]int64, b.Count)
+			}
+			if err := bc.Col.DecompressBlock(i, buf[:b.Count]); err != nil {
+				return fmt.Errorf("column %q block %d: %w", bc.Name, i, err)
+			}
+			ref := want[ci][b.Start : b.Start+int64(b.Count)]
+			for j, v := range buf[:b.Count] {
+				if v != ref[j] {
+					return fmt.Errorf("%w: column %q block %d row %d decodes to %d, want %d",
+						storage.ErrCorrupt, bc.Name, i, b.Start+int64(j), v, ref[j])
+				}
+			}
+			if b.Count == 0 {
+				continue
+			}
+			lo, hi := minMax(buf[:b.Count])
+			if !b.HasStats || lo != b.Min || hi != b.Max {
+				return fmt.Errorf("%w: column %q block %d index stats [%d, %d], data spans [%d, %d]",
+					storage.ErrCorrupt, bc.Name, i, b.Min, b.Max, lo, hi)
+			}
+		}
+	}
+	return nil
+}
+
+// minMax returns the extremes of a non-empty slice.
+func minMax(vs []int64) (lo, hi int64) {
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,437 @@
+package compact
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lwcomp/internal/blocked"
+	"lwcomp/internal/scheme"
+	"lwcomp/internal/storage"
+	"lwcomp/internal/workload"
+)
+
+// writeCheap encodes cols with a fixed fast scheme (plain ns bitpack,
+// no analyzer search — the "write fast now" ingest path) into a v3
+// container at path.
+func writeCheap(t *testing.T, path string, blockSize int, cols map[string][]int64) {
+	t.Helper()
+	ns, err := scheme.Parse("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bcs []storage.BlockedColumn
+	for name, data := range cols {
+		col, err := blocked.Encode(data, blocked.EncodeOptions{BlockSize: blockSize, Scheme: ns})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bcs = append(bcs, storage.BlockedColumn{Name: name, Col: col})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := storage.WriteContainerV3(f, bcs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readBack decompresses every column of the container at path.
+func readBack(t *testing.T, path string) map[string][]int64 {
+	t.Helper()
+	cf, err := storage.OpenContainerFile(path, storage.OpenOptions{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	out := map[string][]int64{}
+	for _, bc := range cf.Columns() {
+		raw, err := bc.Col.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[bc.Name] = raw
+	}
+	return out
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+func equalCols(t *testing.T, got, want map[string][]int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d column(s), want %d", len(got), len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("column %q missing", name)
+		}
+		if len(g) != len(w) {
+			t.Fatalf("column %q: %d row(s), want %d", name, len(g), len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("column %q row %d: %d, want %d", name, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestCompactFileReclaims: a container ingested with the fixed fast
+// scheme shrinks under exhaustive re-analysis, the data survives
+// bit-for-bit, and the result carries a generation stamp.
+func TestCompactFileReclaims(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dates.lwc")
+	cols := map[string][]int64{"d": workload.OrderShipDates(40000, 64, 730120, 7)}
+	writeCheap(t, path, 8192, cols)
+	before := fileSize(t, path)
+
+	c := New(Options{MinGainBytes: -1})
+	res, err := c.CompactFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionRewritten {
+		t.Fatalf("action = %q (err %v), want rewritten", res.Action, res.Err)
+	}
+	if res.BytesBefore != before || res.BytesAfter >= before {
+		t.Fatalf("bytes %d -> %d, want a real shrink from %d", res.BytesBefore, res.BytesAfter, before)
+	}
+	if got := fileSize(t, path); got != res.BytesAfter {
+		t.Fatalf("on-disk size %d, result says %d", got, res.BytesAfter)
+	}
+	if res.Generation != 1 || c.Generation() != 1 {
+		t.Fatalf("generation = %d / %d, want 1", res.Generation, c.Generation())
+	}
+	equalCols(t, readBack(t, path), cols)
+
+	// The rewritten generation passes the offline fsck too.
+	rep, err := storage.VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("verify after compaction: %v", rep.Issues)
+	}
+
+	ctr := c.Counters()
+	if ctr.Scanned != 1 || ctr.Rewritten != 1 || ctr.BytesReclaimed != before-res.BytesAfter {
+		t.Fatalf("counters = %+v", ctr)
+	}
+	if ctr.CPUSeconds <= 0 {
+		t.Fatalf("CPUSeconds = %v, want > 0", ctr.CPUSeconds)
+	}
+}
+
+// TestCompactThreshold: a win below the absolute or fractional
+// threshold skips the rewrite and leaves the file byte-identical.
+func TestCompactThreshold(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dates.lwc")
+	writeCheap(t, path, 8192, map[string][]int64{"d": workload.OrderShipDates(40000, 64, 730120, 7)})
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, opt := range []Options{
+		{MinGainBytes: 1 << 40},
+		{MinGainBytes: -1, MinGainFraction: 0.9999},
+	} {
+		c := New(opt)
+		res, err := c.CompactFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Action != ActionSkipped {
+			t.Fatalf("opts %+v: action = %q, want skipped", opt, res.Action)
+		}
+		if res.CandidateBytes == 0 || res.CandidateBytes >= res.BytesBefore {
+			t.Fatalf("opts %+v: candidate %d of %d — the skip should still have found a win",
+				opt, res.CandidateBytes, res.BytesBefore)
+		}
+		now, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(now) != string(orig) {
+			t.Fatalf("opts %+v: skipped compaction mutated the file", opt)
+		}
+		if ctr := c.Counters(); ctr.Skipped != 1 || ctr.Rewritten != 0 || ctr.BytesReclaimed != 0 {
+			t.Fatalf("opts %+v: counters = %+v", opt, ctr)
+		}
+	}
+}
+
+// TestCompactIdempotent: a second pass finds nothing left to win and
+// skips — compaction converges instead of churning.
+func TestCompactIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.lwc")
+	writeCheap(t, path, 8192, map[string][]int64{"r": workload.Runs(40000, 64, 1<<16, 3)})
+
+	c := New(Options{MinGainBytes: -1})
+	first, err := c.CompactFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Action != ActionRewritten {
+		t.Fatalf("first pass: %q (err %v)", first.Action, first.Err)
+	}
+	second, err := c.CompactFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Action != ActionSkipped {
+		t.Fatalf("second pass: %q, want skipped (bytes %d -> candidate %d)",
+			second.Action, second.BytesBefore, second.CandidateBytes)
+	}
+}
+
+// TestCompactVerifyAbortKeepsOld: a candidate that fails the pre-swap
+// verification never reaches the filesystem — the old generation
+// stays byte-for-byte intact and the failure is reported, not
+// returned as an environmental error.
+func TestCompactVerifyAbortKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dates.lwc")
+	writeCheap(t, path, 8192, map[string][]int64{"d": workload.OrderShipDates(40000, 64, 730120, 7)})
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	testMutateCandidate = func(b []byte) { b[len(b)-3] ^= 0x40 } // flip a payload bit
+	defer func() { testMutateCandidate = nil }()
+
+	c := New(Options{MinGainBytes: -1})
+	res, err := c.CompactFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionFailed || res.Err == nil {
+		t.Fatalf("action = %q err = %v, want failed with a verification error", res.Action, res.Err)
+	}
+	now, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(now) != string(orig) {
+		t.Fatal("failed verification must keep the old generation untouched")
+	}
+	if ctr := c.Counters(); ctr.Failed != 1 || ctr.Rewritten != 0 {
+		t.Fatalf("counters = %+v", ctr)
+	}
+}
+
+// TestCompactPrunedSearch: TrialK > 0 runs the size-biased pruned
+// search; on this workload it lands on the same win as exhaustive.
+func TestCompactPrunedSearch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dates.lwc")
+	cols := map[string][]int64{"d": workload.OrderShipDates(40000, 64, 730120, 7)}
+	writeCheap(t, path, 8192, cols)
+
+	c := New(Options{MinGainBytes: -1, TrialK: 3})
+	res, err := c.CompactFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionRewritten {
+		t.Fatalf("action = %q (err %v)", res.Action, res.Err)
+	}
+	equalCols(t, readBack(t, path), cols)
+}
+
+// TestCompactDir: a directory pass compacts every container and the
+// report aggregates per-container outcomes.
+func TestCompactDir(t *testing.T) {
+	dir := t.TempDir()
+	writeCheap(t, filepath.Join(dir, "a.lwc"), 8192, map[string][]int64{"x": workload.OrderShipDates(30000, 64, 730120, 1)})
+	writeCheap(t, filepath.Join(dir, "b.lwc"), 8192, map[string][]int64{"y": workload.Runs(30000, 64, 1<<16, 2)})
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignored"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(Options{MinGainBytes: -1})
+	rep, err := c.CompactDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("visited %d container(s), want 2", len(rep.Results))
+	}
+	rewritten, skipped, failed, merged := rep.Counts()
+	if rewritten != 2 || skipped != 0 || failed != 0 || merged != 0 {
+		t.Fatalf("counts = %d/%d/%d/%d", rewritten, skipped, failed, merged)
+	}
+	if rep.BytesReclaimed() <= 0 {
+		t.Fatalf("BytesReclaimed = %d, want > 0", rep.BytesReclaimed())
+	}
+}
+
+// TestDryRunEstimates: the statistics-only estimate predicts real
+// savings for a cheaply ingested directory, sorts the biggest win
+// first, and writes nothing.
+func TestDryRunEstimates(t *testing.T) {
+	dir := t.TempDir()
+	big := filepath.Join(dir, "big.lwc")
+	small := filepath.Join(dir, "small.lwc")
+	writeCheap(t, big, 8192, map[string][]int64{"d": workload.OrderShipDates(60000, 64, 730120, 7)})
+	writeCheap(t, small, 8192, map[string][]int64{"d": workload.OrderShipDates(6000, 64, 730120, 7)})
+	origBig, _ := os.ReadFile(big)
+	origSmall, _ := os.ReadFile(small)
+
+	c := New(Options{})
+	ests, err := c.EstimateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 2 {
+		t.Fatalf("estimated %d container(s), want 2", len(ests))
+	}
+	if ests[0].Path != big {
+		t.Fatalf("sorted order: first is %q, want the bigger win %q", ests[0].Path, big)
+	}
+	for _, e := range ests {
+		if e.EstSavings() <= 0 {
+			t.Fatalf("%s: EstSavings = %d, want > 0 for a cheaply ingested container", e.Path, e.EstSavings())
+		}
+		if e.EstSavingsFraction() <= 0 || e.EstSavingsFraction() > 1 {
+			t.Fatalf("%s: EstSavingsFraction = %v", e.Path, e.EstSavingsFraction())
+		}
+	}
+
+	// The estimate is honest: compacting realizes at least a real win
+	// where the estimator predicted one.
+	res, err := New(Options{MinGainBytes: -1}).CompactFile(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionRewritten {
+		t.Fatalf("compaction after a positive estimate: %q", res.Action)
+	}
+
+	nowSmall, _ := os.ReadFile(small)
+	if string(nowSmall) != string(origSmall) {
+		t.Fatal("dry run mutated a container")
+	}
+	_ = origBig
+}
+
+// TestMergeSmall: many tiny same-table single-column containers
+// coalesce into one multi-column container named for the table, the
+// parts are removed, and the data survives under the filename-derived
+// column names.
+func TestMergeSmall(t *testing.T) {
+	dir := t.TempDir()
+	a := workload.LowCardinality(5000, 16, 1)
+	b := workload.Sorted(5000, 1<<30, 2)
+	writeCheap(t, filepath.Join(dir, "t.a.lwc"), 1024, map[string][]int64{"col0": a})
+	writeCheap(t, filepath.Join(dir, "t.b.lwc"), 1024, map[string][]int64{"col0": b})
+	// A different table with one part stays as it is.
+	writeCheap(t, filepath.Join(dir, "u.v.lwc"), 1024, map[string][]int64{"col0": a})
+
+	c := New(Options{MergeSmall: true})
+	results, err := c.MergeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Action != ActionMerged {
+		t.Fatalf("results = %+v, want one merge", results)
+	}
+	if len(results[0].MergedFrom) != 2 {
+		t.Fatalf("MergedFrom = %v", results[0].MergedFrom)
+	}
+	for _, gone := range []string{"t.a.lwc", "t.b.lwc"} {
+		if _, err := os.Stat(filepath.Join(dir, gone)); !os.IsNotExist(err) {
+			t.Fatalf("part %s still present after merge", gone)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "u.v.lwc")); err != nil {
+		t.Fatalf("singleton part was touched: %v", err)
+	}
+	equalCols(t, readBack(t, filepath.Join(dir, "t.lwc")), map[string][]int64{"a": a, "b": b})
+	if c.Counters().Merged != 1 {
+		t.Fatalf("counters = %+v", c.Counters())
+	}
+}
+
+// TestMergeRefusals: groups that cannot merge cleanly are left
+// untouched — an existing <table>.lwc, mismatched row counts, or an
+// oversized sibling.
+func TestMergeRefusals(t *testing.T) {
+	dir := t.TempDir()
+	a := workload.LowCardinality(5000, 16, 1)
+	short := workload.LowCardinality(4000, 16, 1)
+
+	// Table "w": merged name already taken.
+	writeCheap(t, filepath.Join(dir, "w.a.lwc"), 1024, map[string][]int64{"col0": a})
+	writeCheap(t, filepath.Join(dir, "w.b.lwc"), 1024, map[string][]int64{"col0": a})
+	writeCheap(t, filepath.Join(dir, "w.lwc"), 1024, map[string][]int64{"c": a})
+	// Table "x": row counts disagree.
+	writeCheap(t, filepath.Join(dir, "x.a.lwc"), 1024, map[string][]int64{"col0": a})
+	writeCheap(t, filepath.Join(dir, "x.b.lwc"), 1024, map[string][]int64{"col0": short})
+
+	before, err := ListContainers(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Options{MergeSmall: true})
+	results, err := c.MergeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("results = %+v, want none", results)
+	}
+	after, err := ListContainers(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("file set changed: %v -> %v", before, after)
+	}
+
+	// SmallBytes = 1 disqualifies everything by size.
+	tiny := New(Options{MergeSmall: true, SmallBytes: 1})
+	results, err = tiny.MergeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("oversized parts merged anyway: %+v", results)
+	}
+}
+
+// TestCompactDirWithMerge: one pass merges first and then compacts
+// the merged output along with everything else.
+func TestCompactDirWithMerge(t *testing.T) {
+	dir := t.TempDir()
+	a := workload.OrderShipDates(20000, 64, 730120, 1)
+	b := workload.Runs(20000, 64, 1<<16, 2)
+	writeCheap(t, filepath.Join(dir, "t.a.lwc"), 4096, map[string][]int64{"col0": a})
+	writeCheap(t, filepath.Join(dir, "t.b.lwc"), 4096, map[string][]int64{"col0": b})
+
+	c := New(Options{MinGainBytes: -1, MergeSmall: true})
+	rep, err := c.CompactDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten, _, failed, merged := rep.Counts()
+	if merged != 1 || rewritten != 1 || failed != 0 {
+		t.Fatalf("counts: merged=%d rewritten=%d failed=%d; results %+v", merged, rewritten, failed, rep.Results)
+	}
+	equalCols(t, readBack(t, filepath.Join(dir, "t.lwc")), map[string][]int64{"a": a, "b": b})
+}

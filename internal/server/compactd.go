@@ -1,0 +1,156 @@
+package server
+
+import (
+	"log"
+	"time"
+
+	"lwcomp/internal/compact"
+)
+
+// This file hosts the background recompaction daemon inside the query
+// server: the same compactor `lwc compact` runs single-shot, wrapped
+// in a low-priority loop that yields to query traffic. Before every
+// container the loop waits until the admission gate has spare
+// capacity — no queued queries and at least one free slot — so
+// compaction CPU never stands between a client and admission. After a
+// sweep that changed the directory the server reloads, which swaps
+// the mount set atomically: in-flight queries drain on the retired
+// generation's descriptors while new queries open the compacted
+// files.
+
+// sweepResult summarizes one sweep for /-/compact and the logs.
+type sweepResult struct {
+	// Rewritten, Merged, Skipped and Failed count the sweep's
+	// per-container outcomes.
+	Rewritten int `json:"rewritten"`
+	// Merged counts coalesced containers written.
+	Merged int `json:"merged"`
+	// Skipped counts containers under the rewrite threshold.
+	Skipped int `json:"skipped"`
+	// Failed counts containers kept on their old generation.
+	Failed int `json:"failed"`
+	// BytesReclaimed is the sweep's realized byte win.
+	BytesReclaimed int64 `json:"bytes_reclaimed"`
+	// Reloaded reports whether the sweep changed the directory and
+	// re-mounted.
+	Reloaded bool `json:"reloaded"`
+	// Aborted reports a sweep cut short by server shutdown.
+	Aborted bool `json:"aborted"`
+}
+
+// compactOptions maps the serving config onto the compactor's knobs.
+func (c Config) compactOptions() compact.Options {
+	return compact.Options{
+		MinGainBytes:    c.CompactMinGainBytes,
+		MinGainFraction: c.CompactMinGainFraction,
+		TrialK:          c.CompactTrialK,
+		Parallelism:     c.Parallelism,
+		MergeSmall:      c.CompactMerge,
+	}
+}
+
+// compactLoop is the daemon: one sweep per interval until Close.
+func (s *Server) compactLoop() {
+	defer close(s.compactDone)
+	t := time.NewTicker(s.cfg.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.compactStop:
+			return
+		case <-t.C:
+			res := s.compactSweep()
+			if res.Rewritten > 0 || res.Merged > 0 {
+				log.Printf("lwcd: compaction sweep: %d rewritten, %d merged, %d skipped, %d failed, %d bytes reclaimed",
+					res.Rewritten, res.Merged, res.Skipped, res.Failed, res.BytesReclaimed)
+			}
+		}
+	}
+}
+
+// compactYield blocks until the admission gate has spare capacity —
+// nobody queued and at least one free query slot — so the compactor
+// only ever burns CPU the query path is not asking for. It returns
+// false when the server is shutting down.
+func (s *Server) compactYield() bool {
+	for {
+		if s.gate.waiting() == 0 && s.gate.inFlight() < s.cfg.MaxConcurrent {
+			return true
+		}
+		select {
+		case <-s.compactStop:
+			return false
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// compactSweep runs one pass over the mounted directory. Only one
+// sweep runs at a time; a tick that lands mid-sweep is dropped.
+func (s *Server) compactSweep() sweepResult {
+	var res sweepResult
+	if !s.sweepMu.TryLock() {
+		return res
+	}
+	defer s.sweepMu.Unlock()
+	s.sweeps.Add(1)
+	abort := func() sweepResult {
+		res.Aborted = true
+		s.sweepsAborted.Add(1)
+		return res
+	}
+
+	if s.cfg.CompactMerge {
+		if !s.compactYield() {
+			return abort()
+		}
+		merged, err := s.compactor.MergeDir(s.cfg.Dir)
+		if err != nil {
+			log.Printf("lwcd: compaction merge pass: %v", err)
+		}
+		res.Merged += len(merged)
+		for _, m := range merged {
+			res.BytesReclaimed += m.Gain()
+		}
+	}
+
+	paths, err := compact.ListContainers(s.cfg.Dir)
+	if err != nil {
+		log.Printf("lwcd: compaction sweep: %v", err)
+		return res
+	}
+	for _, p := range paths {
+		if !s.compactYield() {
+			return abort()
+		}
+		r, err := s.compactor.CompactFile(p)
+		if err != nil {
+			// Environmental (a container deleted mid-sweep, a full
+			// disk): log and move on — the next sweep retries.
+			log.Printf("lwcd: compacting %s: %v", p, err)
+			continue
+		}
+		switch r.Action {
+		case compact.ActionRewritten:
+			res.Rewritten++
+			res.BytesReclaimed += r.Gain()
+		case compact.ActionSkipped:
+			res.Skipped++
+		case compact.ActionFailed:
+			res.Failed++
+			log.Printf("lwcd: compacting %s: kept old generation: %v", p, r.Err)
+		}
+	}
+
+	if res.Rewritten > 0 || res.Merged > 0 {
+		// The generation swap for the serving path: retired mount sets
+		// drain on their open descriptors, new queries open the
+		// compacted files.
+		if err := s.Reload(); err != nil {
+			log.Printf("lwcd: reload after compaction failed (still serving the previous set): %v", err)
+		} else {
+			res.Reloaded = true
+		}
+	}
+	return res
+}

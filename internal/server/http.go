@@ -21,6 +21,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /-/reload", s.handleReload)
+	mux.HandleFunc("POST /-/compact", s.handleCompact)
 	// /healthz is pure liveness: the process is up and serving HTTP.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -595,6 +596,36 @@ type metricsBody struct {
 	Cache metricsCache `json:"cache"`
 	// Tables holds each mounted table's counters.
 	Tables map[string]metricsTable `json:"tables"`
+	// Compaction holds the background compactor's tallies; present
+	// only when the daemon is enabled.
+	Compaction *metricsCompaction `json:"compaction,omitempty"`
+}
+
+// metricsCompaction is the compaction section of /metrics.
+type metricsCompaction struct {
+	// ContainersScanned, Rewritten, Skipped, Failed and Merged are the
+	// compactor's lifetime per-container outcome counters.
+	ContainersScanned int64 `json:"containers_scanned"`
+	// ContainersRewritten counts atomic rewrites that took effect.
+	ContainersRewritten int64 `json:"containers_rewritten"`
+	// ContainersSkipped counts containers under the rewrite threshold.
+	ContainersSkipped int64 `json:"containers_skipped"`
+	// ContainersFailed counts containers kept on their old generation
+	// after an integrity failure.
+	ContainersFailed int64 `json:"containers_failed"`
+	// ContainersMerged counts merged containers written.
+	ContainersMerged int64 `json:"containers_merged"`
+	// BytesReclaimed is the cumulative on-disk byte win.
+	BytesReclaimed int64 `json:"bytes_reclaimed"`
+	// CPUSeconds is the wall time the compactor spent working.
+	CPUSeconds float64 `json:"cpu_seconds"`
+	// Sweeps counts sweeps started; SweepsAborted the ones cut short
+	// by shutdown.
+	Sweeps int64 `json:"sweeps"`
+	// SweepsAborted counts sweeps that stopped before finishing.
+	SweepsAborted int64 `json:"sweeps_aborted"`
+	// Generation is the compactor's latest generation stamp.
+	Generation uint64 `json:"generation"`
 }
 
 // handleMetrics serves the counters.
@@ -643,7 +674,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			ReadGiveups:       rst.Giveups,
 		}
 	}
+	if s.compactor != nil {
+		ctr := s.compactor.Counters()
+		body.Compaction = &metricsCompaction{
+			ContainersScanned:   ctr.Scanned,
+			ContainersRewritten: ctr.Rewritten,
+			ContainersSkipped:   ctr.Skipped,
+			ContainersFailed:    ctr.Failed,
+			ContainersMerged:    ctr.Merged,
+			BytesReclaimed:      ctr.BytesReclaimed,
+			CPUSeconds:          ctr.CPUSeconds,
+			Sweeps:              s.sweeps.Load(),
+			SweepsAborted:       s.sweepsAborted.Load(),
+			Generation:          s.compactor.Generation(),
+		}
+	}
 	writeJSON(w, body)
+}
+
+// handleCompact runs one synchronous compaction sweep — the HTTP
+// trigger tests and benchmarks use for deterministic sweeps instead
+// of waiting out the interval. 404 unless the daemon is configured;
+// an empty result when a background sweep is already running.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if s.compactor == nil {
+		writeError(w, http.StatusNotFound, "compaction daemon not enabled (start with -compact)")
+		return
+	}
+	writeJSON(w, s.compactSweep())
 }
 
 // handleReload re-mounts the directory — the HTTP twin of SIGHUP.

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"lwcomp"
+	"lwcomp/internal/compact"
 	"lwcomp/internal/storage"
 )
 
@@ -59,6 +60,28 @@ type Config struct {
 	// to exercise the retry and quarantine paths (see internal/faults).
 	// Setting it disables mmap for the mounted containers.
 	FaultInjection func(io.ReaderAt) io.ReaderAt
+	// Compact enables the background recompaction daemon: periodic
+	// low-priority sweeps that re-analyze each mounted container and
+	// atomically rewrite the ones whose byte win clears the threshold
+	// (see internal/compact). Sweeps yield to query traffic and never
+	// take an admission slot.
+	Compact bool
+	// CompactInterval is the pause between background sweeps; 0 means
+	// 1m. Ignored unless Compact is set.
+	CompactInterval time.Duration
+	// CompactMinGainBytes is the rewrite threshold in absolute bytes;
+	// 0 means compact.DefaultMinGainBytes, negative means any positive
+	// gain.
+	CompactMinGainBytes int64
+	// CompactMinGainFraction additionally requires the gain to clear
+	// this fraction of the old container's size; 0 disables.
+	CompactMinGainFraction float64
+	// CompactTrialK prunes the compactor's per-block scheme search to
+	// the top K candidates by estimated size; 0 means exhaustive.
+	CompactTrialK int
+	// CompactMerge also coalesces groups of small same-table
+	// single-column containers into one container per table.
+	CompactMerge bool
 }
 
 // DefaultCacheBytes is the shared block-cache budget used when the
@@ -86,6 +109,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadRetries == 0 {
 		c.ReadRetries = 3
+	}
+	if c.Compact && c.CompactInterval <= 0 {
+		c.CompactInterval = time.Minute
 	}
 	return c
 }
@@ -122,6 +148,16 @@ type Server struct {
 	// "serving but not ready for more traffic".
 	reloading atomic.Int64
 	draining  atomic.Int64
+
+	// The background recompaction daemon (nil/zero unless cfg.Compact):
+	// compactor does the rewrites, sweepMu serializes sweeps, the
+	// channels stop the loop, and the counters feed /metrics.
+	compactor     *compact.Compactor
+	compactStop   chan struct{}
+	compactDone   chan struct{}
+	sweepMu       sync.Mutex
+	sweeps        atomic.Int64
+	sweepsAborted atomic.Int64
 }
 
 // New builds a server over cfg and performs the initial mount. An
@@ -138,6 +174,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if err := s.Reload(); err != nil {
 		return nil, err
+	}
+	if cfg.Compact {
+		s.compactor = compact.New(cfg.compactOptions())
+		s.compactStop = make(chan struct{})
+		s.compactDone = make(chan struct{})
+		go s.compactLoop()
 	}
 	return s, nil
 }
@@ -167,7 +209,13 @@ func (s *Server) Reload() error {
 // Close retires the mounted set, closing its containers once the last
 // in-flight query drains. The server rejects new queries afterwards.
 func (s *Server) Close() error {
-	s.closed.Store(true)
+	if s.closed.CompareAndSwap(false, true) && s.compactStop != nil {
+		// Stop the compaction daemon first and wait it out: a sweep
+		// mid-rewrite finishes its atomic write, then sees the stop and
+		// aborts before the next container.
+		close(s.compactStop)
+		<-s.compactDone
+	}
 	s.mu.Lock()
 	old := s.mounts
 	s.mounts = newMountSet(nil)
@@ -284,6 +332,12 @@ func Main(args []string) error {
 	fs.IntVar(&cfg.BatchRows, "batch-rows", 0, "rows per streamed NDJSON frame (0 = 4096)")
 	fs.BoolVar(&cfg.Mmap, "mmap", false, "memory-map containers instead of reading them")
 	fs.IntVar(&cfg.ReadRetries, "read-retries", 0, "retries per transiently failed container read (0 = 3, negative = none)")
+	fs.BoolVar(&cfg.Compact, "compact", false, "run the background recompaction daemon over -dir")
+	fs.DurationVar(&cfg.CompactInterval, "compact-interval", 0, "pause between background compaction sweeps (0 = 1m)")
+	fs.Int64Var(&cfg.CompactMinGainBytes, "compact-min-gain", 0, "rewrite threshold in bytes (0 = 4096, negative = any gain)")
+	fs.Float64Var(&cfg.CompactMinGainFraction, "compact-min-gain-frac", 0, "rewrite threshold as a fraction of the old container size (0 = off)")
+	fs.IntVar(&cfg.CompactTrialK, "compact-trialk", 0, "prune the compactor's scheme search to the top K estimates (0 = exhaustive)")
+	fs.BoolVar(&cfg.CompactMerge, "compact-merge", false, "also merge small same-table single-column containers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
