@@ -20,6 +20,8 @@
 //	lwc query -i dates.lwc -range 730200:730400 --mmap
 //	lwc query -i orders.lwc -where 'date >= 730200 and date <= 730400 and status = 1' -sum -col amount
 //	lwc verify -i dates.lwc
+//	lwc verify -json /data/containers/*.lwc
+//	lwc repair -dir /data/containers -json
 //	lwc compact -dry-run -dir /data/containers
 //	lwc compact -dir /data/containers -min-gain-bytes 4096 -merge
 //	lwc serve -dir /data/containers -addr 127.0.0.1:7207
@@ -36,8 +38,20 @@
 //
 // verify is the offline fsck: it re-reads every block payload, checks
 // its CRC, decodes and decompresses it, and re-derives the block's
-// [min, max] against the index stats, reporting every finding and
-// exiting non-zero if any check failed.
+// [min, max] against the index stats, reporting every finding — with
+// -json as one machine-readable report per container (container,
+// column, block, row range, reason). Exit codes: 0 every container
+// clean, 1 integrity findings, 2 environmental failure.
+//
+// repair is the salvage pass for containers verify condemns: good
+// blocks are preserved byte-for-byte, transiently corrupted reads are
+// retried, falsified index stats are re-derived from the data, and
+// only truly lost blocks are tombstoned — the container keeps serving
+// its surviving rows, with the lost row ranges recorded exactly (the
+// same manifest shape degraded scans report). The rebuilt generation
+// is verified before an atomic temp+rename swap. Exit codes: 0 clean
+// or repaired, 1 unrepairable container(s), 2 environmental failure.
+// The same salvage runs inside lwcd under -scrub-heal.
 //
 // compact is the single-shot recompaction pass: each container is
 // re-analyzed block by block (exhaustively, or pruned with -trialk)
@@ -59,6 +73,7 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -66,9 +81,11 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"lwcomp"
 	"lwcomp/internal/compact"
+	"lwcomp/internal/scrub"
 	"lwcomp/internal/server"
 	"lwcomp/internal/storage"
 	"lwcomp/internal/workload"
@@ -97,6 +114,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "repair":
+		err = cmdRepair(os.Args[2:])
 	case "compact":
 		err = cmdCompact(os.Args[2:])
 	case "serve":
@@ -110,9 +129,27 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lwc %s: %v\n", os.Args[1], err)
+		var ce *codedError
+		if errors.As(err, &ce) {
+			os.Exit(ce.code)
+		}
 		os.Exit(1)
 	}
 }
+
+// codedError carries an explicit process exit status for commands
+// with documented exit codes (verify, repair): 1 for findings, 2 for
+// environmental failures.
+type codedError struct {
+	code int
+	err  error
+}
+
+// Error implements error.
+func (e *codedError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *codedError) Unwrap() error { return e.err }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `lwc <command> [flags]
@@ -126,6 +163,7 @@ commands:
   inspect     show the scheme tree and sizes of a container
   query       run sum/range/point queries, or -where table scans, on a container
   verify      fsck a container: re-read, CRC-check and decode every block
+  repair      salvage a damaged container: preserve good blocks, tombstone lost ones
   compact     re-analyze containers and atomically rewrite the ones that shrink
   serve       serve a directory of containers as tables over HTTP (same as lwcd)
 
@@ -452,12 +490,15 @@ func cmdQuery(args []string) error {
 
 // cmdVerify fsck-walks containers: every block payload re-read,
 // CRC-checked, decoded, decompressed, and its re-derived [min, max]
-// compared against the index stats. Findings print one per line;
-// any finding makes the command exit non-zero.
+// compared against the index stats. Findings print one per line (or,
+// with -json, one machine-readable report per container per line).
+// Exit codes: 0 every container clean, 1 integrity findings, 2
+// environmental failure (file unreadable, transport-level I/O).
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	in := fs.String("i", "", "container to verify (or pass containers as positional arguments)")
 	quiet := fs.Bool("q", false, "print findings only, no per-file summary")
+	jsonOut := fs.Bool("json", false, "print one JSON report per container (columns, blocks, issues with row ranges)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -468,17 +509,27 @@ func cmdVerify(args []string) error {
 	if len(paths) == 0 {
 		return errors.New("nothing to verify: pass -i or positional container paths")
 	}
+	enc := json.NewEncoder(os.Stdout)
 	bad := 0
 	for _, path := range paths {
 		rep, err := storage.VerifyFile(path)
 		if err != nil {
-			return err
+			return &codedError{2, err}
+		}
+		if !rep.OK() {
+			bad++
+		}
+		if *jsonOut {
+			if err := enc.Encode(rep); err != nil {
+				return &codedError{2, err}
+			}
+			continue
 		}
 		for _, issue := range rep.Issues {
 			fmt.Printf("%s: %s\n", path, issue)
 		}
-		if !rep.OK() {
-			bad++
+		for _, ts := range rep.Tombstones {
+			fmt.Printf("%s: tombstone: %s\n", path, ts)
 		}
 		if !*quiet {
 			status := "ok"
@@ -489,9 +540,93 @@ func cmdVerify(args []string) error {
 		}
 	}
 	if bad > 0 {
-		return fmt.Errorf("%d of %d container(s) failed verification", bad, len(paths))
+		return &codedError{1, fmt.Errorf("%d of %d container(s) failed verification", bad, len(paths))}
 	}
 	return nil
+}
+
+// cmdRepair salvage-repairs containers: good blocks are preserved
+// byte-for-byte, blocks whose first read lies are re-read through the
+// retry policy, index stats falsified by rot are re-derived, and only
+// blocks that stay unreadable are tombstoned with their exact row
+// range. The rebuilt generation is verified before an atomic swap; an
+// interrupted repair leaves the old file intact. Exit codes: 0 every
+// container clean or repaired, 1 at least one unrepairable, 2
+// environmental failure.
+func cmdRepair(args []string) error {
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	dir := fs.String("dir", "", "directory of *.lwc containers to repair (or pass containers as positional arguments)")
+	jsonOut := fs.Bool("json", false, "print one JSON result per container")
+	attempts := fs.Int("read-attempts", 0, "full re-reads per damaged block before tombstoning it (0 = 3)")
+	retries := fs.Int("read-retries", 0, "retries per transiently failed read below the block layer (0 = 3, negative = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if (*dir == "") == (len(paths) == 0) {
+		return errors.New("pass either -dir or positional container paths")
+	}
+	if *dir != "" {
+		// Single-writer open: crash litter from an interrupted swap is
+		// safe to sweep at any age.
+		if removed, err := storage.SweepTempFiles(*dir, 0); err == nil && len(removed) > 0 {
+			fmt.Fprintf(os.Stderr, "removed %d orphaned temp file(s)\n", len(removed))
+		}
+		var err error
+		paths, err = compact.ListContainers(*dir)
+		if err != nil {
+			return &codedError{2, err}
+		}
+	}
+	opt := scrub.RepairOptions{ReadAttempts: *attempts, Retry: retryPolicy(*retries)}
+	enc := json.NewEncoder(os.Stdout)
+	unrepairable := 0
+	for _, path := range paths {
+		res, err := scrub.RepairFile(path, opt)
+		if err != nil {
+			return &codedError{2, err}
+		}
+		if *jsonOut {
+			if err := enc.Encode(res); err != nil {
+				return &codedError{2, err}
+			}
+		} else {
+			switch res.Action {
+			case scrub.ActionClean:
+				fmt.Printf("%s: clean, %d column(s), %d block(s) (%d tombstone(s) carried)\n",
+					res.Path, res.Columns, res.Blocks, res.CarriedTombstones)
+			case scrub.ActionRepaired:
+				fmt.Printf("%s: repaired, %d -> %d bytes: %d preserved, %d reread, %d stats fixed, %d checksums fixed, %d tombstoned\n",
+					res.Path, res.BytesBefore, res.BytesAfter,
+					res.Preserved, res.Reread, res.StatsFixed, res.ChecksumsFixed, res.Tombstoned)
+			case scrub.ActionUnrepairable:
+				fmt.Printf("%s: UNREPAIRABLE, left untouched: %s\n", res.Path, res.Err)
+			}
+		}
+		if res.Action == scrub.ActionUnrepairable {
+			unrepairable++
+		}
+	}
+	if unrepairable > 0 {
+		return &codedError{1, fmt.Errorf("%d of %d container(s) unrepairable", unrepairable, len(paths))}
+	}
+	return nil
+}
+
+// retryPolicy maps the CLI retry knob onto the storage layer's
+// backoff policy, mirroring the server's mapping.
+func retryPolicy(retries int) storage.RetryPolicy {
+	if retries == 0 {
+		retries = 3
+	}
+	if retries < 0 {
+		return storage.RetryPolicy{}
+	}
+	return storage.RetryPolicy{
+		MaxRetries: retries,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   50 * time.Millisecond,
+	}
 }
 
 // cmdCompact runs one recompaction pass: walk the given containers
@@ -518,6 +653,13 @@ func cmdCompact(args []string) error {
 	}
 	if *merge && *dir == "" {
 		return errors.New("-merge needs -dir (it coalesces sibling files)")
+	}
+	if *dir != "" && !*dryRun {
+		// Open-time janitor: litter from a crash mid-swap; this is the
+		// directory's single writer, so age 0 is safe.
+		if removed, err := storage.SweepTempFiles(*dir, 0); err == nil && len(removed) > 0 {
+			fmt.Fprintf(os.Stderr, "removed %d orphaned temp file(s)\n", len(removed))
+		}
 	}
 	c := compact.New(compact.Options{
 		MinGainBytes:    *minGain,

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lwcomp"
+)
+
+// captureStdout runs fn with os.Stdout teed into a buffer.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := r.Read(buf)
+			b.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		done <- b.String()
+	}()
+	ferr := fn()
+	os.Stdout = old
+	w.Close()
+	out := <-done
+	r.Close()
+	return out, ferr
+}
+
+// writeLwc writes vals as a one-column container, optionally lying
+// about a block's Min — corruption only stats re-derivation catches.
+func writeLwc(t *testing.T, path string, vals []int64, lie bool) {
+	t.Helper()
+	col, err := lwcomp.Encode(vals, lwcomp.WithBlockSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lie {
+		col.Blocks[1].Min -= 9
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := lwcomp.WriteColumns(f, []lwcomp.NamedColumn{{Name: "v", Col: col}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ce *codedError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	return 1
+}
+
+func testVals(n int) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 97)
+	}
+	return vals
+}
+
+// TestVerifyRepairExitCodesAndJSON drives the documented operator
+// loop: verify flags the damage (exit 1) with a machine-readable
+// finding, repair salvages it (exit 0), and a re-verify comes back
+// clean (exit 0).
+func TestVerifyRepairExitCodesAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.lwc")
+	bad := filepath.Join(dir, "bad.lwc")
+	writeLwc(t, good, testVals(1024), false)
+	writeLwc(t, bad, testVals(1024), true)
+
+	// Clean container: exit 0, JSON report with no issues.
+	out, err := captureStdout(t, func() error { return cmdVerify([]string{"-json", good}) })
+	if exitCode(err) != 0 {
+		t.Fatalf("verify clean: %v", err)
+	}
+	var rep struct {
+		Columns int               `json:"columns"`
+		Blocks  int               `json:"blocks"`
+		Issues  []json.RawMessage `json:"issues"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("verify -json output not JSON: %v\n%s", err, out)
+	}
+	if rep.Columns != 1 || rep.Blocks != 4 || len(rep.Issues) != 0 {
+		t.Fatalf("clean report: %+v", rep)
+	}
+
+	// Damaged container: exit 1, the finding names column, block and
+	// row range.
+	out, err = captureStdout(t, func() error { return cmdVerify([]string{"-json", bad}) })
+	if exitCode(err) != 1 {
+		t.Fatalf("verify damaged: exit %d (%v), want 1", exitCode(err), err)
+	}
+	var found struct {
+		Issues []struct {
+			Column   string `json:"column"`
+			Block    int    `json:"block"`
+			RowStart int64  `json:"row_start"`
+			RowCount int64  `json:"row_count"`
+			Reason   string `json:"reason"`
+		} `json:"issues"`
+	}
+	if err := json.Unmarshal([]byte(out), &found); err != nil {
+		t.Fatalf("verify -json output not JSON: %v\n%s", err, out)
+	}
+	if len(found.Issues) != 1 {
+		t.Fatalf("issues: %+v", found.Issues)
+	}
+	iss := found.Issues[0]
+	if iss.Column != "v" || iss.Block != 1 || iss.RowStart != 256 || iss.RowCount != 256 || iss.Reason == "" {
+		t.Fatalf("finding shape: %+v", iss)
+	}
+
+	// Environmental failure: exit 2.
+	_, err = captureStdout(t, func() error { return cmdVerify([]string{filepath.Join(dir, "missing.lwc")}) })
+	if exitCode(err) != 2 {
+		t.Fatalf("verify missing file: exit %d (%v), want 2", exitCode(err), err)
+	}
+
+	// Repair the directory: exit 0, one container repaired, and the
+	// repair JSON says what changed.
+	out, err = captureStdout(t, func() error { return cmdRepair([]string{"-dir", dir, "-json"}) })
+	if exitCode(err) != 0 {
+		t.Fatalf("repair: %v\n%s", err, out)
+	}
+	repaired := 0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var rr struct {
+			Action     string `json:"action"`
+			StatsFixed int    `json:"stats_fixed"`
+		}
+		if err := json.Unmarshal([]byte(line), &rr); err != nil {
+			t.Fatalf("repair -json line not JSON: %v\n%s", err, line)
+		}
+		if rr.Action == "repaired" {
+			repaired++
+			if rr.StatsFixed != 1 {
+				t.Fatalf("repaired container fixed %d stats, want 1", rr.StatsFixed)
+			}
+		}
+	}
+	if repaired != 1 {
+		t.Fatalf("%d container(s) repaired, want 1", repaired)
+	}
+
+	// Everything verifies clean now.
+	_, err = captureStdout(t, func() error { return cmdVerify([]string{good, bad}) })
+	if exitCode(err) != 0 {
+		t.Fatalf("re-verify after repair: %v", err)
+	}
+}
+
+// TestRepairUnrepairableExitCode: rot inside the index region leaves
+// nothing to salvage from; the file stays untouched and repair says so
+// with exit 1.
+func TestRepairUnrepairableExitCode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dead.lwc")
+	writeLwc(t, path, testVals(512), false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0x01 // inside the index: its CRC check fails at open
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := captureStdout(t, func() error { return cmdRepair([]string{path}) })
+	if exitCode(err) != 1 {
+		t.Fatalf("repair unrepairable: exit %d (%v), want 1", exitCode(err), err)
+	}
+	if !strings.Contains(out, "UNREPAIRABLE") {
+		t.Fatalf("no UNREPAIRABLE line:\n%s", out)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(data) {
+		t.Fatal("unrepairable container was modified")
+	}
+
+	// The verify exit codes carry a janitor check too: a stale temp
+	// file next to the container is swept by -dir mode.
+	orphan := filepath.Join(dir, ".dead.lwc.tmp-99")
+	if err := os.WriteFile(orphan, []byte("torn"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = captureStdout(t, func() error { return cmdRepair([]string{"-dir", dir}) })
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("repair -dir left the orphaned temp file: %v", err)
+	}
+}

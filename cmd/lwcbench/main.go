@@ -1,11 +1,11 @@
 // Command lwcbench regenerates the reproduction's experiment tables
-// (EXP-A … EXP-V; see DESIGN.md §2 for the experiment ↔ paper-claim
+// (EXP-A … EXP-W; see DESIGN.md §2 for the experiment ↔ paper-claim
 // index and EXPERIMENTS.md for a recorded run).
 //
 // Usage:
 //
 //	lwcbench                 # run every experiment at full scale
-//	lwcbench -exp A,C,F      # run a subset (IDs A..V)
+//	lwcbench -exp A,C,F      # run a subset (IDs A..W)
 //	lwcbench -n 262144       # reduced column length
 //	lwcbench -json out.json  # also write machine-readable results
 //	lwcbench -list           # list experiments
@@ -53,7 +53,7 @@ type jsonExperiment struct {
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (A..V) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (A..W) or 'all'")
 		nFlag    = flag.Int("n", 1<<20, "base column length")
 		seedFlag = flag.Int64("seed", 42, "workload seed")
 		repsFlag = flag.Int("reps", 3, "timing repetitions (best kept)")

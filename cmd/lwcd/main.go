@@ -6,6 +6,7 @@
 //
 //	lwcd -dir /data/containers -addr 127.0.0.1:7207
 //	lwcd -dir /data/containers -compact -compact-interval 10m -compact-merge
+//	lwcd -dir /data/containers -scrub -scrub-interval 10m -scrub-rate 8388608 -scrub-heal
 //	curl localhost:7207/tables
 //	curl -d '{"table":"orders","where":"status = 1","op":"count"}' localhost:7207/query
 //	curl -d '{"table":"orders","op":"sum","columns":["amount"],"allow_degraded":true}' localhost:7207/query
@@ -37,6 +38,23 @@
 // files. POST /-/compact triggers one synchronous sweep; /metrics
 // gains a compaction section (containers scanned/rewritten/skipped,
 // bytes reclaimed, compact cpu seconds).
+//
+// -scrub runs the background scrubber (internal/scrub): low-priority
+// sweeps fsck-walk every mounted container from disk under a byte-rate
+// budget (-scrub-rate) and quarantine rotten blocks on the mounted
+// columns before any query trips over them. With -scrub-heal a sweep
+// also salvage-repairs each damaged container — good blocks preserved
+// byte-for-byte, falsified index stats re-derived, truly lost blocks
+// tombstoned with their exact row range — and re-mounts so the healed
+// generation serves and the quarantine ledger clears. POST /-/scrub
+// triggers one synchronous sweep (?heal=1/?heal=0 override the
+// configured healing); /metrics gains a scrub section (containers and
+// blocks scanned, errors found, bytes scanned against the rate budget,
+// last sweep age).
+//
+// At startup the daemon also sweeps orphaned .<name>.tmp-* files — the
+// only litter a crash mid-write can leave — so an interrupted compact,
+// repair, or compress never accumulates garbage in the mount.
 //
 // See the internal/server package documentation for the endpoint
 // contracts and resource-governance knobs; `lwc serve` is the same

@@ -13,8 +13,8 @@ import (
 func TestAllExperimentsRunSmall(t *testing.T) {
 	cfg := Config{N: 1 << 14, Seed: 7, Reps: 1}
 	exps := All()
-	if len(exps) != 22 {
-		t.Fatalf("registered %d experiments, want 22 (A..V)", len(exps))
+	if len(exps) != 23 {
+		t.Fatalf("registered %d experiments, want 23 (A..W)", len(exps))
 	}
 	for _, e := range exps {
 		e := e
@@ -49,7 +49,7 @@ func TestAllExperimentsRunSmall(t *testing.T) {
 
 func TestExperimentIDsAreOrdered(t *testing.T) {
 	exps := All()
-	want := []string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P", "Q", "R", "S", "T", "U", "V"}
+	want := []string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P", "Q", "R", "S", "T", "U", "V", "W"}
 	if len(exps) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(exps), len(want))
 	}

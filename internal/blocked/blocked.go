@@ -39,6 +39,16 @@ type Block struct {
 	// from v1 forms without re-reading the data leave it unset, which
 	// disables skipping (never correctness).
 	HasStats bool
+	// Tombstone marks a block whose payload was lost for good and
+	// replaced by an explicit placeholder during salvage repair. A
+	// tombstoned block has no form and no payload; every fetch fails
+	// fast with ErrTombstone, and a degraded scan skips exactly its
+	// row range. Set through MarkTombstone, never directly.
+	Tombstone bool
+	// TombstoneReason records why the block was tombstoned — the
+	// condemning error of the generation that lost it. Persisted in
+	// the container index so the reason survives reopen.
+	TombstoneReason string
 }
 
 // BlockSource supplies block forms on demand for columns whose
@@ -105,14 +115,16 @@ func (c *Column) form(i int) (*core.Form, error) {
 	if b.Form != nil {
 		return b.Form, nil
 	}
+	// Quarantine (which includes tombstones) is checked before the
+	// source so a condemned block fails fast whether the column is
+	// lazy or in-memory, instead of re-reading payload bytes that are
+	// known bad — or, for a tombstone, do not exist at all.
+	if qerr, ok := c.QuarantineError(i); ok {
+		return nil, fmt.Errorf("%w: block %d: %w", ErrQuarantined, i, qerr)
+	}
 	if c.Source == nil {
 		return nil, fmt.Errorf("%w: block %d has no form and the column has no source",
 			core.ErrCorruptForm, i)
-	}
-	if qerr, ok := c.QuarantineError(i); ok {
-		// The block already failed permanently; fail fast instead of
-		// re-reading payload bytes that are known bad.
-		return nil, fmt.Errorf("%w: block %d: %w", ErrQuarantined, i, qerr)
 	}
 	f, err := c.Source.BlockForm(i)
 	if err != nil {
@@ -1135,6 +1147,16 @@ func (c *Column) Validate() error {
 		}
 		if b.Count < 0 {
 			return fmt.Errorf("%w: block %d has negative count", core.ErrCorruptForm, i)
+		}
+		if b.Tombstone {
+			// A tombstone is structurally valid without a form or
+			// payload: its rows are declared lost, and every fetch
+			// fails fast with ErrTombstone.
+			if b.Form != nil {
+				return fmt.Errorf("%w: block %d is tombstoned but carries a form", core.ErrCorruptForm, i)
+			}
+			next += int64(b.Count)
+			continue
 		}
 		if b.Form == nil && c.Source == nil {
 			return fmt.Errorf("%w: block %d has no form", core.ErrCorruptForm, i)

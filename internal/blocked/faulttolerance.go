@@ -2,6 +2,7 @@ package blocked
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync/atomic"
 
@@ -20,6 +21,14 @@ import (
 // quarantined on the column. Use errors.Is to test for it. The
 // original condemning error stays in the chain.
 var ErrQuarantined = errors.New("blocked: block quarantined")
+
+// ErrTombstone marks errors returned for blocks whose payload was
+// lost for good and tombstoned by salvage repair: the container's
+// index still declares the block's row range, but there are no bytes
+// behind it. Tombstones are permanent by construction — a degraded
+// scan skips exactly the tombstoned range, a default scan fails fast.
+// Use errors.Is to test for it.
+var ErrTombstone = errors.New("blocked: block tombstoned (payload lost)")
 
 // permanentError is the marker interface storage's integrity
 // sentinels implement. Detecting it via errors.As keeps this package
@@ -42,7 +51,8 @@ func IsPermanent(err error) bool {
 	}
 	return errors.Is(err, core.ErrCorruptForm) ||
 		errors.Is(err, core.ErrUnknownScheme) ||
-		errors.Is(err, ErrQuarantined)
+		errors.Is(err, ErrQuarantined) ||
+		errors.Is(err, ErrTombstone)
 }
 
 // quarantine records a permanent failure of block i. First writer
@@ -56,6 +66,79 @@ func (c *Column) quarantine(i int, err error) {
 		c.quar[i] = err
 	}
 	c.quarMu.Unlock()
+}
+
+// Quarantine records an externally diagnosed permanent failure of
+// block i — the hook a background scrubber uses to condemn a block it
+// found rotten before any query touched it. Out-of-range indices and
+// non-permanent errors are ignored (transient failures are the retry
+// layer's business, not the ledger's). It reports whether the block
+// was newly quarantined; a block already in the ledger keeps its
+// original cause.
+func (c *Column) Quarantine(i int, err error) bool {
+	if i < 0 || i >= len(c.Blocks) || err == nil || !IsPermanent(err) {
+		return false
+	}
+	c.quarMu.Lock()
+	defer c.quarMu.Unlock()
+	if c.quar == nil {
+		c.quar = make(map[int]error)
+	}
+	if _, dup := c.quar[i]; dup {
+		return false
+	}
+	c.quar[i] = err
+	return true
+}
+
+// MarkTombstone declares block i's payload lost for good: the block
+// is flagged as a tombstone and quarantined with an ErrTombstone
+// cause carrying the reason, so every fetch fails fast and degraded
+// scans skip exactly its row range. Container open uses it to
+// materialize persisted tombstones; salvage repair uses it when a
+// block cannot be recovered.
+func (c *Column) MarkTombstone(i int, reason string) {
+	if i < 0 || i >= len(c.Blocks) {
+		return
+	}
+	b := &c.Blocks[i]
+	b.Form = nil
+	b.Tombstone = true
+	b.TombstoneReason = reason
+	// Stats must go with the payload: a planner proving the block
+	// entirely from [min, max] would count rows that no longer exist.
+	// Statless blocks are always fetched — and the fetch fails fast.
+	b.HasStats = false
+	b.Min, b.Max = 0, 0
+	err := ErrTombstone
+	if reason != "" {
+		err = fmt.Errorf("%w: %s", ErrTombstone, reason)
+	}
+	c.quarMu.Lock()
+	if c.quar == nil {
+		c.quar = make(map[int]error)
+	}
+	c.quar[i] = err
+	c.quarMu.Unlock()
+}
+
+// ClearQuarantine empties the column's quarantine ledger — the hook a
+// successful heal uses to re-admit blocks whose bytes were repaired
+// in place. Tombstoned blocks stay condemned: their payloads do not
+// exist, so re-admitting them could only fail again. It returns the
+// number of entries cleared.
+func (c *Column) ClearQuarantine() int {
+	c.quarMu.Lock()
+	defer c.quarMu.Unlock()
+	cleared := 0
+	for i := range c.quar {
+		if i >= 0 && i < len(c.Blocks) && c.Blocks[i].Tombstone {
+			continue
+		}
+		delete(c.quar, i)
+		cleared++
+	}
+	return cleared
 }
 
 // QuarantineError returns the permanent error that condemned block i,

@@ -2,6 +2,7 @@ package compact
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -273,6 +274,13 @@ func (c *Compactor) CompactFile(path string) (res Result, err error) {
 
 	names, data, blockSizes, err := readContainer(path)
 	if err != nil {
+		if errors.Is(err, errTombstoned) {
+			// A tombstoned container cannot be re-encoded — the lost
+			// rows are not there to re-encode. It stays as-is until a
+			// future repair (or operator action) retires it.
+			res.Action = ActionSkipped
+			return res, nil
+		}
 		if blocked.IsPermanent(err) {
 			// A container we cannot prove we preserved is never
 			// rewritten; leave it for `lwc verify` to diagnose.
@@ -384,6 +392,11 @@ func ListContainers(dir string) ([]string, error) {
 	return paths, nil
 }
 
+// errTombstoned marks containers carrying tombstoned blocks: their
+// lost rows cannot be re-encoded, so compaction skips them rather
+// than failing them.
+var errTombstoned = errors.New("compact: container has tombstoned blocks")
+
 // readContainer decompresses every column of the container at path:
 // the names, the raw values, and each column's encode-time block size
 // (what a faithful re-encode must preserve).
@@ -394,6 +407,11 @@ func readContainer(path string) (names []string, data [][]int64, blockSizes []in
 	}
 	defer cf.Close()
 	for _, bc := range cf.Columns() {
+		for i := range bc.Col.Blocks {
+			if bc.Col.Blocks[i].Tombstone {
+				return nil, nil, nil, fmt.Errorf("column %q block %d: %w", bc.Name, i, errTombstoned)
+			}
+		}
 		raw := make([]int64, bc.Col.N)
 		if err := bc.Col.DecompressInto(raw); err != nil {
 			return nil, nil, nil, fmt.Errorf("column %q: %w", bc.Name, err)

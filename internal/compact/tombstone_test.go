@@ -1,0 +1,56 @@
+package compact
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lwcomp/internal/blocked"
+	"lwcomp/internal/storage"
+	"lwcomp/internal/workload"
+)
+
+// TestCompactSkipsTombstonedContainer: a container carrying a
+// tombstone cannot be re-encoded — the lost rows are gone — so the
+// compactor must step around it untouched rather than fail the sweep.
+func TestCompactSkipsTombstonedContainer(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.d.lwc")
+	col, err := blocked.Encode(workload.OrderShipDates(20000, 64, 730120, 7),
+		blocked.EncodeOptions{BlockSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.MarkTombstone(1, "lost in a prior repair")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.WriteContainerV3(f, []storage.BlockedColumn{{Name: "d", Col: col}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := fileSize(t, path)
+
+	res, err := New(Options{}).CompactFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionSkipped {
+		t.Fatalf("tombstoned container: action %q, want %q", res.Action, ActionSkipped)
+	}
+	if fileSize(t, path) != before {
+		t.Fatal("skip modified the file")
+	}
+
+	// The directory sweep must also carry on past it.
+	rep, err := New(Options{}).CompactDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, failed, _ := rep.Counts(); failed != 0 {
+		t.Fatalf("tombstoned container failed the sweep: %+v", rep)
+	}
+}

@@ -48,6 +48,14 @@ type Config struct {
 	// bit flipped on every read covering it — persistent bit rot as
 	// seen through this reader.
 	FlipOffsets []int64
+	// FlipMaxReads, when positive, bounds how many reads of each
+	// FlipOffsets entry come back corrupted before reads of it return
+	// the true bytes — transient path corruption (a flaky cable, a
+	// sector the drive remaps on re-read) rather than persistent rot.
+	// The disk bytes are fine; only the first FlipMaxReads views of
+	// them lie. This is the scenario salvage repair's bounded re-read
+	// loop recovers without tombstoning. 0 means flip forever.
+	FlipMaxReads int
 }
 
 // ReaderAt wraps an io.ReaderAt with deterministic fault injection.
@@ -56,8 +64,9 @@ type ReaderAt struct {
 	r   io.ReaderAt
 	cfg Config
 
-	mu       sync.Mutex
-	failures map[int64]int // per-offset injected-failure count
+	mu        sync.Mutex
+	failures  map[int64]int // per-offset injected-failure count
+	flipReads map[int64]int // per-flip-offset corrupted-read count
 
 	injected atomic.Int64
 	flipped  atomic.Int64
@@ -68,7 +77,7 @@ func NewReaderAt(r io.ReaderAt, cfg Config) *ReaderAt {
 	if cfg.MaxConsecutive <= 0 {
 		cfg.MaxConsecutive = 2
 	}
-	return &ReaderAt{r: r, cfg: cfg, failures: make(map[int64]int)}
+	return &ReaderAt{r: r, cfg: cfg, failures: make(map[int64]int), flipReads: make(map[int64]int)}
 }
 
 // Wrap returns the wrapper as the storage.OpenOptions.WrapReader
@@ -128,10 +137,23 @@ func (f *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	}
 	n, err := f.r.ReadAt(p, off)
 	for _, fo := range f.cfg.FlipOffsets {
-		if fo >= off && fo < off+int64(n) {
-			p[fo-off] ^= 1
-			f.flipped.Add(1)
+		if fo < off || fo >= off+int64(n) {
+			continue
 		}
+		if f.cfg.FlipMaxReads > 0 {
+			f.mu.Lock()
+			seen := f.flipReads[fo]
+			if seen >= f.cfg.FlipMaxReads {
+				f.mu.Unlock()
+				// The transient corruption has cleared; the true bytes
+				// flow through from here on.
+				continue
+			}
+			f.flipReads[fo] = seen + 1
+			f.mu.Unlock()
+		}
+		p[fo-off] ^= 1
+		f.flipped.Add(1)
 	}
 	return n, err
 }

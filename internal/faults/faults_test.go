@@ -153,3 +153,42 @@ func TestFaultBlockSource(t *testing.T) {
 	}
 	var _ io.Closer = bs
 }
+
+func TestFaultReaderFlipMaxReads(t *testing.T) {
+	data := []byte{0x10, 0x20, 0x30, 0x40}
+	f := NewReaderAt(bytes.NewReader(data), Config{FlipOffsets: []int64{2}, FlipMaxReads: 2})
+	buf := make([]byte, 4)
+	// The first FlipMaxReads views of the offset lie...
+	for i := 0; i < 2; i++ {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		if buf[2] != 0x31 {
+			t.Fatalf("read %d: offset 2 read as %#x, want flipped (0x31)", i+1, buf[2])
+		}
+	}
+	// ...then the true bytes come back, modeling transient path
+	// corruption over a healthy disk.
+	for i := 0; i < 3; i++ {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		if buf[2] != 0x30 {
+			t.Fatalf("post-budget read %d: offset 2 read as %#x, want clean (0x30)", i+1, buf[2])
+		}
+	}
+	if f.FlippedBits() != 2 {
+		t.Fatalf("FlippedBits = %d, want 2", f.FlippedBits())
+	}
+	// A read that never covers the offset spends no budget.
+	g := NewReaderAt(bytes.NewReader(data), Config{FlipOffsets: []int64{2}, FlipMaxReads: 1})
+	if _, err := g.ReadAt(buf[:2], 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf[2] != 0x31 {
+		t.Fatalf("budget spent by a non-covering read: %#x", buf[2])
+	}
+}

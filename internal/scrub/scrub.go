@@ -1,0 +1,140 @@
+// Package scrub is the self-healing layer over lwc containers. It has
+// two halves. The Scrubber is a low-priority background sweeper: it
+// fsck-walks containers through the storage verifier under a
+// configurable byte-rate budget, finding rotten blocks before a query
+// trips over them so the server can quarantine them proactively.
+// RepairFile is the salvage half: it rebuilds a damaged container in a
+// new generation, preserving every good block byte-for-byte, re-reading
+// transiently corrupted blocks through the retry policy, re-deriving
+// index stats a bit-flip falsified, and tombstoning — with an exact,
+// persisted row range — only the blocks that are truly lost, then swaps
+// the verified candidate in atomically.
+package scrub
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+
+	"lwcomp/internal/storage"
+)
+
+// Options tunes a Scrubber.
+type Options struct {
+	// RateBytesPerSec caps the scrubber's read bandwidth so a sweep
+	// never competes with queries for disk: after each read the
+	// scrubber sleeps long enough that its average rate stays at or
+	// under the budget. Zero or negative means unthrottled.
+	RateBytesPerSec int64
+	// Retry re-issues transiently failed reads with capped backoff
+	// when its MaxRetries is positive, so a flaky-but-recoverable read
+	// does not condemn a healthy block.
+	Retry storage.RetryPolicy
+	// WrapReader, when non-nil, decorates the reader below the
+	// throttle — the fault-injection seam tests and the server's
+	// instrumentation use.
+	WrapReader func(ra io.ReaderAt) io.ReaderAt
+}
+
+// Counters snapshots a Scrubber's lifetime tallies, the raw material
+// of the server's scrub metrics section.
+type Counters struct {
+	// ContainersScanned counts completed container walks.
+	ContainersScanned int64
+	// BlocksScanned counts blocks walked (tombstones included).
+	BlocksScanned int64
+	// ErrorsFound counts integrity findings across all walks.
+	ErrorsFound int64
+	// TombstonesSeen counts persisted tombstones encountered —
+	// known degraded state, not new findings.
+	TombstonesSeen int64
+	// BytesScanned counts bytes pulled through the throttle.
+	BytesScanned int64
+	// LastSweepUnix is when the last full sweep finished (Unix
+	// seconds), or 0 before the first completes.
+	LastSweepUnix int64
+}
+
+// Scrubber incrementally verifies containers under a byte-rate
+// budget. It is safe for concurrent use, though a server runs at most
+// one sweep at a time.
+type Scrubber struct {
+	opt        Options
+	containers atomic.Int64
+	blocks     atomic.Int64
+	errs       atomic.Int64
+	tombs      atomic.Int64
+	bytes      atomic.Int64
+	lastSweep  atomic.Int64
+}
+
+// New returns a Scrubber with the given options.
+func New(opt Options) *Scrubber { return &Scrubber{opt: opt} }
+
+// Counters snapshots the scrubber's tallies.
+func (s *Scrubber) Counters() Counters {
+	return Counters{
+		ContainersScanned: s.containers.Load(),
+		BlocksScanned:     s.blocks.Load(),
+		ErrorsFound:       s.errs.Load(),
+		TombstonesSeen:    s.tombs.Load(),
+		BytesScanned:      s.bytes.Load(),
+		LastSweepUnix:     s.lastSweep.Load(),
+	}
+}
+
+// MarkSweepDone stamps the completion time of a full sweep; the
+// metrics endpoint turns it into a last-sweep age.
+func (s *Scrubber) MarkSweepDone() { s.lastSweep.Store(time.Now().Unix()) }
+
+// ScrubFile fsck-walks the container at path under the byte-rate
+// budget: every payload is re-read from disk, CRC-checked, decoded,
+// decompressed, and its re-derived [min, max] compared against the
+// index. Integrity findings land in the report — the caller decides
+// whether to quarantine, heal, or just count them — and only
+// environmental failures return a non-nil error.
+func (s *Scrubber) ScrubFile(path string) (*storage.VerifyReport, error) {
+	rep, err := storage.VerifyFileOpts(path, storage.VerifyOptions{
+		Retry:      s.opt.Retry,
+		WrapReader: s.wrap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.containers.Add(1)
+	s.blocks.Add(int64(rep.Blocks))
+	s.errs.Add(int64(len(rep.Issues)))
+	s.tombs.Add(int64(len(rep.Tombstones)))
+	return rep, nil
+}
+
+// wrap composes the throttle over the caller's wrapper so every byte
+// the verifier pulls — index and payloads alike — is counted and
+// paced.
+func (s *Scrubber) wrap(ra io.ReaderAt) io.ReaderAt {
+	if w := s.opt.WrapReader; w != nil {
+		ra = w(ra)
+	}
+	return &throttledReader{ra: ra, scr: s}
+}
+
+// throttledReader counts bytes into the scrubber's tally and pays for
+// them with sleep: each read is followed by the time that many bytes
+// take at the budget rate, so the sweep's average bandwidth stays at
+// or under RateBytesPerSec no matter how the verifier batches reads.
+type throttledReader struct {
+	ra  io.ReaderAt
+	scr *Scrubber
+}
+
+// ReadAt implements io.ReaderAt.
+func (t *throttledReader) ReadAt(p []byte, off int64) (int, error) {
+	n, err := t.ra.ReadAt(p, off)
+	if n > 0 {
+		t.scr.bytes.Add(int64(n))
+		if rate := t.scr.opt.RateBytesPerSec; rate > 0 {
+			time.Sleep(time.Duration(float64(n) / float64(rate) * float64(time.Second)))
+		}
+	}
+	return n, err
+}

@@ -68,22 +68,27 @@ func (s *Server) compactLoop() {
 	}
 }
 
-// compactYield blocks until the admission gate has spare capacity —
-// nobody queued and at least one free query slot — so the compactor
-// only ever burns CPU the query path is not asking for. It returns
-// false when the server is shutting down.
-func (s *Server) compactYield() bool {
+// idleYield blocks until the admission gate has spare capacity —
+// nobody queued and at least one free query slot — so background work
+// (compaction, scrubbing) only ever burns CPU the query path is not
+// asking for. It returns false when stop closes (shutdown); a nil stop
+// never fires, which is what an on-demand sweep without a daemon wants.
+func (s *Server) idleYield(stop <-chan struct{}) bool {
 	for {
 		if s.gate.waiting() == 0 && s.gate.inFlight() < s.cfg.MaxConcurrent {
 			return true
 		}
 		select {
-		case <-s.compactStop:
+		case <-stop:
 			return false
 		case <-time.After(2 * time.Millisecond):
 		}
 	}
 }
+
+// compactYield is idleYield against the compaction daemon's stop
+// channel.
+func (s *Server) compactYield() bool { return s.idleYield(s.compactStop) }
 
 // compactSweep runs one pass over the mounted directory. Only one
 // sweep runs at a time; a tick that lands mid-sweep is dropped.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -22,6 +23,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /-/reload", s.handleReload)
 	mux.HandleFunc("POST /-/compact", s.handleCompact)
+	mux.HandleFunc("POST /-/scrub", s.handleScrub)
 	// /healthz is pure liveness: the process is up and serving HTTP.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -360,12 +362,18 @@ func degradedBlocks(scan *lwcomp.Scan) []lwcomp.SkippedBlock {
 	return nil
 }
 
-// retryAfterSeconds rounds the query deadline up to whole seconds —
-// the Retry-After a saturated server advertises.
+// retryAfterSeconds rounds the query deadline up to whole seconds and
+// adds random jitter of up to a quarter of it — the Retry-After a
+// saturated server advertises. The jitter spreads the retry herd: a
+// burst of 429s that all named the same second would come back as the
+// same burst, re-saturating the gate on schedule.
 func retryAfterSeconds(d time.Duration) int {
 	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
+	}
+	if spread := secs / 4; spread > 0 {
+		secs += rand.Intn(spread + 1)
 	}
 	return secs
 }
@@ -599,6 +607,8 @@ type metricsBody struct {
 	// Compaction holds the background compactor's tallies; present
 	// only when the daemon is enabled.
 	Compaction *metricsCompaction `json:"compaction,omitempty"`
+	// Scrub holds the background scrubber's tallies.
+	Scrub *metricsScrub `json:"scrub,omitempty"`
 }
 
 // metricsCompaction is the compaction section of /metrics.
@@ -626,6 +636,39 @@ type metricsCompaction struct {
 	SweepsAborted int64 `json:"sweeps_aborted"`
 	// Generation is the compactor's latest generation stamp.
 	Generation uint64 `json:"generation"`
+}
+
+// metricsScrub is the scrub section of /metrics.
+type metricsScrub struct {
+	// ContainersScanned and BlocksScanned are the scrubber's lifetime
+	// verification tallies.
+	ContainersScanned int64 `json:"containers_scanned"`
+	// BlocksScanned counts blocks verified (tombstones included).
+	BlocksScanned int64 `json:"blocks_scanned"`
+	// ErrorsFound counts integrity findings across all sweeps.
+	ErrorsFound int64 `json:"errors_found"`
+	// TombstonesSeen counts persisted tombstones encountered.
+	TombstonesSeen int64 `json:"tombstones_seen"`
+	// BytesScanned counts bytes pulled through the throttle.
+	BytesScanned int64 `json:"bytes_scanned"`
+	// RateBytesPerSec is the configured read-bandwidth cap (0 when
+	// unthrottled).
+	RateBytesPerSec int64 `json:"rate_bytes_per_sec"`
+	// LastSweepAgeS is seconds since the last full sweep finished, or
+	// -1 before the first completes.
+	LastSweepAgeS float64 `json:"last_sweep_age_s"`
+	// Quarantined counts blocks scrub sweeps quarantined on mounted
+	// columns.
+	Quarantined int64 `json:"quarantined"`
+	// Healed counts containers salvage-repaired and swapped in.
+	Healed int64 `json:"healed"`
+	// Unrepairable counts containers repair had to leave untouched.
+	Unrepairable int64 `json:"unrepairable"`
+	// Sweeps counts sweeps started; SweepsAborted the ones cut short
+	// by shutdown.
+	Sweeps int64 `json:"sweeps"`
+	// SweepsAborted counts sweeps that stopped before finishing.
+	SweepsAborted int64 `json:"sweeps_aborted"`
 }
 
 // handleMetrics serves the counters.
@@ -689,6 +732,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Generation:          s.compactor.Generation(),
 		}
 	}
+	sctr := s.scrubber.Counters()
+	age := -1.0
+	if sctr.LastSweepUnix > 0 {
+		age = time.Since(time.Unix(sctr.LastSweepUnix, 0)).Seconds()
+	}
+	rate := s.cfg.ScrubRateBytes
+	if rate < 0 {
+		rate = 0
+	}
+	body.Scrub = &metricsScrub{
+		ContainersScanned: sctr.ContainersScanned,
+		BlocksScanned:     sctr.BlocksScanned,
+		ErrorsFound:       sctr.ErrorsFound,
+		TombstonesSeen:    sctr.TombstonesSeen,
+		BytesScanned:      sctr.BytesScanned,
+		RateBytesPerSec:   rate,
+		LastSweepAgeS:     age,
+		Quarantined:       s.scrubQuarantined.Load(),
+		Healed:            s.scrubHealed.Load(),
+		Unrepairable:      s.scrubUnrepairable.Load(),
+		Sweeps:            s.scrubSweeps.Load(),
+		SweepsAborted:     s.scrubAborted.Load(),
+	}
 	writeJSON(w, body)
 }
 
@@ -702,6 +768,24 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.compactSweep())
+}
+
+// handleScrub runs one synchronous scrub sweep — the HTTP trigger
+// tests and operators use for deterministic sweeps instead of waiting
+// out the interval. It works whether or not the background daemon is
+// enabled. ?heal=1 forces salvage repair of damaged containers this
+// sweep, ?heal=0 forces detection only; absent, the configured
+// ScrubHeal applies. An empty result means a background sweep was
+// already running.
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	heal := s.cfg.ScrubHeal
+	switch r.URL.Query().Get("heal") {
+	case "1", "true":
+		heal = true
+	case "0", "false":
+		heal = false
+	}
+	writeJSON(w, s.scrubSweep(heal))
 }
 
 // handleReload re-mounts the directory — the HTTP twin of SIGHUP.

@@ -18,6 +18,7 @@ import (
 
 	"lwcomp"
 	"lwcomp/internal/compact"
+	"lwcomp/internal/scrub"
 	"lwcomp/internal/storage"
 )
 
@@ -82,6 +83,22 @@ type Config struct {
 	// CompactMerge also coalesces groups of small same-table
 	// single-column containers into one container per table.
 	CompactMerge bool
+	// Scrub enables the background scrubber: periodic low-priority
+	// sweeps that fsck-walk every mounted container from disk under a
+	// byte-rate budget and quarantine rotten blocks on the mounted
+	// columns before a query trips over them (see internal/scrub).
+	// Sweeps yield to query traffic and never take an admission slot.
+	Scrub bool
+	// ScrubInterval is the pause between scrub sweeps; 0 means 5m.
+	// Ignored unless Scrub is set.
+	ScrubInterval time.Duration
+	// ScrubRateBytes caps the scrubber's read bandwidth in bytes per
+	// second; 0 means 8 MiB/s, negative means unthrottled.
+	ScrubRateBytes int64
+	// ScrubHeal additionally salvage-repairs each damaged container a
+	// sweep finds — preserving good blocks byte-for-byte, tombstoning
+	// truly lost ones — and reloads so the healed generation serves.
+	ScrubHeal bool
 }
 
 // DefaultCacheBytes is the shared block-cache budget used when the
@@ -112,6 +129,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Compact && c.CompactInterval <= 0 {
 		c.CompactInterval = time.Minute
+	}
+	if c.Scrub && c.ScrubInterval <= 0 {
+		c.ScrubInterval = 5 * time.Minute
+	}
+	if c.ScrubRateBytes == 0 {
+		c.ScrubRateBytes = 8 << 20
 	}
 	return c
 }
@@ -158,6 +181,18 @@ type Server struct {
 	sweepMu       sync.Mutex
 	sweeps        atomic.Int64
 	sweepsAborted atomic.Int64
+
+	// The background scrubber (loop runs only with cfg.Scrub, but the
+	// scrubber itself always exists so /-/scrub can trigger sweeps on
+	// demand): counters feed the /metrics scrub section.
+	scrubber          *scrub.Scrubber
+	scrubStop         chan struct{}
+	scrubDone         chan struct{}
+	scrubSweeps       atomic.Int64
+	scrubAborted      atomic.Int64
+	scrubQuarantined  atomic.Int64
+	scrubHealed       atomic.Int64
+	scrubUnrepairable atomic.Int64
 }
 
 // New builds a server over cfg and performs the initial mount. An
@@ -166,11 +201,18 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: lwcomp.NewSharedBlockCache(cfg.CacheBytes),
-		gate:  newGate(cfg.MaxConcurrent, cfg.MaxQueue),
-		met:   newMetrics(),
-		start: time.Now(),
+		cfg:      cfg,
+		cache:    lwcomp.NewSharedBlockCache(cfg.CacheBytes),
+		gate:     newGate(cfg.MaxConcurrent, cfg.MaxQueue),
+		met:      newMetrics(),
+		start:    time.Now(),
+		scrubber: scrub.New(cfg.scrubOptions()),
+	}
+	// Startup janitor: a crash mid-write leaves orphaned
+	// .<name>.tmp-* files; no writer can be mid-flight before the
+	// first mount, so age 0 is safe.
+	if removed, err := storage.SweepTempFiles(cfg.Dir, 0); err == nil && len(removed) > 0 {
+		log.Printf("lwcd: removed %d orphaned temp file(s) left by an interrupted write", len(removed))
 	}
 	if err := s.Reload(); err != nil {
 		return nil, err
@@ -180,6 +222,11 @@ func New(cfg Config) (*Server, error) {
 		s.compactStop = make(chan struct{})
 		s.compactDone = make(chan struct{})
 		go s.compactLoop()
+	}
+	if cfg.Scrub {
+		s.scrubStop = make(chan struct{})
+		s.scrubDone = make(chan struct{})
+		go s.scrubLoop()
 	}
 	return s, nil
 }
@@ -191,6 +238,9 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Reload() error {
 	s.reloading.Add(1)
 	defer s.reloading.Add(-1)
+	// Reload-time janitor: only litter old enough that no live writer
+	// (a compact or repair mid-swap) can still own it.
+	storage.SweepTempFiles(s.cfg.Dir, time.Minute)
 	ms, err := mountDir(s.cfg, s.cache)
 	if err != nil {
 		return err
@@ -209,12 +259,18 @@ func (s *Server) Reload() error {
 // Close retires the mounted set, closing its containers once the last
 // in-flight query drains. The server rejects new queries afterwards.
 func (s *Server) Close() error {
-	if s.closed.CompareAndSwap(false, true) && s.compactStop != nil {
-		// Stop the compaction daemon first and wait it out: a sweep
+	if s.closed.CompareAndSwap(false, true) {
+		// Stop the background daemons first and wait them out: a sweep
 		// mid-rewrite finishes its atomic write, then sees the stop and
 		// aborts before the next container.
-		close(s.compactStop)
-		<-s.compactDone
+		if s.compactStop != nil {
+			close(s.compactStop)
+			<-s.compactDone
+		}
+		if s.scrubStop != nil {
+			close(s.scrubStop)
+			<-s.scrubDone
+		}
 	}
 	s.mu.Lock()
 	old := s.mounts
@@ -338,6 +394,10 @@ func Main(args []string) error {
 	fs.Float64Var(&cfg.CompactMinGainFraction, "compact-min-gain-frac", 0, "rewrite threshold as a fraction of the old container size (0 = off)")
 	fs.IntVar(&cfg.CompactTrialK, "compact-trialk", 0, "prune the compactor's scheme search to the top K estimates (0 = exhaustive)")
 	fs.BoolVar(&cfg.CompactMerge, "compact-merge", false, "also merge small same-table single-column containers")
+	fs.BoolVar(&cfg.Scrub, "scrub", false, "run the background scrubber over the mounted containers")
+	fs.DurationVar(&cfg.ScrubInterval, "scrub-interval", 0, "pause between background scrub sweeps (0 = 5m)")
+	fs.Int64Var(&cfg.ScrubRateBytes, "scrub-rate", 0, "scrub read-bandwidth cap in bytes/s (0 = 8 MiB/s, negative = unthrottled)")
+	fs.BoolVar(&cfg.ScrubHeal, "scrub-heal", false, "salvage-repair damaged containers found by scrub sweeps")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

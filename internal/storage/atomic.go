@@ -4,14 +4,45 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 )
+
+// CrashHook, when non-nil, is invoked by AtomicWriteFile after each
+// named step of the temp+fsync+rename protocol. It is the crash-
+// consistency test seam: a harness sets it to os.Exit at a chosen
+// point, runs a rewrite in a child process, and asserts that the
+// directory reopens with either the old or the new generation fully
+// intact — never a mix. The points, in order:
+//
+//	created  - the temp file exists (empty)
+//	written  - the content is written (possibly only in page cache)
+//	synced   - the temp file is fsynced
+//	closed   - the temp file is closed
+//	renamed  - the temp file replaced the destination
+//	dirsynced - the directory entry is durable (best-effort)
+//
+// Production code never sets it; the nil check is the only cost.
+var CrashHook func(point string)
+
+// crashPoint fires the hook when one is installed.
+func crashPoint(point string) {
+	if h := CrashHook; h != nil {
+		h(point)
+	}
+}
+
+// tmpPattern matches the temp names AtomicWriteFile creates for base:
+// ".<base>.tmp-<random>". The janitor keys off the same shape.
+const tmpInfix = ".tmp-"
 
 // AtomicWriteFile writes a file crash-safely: the content goes to a
 // temporary file in the destination's directory, is fsynced, and only
 // then renamed over path. A crash — power loss, kill -9 — at any point
 // leaves either the old file or the new one visible under the final
 // name, never a torn prefix; the worst leftover is an orphaned
-// .<name>.tmp-* file. The directory itself is fsynced after the rename
+// .<name>.tmp-* file (which SweepTempFiles removes at the next mount
+// or open). The directory itself is fsynced after the rename
 // (best-effort: not every platform or filesystem supports it) so the
 // rename is durable, not just atomic.
 func AtomicWriteFile(path string, write func(w io.Writer) error) error {
@@ -19,11 +50,12 @@ func AtomicWriteFile(path string, write func(w io.Writer) error) error {
 	if dir == "" {
 		dir = "."
 	}
-	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	tmp, err := os.CreateTemp(dir, "."+base+tmpInfix+"*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
+	crashPoint("created")
 	fail := func(err error) error {
 		tmp.Close()
 		os.Remove(tmpName)
@@ -32,9 +64,11 @@ func AtomicWriteFile(path string, write func(w io.Writer) error) error {
 	if err := write(tmp); err != nil {
 		return fail(err)
 	}
+	crashPoint("written")
 	if err := tmp.Sync(); err != nil {
 		return fail(err)
 	}
+	crashPoint("synced")
 	// CreateTemp's 0600 is right for a scratch file but not for the
 	// published artifact.
 	if err := tmp.Chmod(0o644); err != nil {
@@ -44,13 +78,55 @@ func AtomicWriteFile(path string, write func(w io.Writer) error) error {
 		os.Remove(tmpName)
 		return err
 	}
+	crashPoint("closed")
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return err
 	}
+	crashPoint("renamed")
 	if d, derr := os.Open(dir); derr == nil {
 		d.Sync()
 		d.Close()
 	}
+	crashPoint("dirsynced")
 	return nil
+}
+
+// SweepTempFiles removes orphaned AtomicWriteFile temp files
+// (".<name>.tmp-*") under dir, returning the paths it removed. A
+// crash between create and rename leaves exactly such litter; nothing
+// else in the tree writes dotfiles of this shape. Only files whose
+// last modification is at least minAge old are touched — a mount
+// janitor running while another process rewrites the directory must
+// not delete a temp file mid-write. Pass 0 at process startup or
+// single-writer open time, when no concurrent writer can exist.
+//
+// Removal failures are not errors: the sweep is best-effort hygiene,
+// and a file that vanished or resists deletion changes nothing for
+// correctness. A non-nil error means the directory itself was
+// unreadable.
+func SweepTempFiles(dir string, minAge time.Duration) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	var removed []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, ".") || !strings.Contains(name, tmpInfix) {
+			continue
+		}
+		if minAge > 0 {
+			info, err := e.Info()
+			if err != nil || now.Sub(info.ModTime()) < minAge {
+				continue
+			}
+		}
+		p := filepath.Join(dir, name)
+		if os.Remove(p) == nil {
+			removed = append(removed, p)
+		}
+	}
+	return removed, nil
 }

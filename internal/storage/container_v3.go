@@ -35,13 +35,22 @@ import (
 //	    nblocks   varint
 //	    per block:
 //	      count      varint
-//	      hasStats   u8 (0|1)
-//	      min,max    zigzag varints (present only when hasStats = 1)
+//	      flag       u8 (0 = no stats, 1 = stats, 2 = tombstone)
+//	      min,max    zigzag varints (present only when flag = 1)
+//	      reason     u8-len + bytes (present only when flag = 2)
 //	      payloadOff varint (relative to the payload region start)
-//	      payloadLen varint
+//	      payloadLen varint (0 when flag = 2)
 //	      payloadCRC u32 (CRC-32C of the block's encoded form)
 //	  crc32c u32 of the index bytes above
 //	payload region: concatenated EncodeForm bytes
+//
+// Flag 2 is the tombstone written by salvage repair for a block whose
+// payload was lost for good: the index still declares the block's row
+// range (so the column tiles [0, N) exactly), but there is no payload
+// behind it. A reader materializes the tombstone as a quarantined
+// block — fetches fail fast with blocked.ErrTombstone, degraded scans
+// skip exactly the declared range. Readers from before flag 2 reject
+// such containers at open ("bad stats flag"), never misread them.
 //
 // Invariants a reader enforces: payload extents lie inside the
 // payload region, and the largest extent end equals the region size
@@ -66,15 +75,14 @@ type blockLoc struct {
 
 // WriteContainerV3 writes named blocked columns as one v3 container.
 // Columns may be lazily opened handles: their block payloads are
-// fetched through the source as they are written. The writer buffers
+// fetched through the source as they are written. Tombstoned blocks
+// are written as index tombstones with no payload. The writer buffers
 // the encoded index and payload region in memory before writing
 // (offsets must be known up front), so writing costs O(container)
 // memory — same bound as the v1/v2 writers; a spooling writer is
 // future work if containers outgrow RAM.
 func WriteContainerV3(w io.Writer, cols []BlockedColumn) error {
-	var index []byte
-	var payload []byte
-	index = binary.AppendUvarint(index, uint64(len(cols)))
+	raw := make([]RawColumn, 0, len(cols))
 	for _, c := range cols {
 		if len(c.Name) == 0 || len(c.Name) > maxNameLen {
 			return fmt.Errorf("%w: column name %q", ErrCorrupt, c.Name)
@@ -85,33 +93,118 @@ func WriteContainerV3(w io.Writer, cols []BlockedColumn) error {
 		if err := c.Col.Validate(); err != nil {
 			return err
 		}
-		index = append(index, byte(len(c.Name)))
-		index = append(index, c.Name...)
-		index = binary.AppendUvarint(index, uint64(c.Col.BlockSize))
-		index = binary.AppendUvarint(index, uint64(c.Col.N))
-		index = binary.AppendUvarint(index, uint64(len(c.Col.Blocks)))
+		rc := RawColumn{Name: c.Name, BlockSize: c.Col.BlockSize}
 		for i := range c.Col.Blocks {
 			b := &c.Col.Blocks[i]
+			rb := RawBlock{
+				Count: b.Count, HasStats: b.HasStats, Min: b.Min, Max: b.Max,
+				Tombstone: b.Tombstone, TombstoneReason: b.TombstoneReason,
+			}
+			if !b.Tombstone {
+				f, err := c.Col.BlockForm(i)
+				if err != nil {
+					return err
+				}
+				enc, err := EncodeForm(f)
+				if err != nil {
+					return err
+				}
+				rb.Payload = enc
+			}
+			rc.Blocks = append(rc.Blocks, rb)
+		}
+		raw = append(raw, rc)
+	}
+	return WriteContainerV3Raw(w, raw)
+}
+
+// RawBlock is one block of a raw-assembled v3 container: the index
+// facts plus the already-encoded payload bytes, written verbatim.
+// Salvage repair uses the raw writer to preserve good blocks
+// byte-for-byte without a decode/re-encode round trip.
+type RawBlock struct {
+	// Count is the block's element count.
+	Count int
+	// HasStats reports whether Min/Max are valid; ignored (written as
+	// absent) for tombstones.
+	HasStats bool
+	// Min and Max are the block's raw-value extremes.
+	Min, Max int64
+	// Tombstone marks a block whose payload is lost; Payload must be
+	// nil.
+	Tombstone bool
+	// TombstoneReason is persisted with a tombstone (truncated to 255
+	// bytes); ignored otherwise.
+	TombstoneReason string
+	// Payload is the block's encoded form bytes, written verbatim.
+	Payload []byte
+}
+
+// RawColumn is one column of a raw-assembled v3 container. The row
+// count is the sum of its blocks' counts.
+type RawColumn struct {
+	// Name is the column name recorded in the index.
+	Name string
+	// BlockSize is the encode-time partition size (0 = one
+	// unpartitioned block).
+	BlockSize int
+	// Blocks holds the column's blocks in row order.
+	Blocks []RawBlock
+}
+
+// WriteContainerV3Raw writes pre-encoded blocks as one v3 container,
+// byte-for-byte: each payload goes into the file exactly as given,
+// with its CRC computed over those bytes. It is the salvage-repair
+// writer — callers are responsible for payload validity (the index
+// CRC machinery will catch mismatches at read time, and repair
+// verifies candidates before swapping them in).
+func WriteContainerV3Raw(w io.Writer, cols []RawColumn) error {
+	var index []byte
+	var payload []byte
+	index = binary.AppendUvarint(index, uint64(len(cols)))
+	for _, c := range cols {
+		if len(c.Name) == 0 || len(c.Name) > maxNameLen {
+			return fmt.Errorf("%w: column name %q", ErrCorrupt, c.Name)
+		}
+		n := 0
+		for i := range c.Blocks {
+			if c.Blocks[i].Count < 0 {
+				return fmt.Errorf("%w: column %q block %d has negative count", ErrCorrupt, c.Name, i)
+			}
+			n += c.Blocks[i].Count
+		}
+		index = append(index, byte(len(c.Name)))
+		index = append(index, c.Name...)
+		index = binary.AppendUvarint(index, uint64(c.BlockSize))
+		index = binary.AppendUvarint(index, uint64(n))
+		index = binary.AppendUvarint(index, uint64(len(c.Blocks)))
+		for i := range c.Blocks {
+			b := &c.Blocks[i]
 			index = binary.AppendUvarint(index, uint64(b.Count))
-			if b.HasStats {
+			switch {
+			case b.Tombstone:
+				if len(b.Payload) != 0 {
+					return fmt.Errorf("%w: column %q block %d is tombstoned but has %d payload bytes",
+						ErrCorrupt, c.Name, i, len(b.Payload))
+				}
+				index = append(index, 2)
+				reason := b.TombstoneReason
+				if len(reason) > maxNameLen {
+					reason = reason[:maxNameLen]
+				}
+				index = append(index, byte(len(reason)))
+				index = append(index, reason...)
+			case b.HasStats:
 				index = append(index, 1)
 				index = binary.AppendUvarint(index, bitpack.Zigzag(b.Min))
 				index = binary.AppendUvarint(index, bitpack.Zigzag(b.Max))
-			} else {
+			default:
 				index = append(index, 0)
 			}
-			f, err := c.Col.BlockForm(i)
-			if err != nil {
-				return err
-			}
-			enc, err := EncodeForm(f)
-			if err != nil {
-				return err
-			}
 			index = binary.AppendUvarint(index, uint64(len(payload)))
-			index = binary.AppendUvarint(index, uint64(len(enc)))
-			index = binary.LittleEndian.AppendUint32(index, crc32.Checksum(enc, castagnoli))
-			payload = append(payload, enc...)
+			index = binary.AppendUvarint(index, uint64(len(b.Payload)))
+			index = binary.LittleEndian.AppendUint32(index, crc32.Checksum(b.Payload, castagnoli))
+			payload = append(payload, b.Payload...)
 		}
 	}
 	var prefix [v3PrefixLen]byte
@@ -186,15 +279,16 @@ func parseIndexV3(index []byte, payloadSize int64) (*parsedIndex, error) {
 			if err != nil {
 				return nil, err
 			}
-			hasStats, err := d.u8()
+			flag, err := d.u8()
 			if err != nil {
 				return nil, err
 			}
-			if hasStats > 1 {
-				return nil, fmt.Errorf("%w: bad stats flag %d", ErrCorrupt, hasStats)
+			if flag > 2 {
+				return nil, fmt.Errorf("%w: bad stats flag %d", ErrCorrupt, flag)
 			}
-			blk := blocked.Block{Start: start, Count: count, HasStats: hasStats == 1}
-			if blk.HasStats {
+			blk := blocked.Block{Start: start, Count: count, HasStats: flag == 1}
+			switch flag {
+			case 1:
 				zzMin, err := d.uvarint()
 				if err != nil {
 					return nil, err
@@ -208,6 +302,17 @@ func parseIndexV3(index []byte, payloadSize int64) (*parsedIndex, error) {
 				if blk.Min > blk.Max {
 					return nil, fmt.Errorf("%w: block stats min %d > max %d", ErrCorrupt, blk.Min, blk.Max)
 				}
+			case 2:
+				rl, err := d.u8()
+				if err != nil {
+					return nil, err
+				}
+				if d.pos+int(rl) > len(d.data) {
+					return nil, fmt.Errorf("%w: truncated tombstone reason at byte %d", ErrCorrupt, d.pos)
+				}
+				blk.Tombstone = true
+				blk.TombstoneReason = string(d.data[d.pos : d.pos+int(rl)])
+				d.pos += int(rl)
 			}
 			off, err := d.uvarint()
 			if err != nil {
@@ -216,6 +321,10 @@ func parseIndexV3(index []byte, payloadSize int64) (*parsedIndex, error) {
 			length, err := d.uvarint()
 			if err != nil {
 				return nil, err
+			}
+			if blk.Tombstone && length != 0 {
+				return nil, fmt.Errorf("%w: column %q block %d is tombstoned but has a %d-byte payload",
+					ErrCorrupt, name, bi, length)
 			}
 			if off > math.MaxInt64 || length > math.MaxInt32 {
 				return nil, fmt.Errorf("%w: block extent %d+%d out of range", ErrCorrupt, off, length)
@@ -247,6 +356,14 @@ func parseIndexV3(index []byte, payloadSize int64) (*parsedIndex, error) {
 		if start != int64(n) {
 			return nil, fmt.Errorf("%w: column %q blocks cover %d rows, header says %d",
 				ErrCorrupt, name, start, n)
+		}
+		// Materialize persisted tombstones as quarantined blocks:
+		// fetches fail fast with ErrTombstone, and a degraded scan's
+		// manifest attributes the skip to the persisted reason.
+		for bi := range col.Blocks {
+			if col.Blocks[bi].Tombstone {
+				col.MarkTombstone(bi, col.Blocks[bi].TombstoneReason)
+			}
 		}
 		p.cols = append(p.cols, BlockedColumn{Name: name, Col: col})
 		p.locs = append(p.locs, locs)
@@ -327,6 +444,10 @@ func decodeContainerV3(data []byte) ([]BlockedColumn, error) {
 	for ci := range p.cols {
 		col := p.cols[ci].Col
 		for bi := range col.Blocks {
+			if col.Blocks[bi].Tombstone {
+				// No payload exists; the block stays quarantined.
+				continue
+			}
 			loc := p.locs[ci][bi]
 			f, err := decodeBlockPayload(payload[loc.off:loc.off+loc.length], loc,
 				p.cols[ci].Name, bi, col.Blocks[bi].Count)

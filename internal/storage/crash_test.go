@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestCrashChild is the subprocess half of the crash-consistency
+// harness: it rewrites the file named by LWC_CRASH_FILE and dies with
+// os.Exit at the CrashHook point named by LWC_CRASH_POINT. It is a
+// no-op unless spawned by TestAtomicWriteCrashMatrix.
+func TestCrashChild(t *testing.T) {
+	point := os.Getenv("LWC_CRASH_POINT")
+	if point == "" {
+		t.Skip("crash child runs only as a subprocess")
+	}
+	path := os.Getenv("LWC_CRASH_FILE")
+	CrashHook = func(p string) {
+		if p == point {
+			os.Exit(7)
+		}
+	}
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "new-generation")
+		return werr
+	})
+	if err != nil {
+		os.Exit(3)
+	}
+	os.Exit(0)
+}
+
+// TestAtomicWriteCrashMatrix kills a child mid-AtomicWriteFile at
+// every protocol point and asserts the invariant the package promises:
+// the destination always reopens as the complete old generation or the
+// complete new one — never a torn mix — and the only possible litter
+// is a temp file the janitor removes.
+func TestAtomicWriteCrashMatrix(t *testing.T) {
+	cases := []struct {
+		point   string
+		wantNew bool // which generation must be visible after the crash
+	}{
+		{"created", false},
+		{"written", false},
+		{"synced", false},
+		{"closed", false},
+		{"renamed", true},
+		{"dirsynced", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "gen.lwc")
+			if err := os.WriteFile(path, []byte("old-generation"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashChild$")
+			cmd.Env = append(os.Environ(),
+				"LWC_CRASH_POINT="+tc.point,
+				"LWC_CRASH_FILE="+path,
+			)
+			out, err := cmd.CombinedOutput()
+			if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 7 {
+				t.Fatalf("child did not die at %q (err=%v):\n%s", tc.point, err, out)
+			}
+
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("destination unreadable after crash at %q: %v", tc.point, err)
+			}
+			want := "old-generation"
+			if tc.wantNew {
+				want = "new-generation"
+			}
+			if string(got) != want {
+				t.Fatalf("crash at %q left %q, want %q", tc.point, got, want)
+			}
+
+			removed, err := SweepTempFiles(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantNew && len(removed) != 0 {
+				t.Fatalf("post-rename crash left temp litter: %v", removed)
+			}
+			if !tc.wantNew && len(removed) != 1 {
+				t.Fatalf("pre-rename crash left %d temp files, want 1: %v", len(removed), removed)
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 1 || entries[0].Name() != "gen.lwc" {
+				t.Fatalf("directory not clean after janitor: %v", entries)
+			}
+		})
+	}
+}
+
+func TestSweepTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("x"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	orphan := mk(".orders.lwc.tmp-123456")
+	keepPlain := mk("orders.lwc")
+	keepDot := mk(".hidden")
+	if err := os.Mkdir(filepath.Join(dir, ".sub.tmp-dir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := SweepTempFiles(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != orphan {
+		t.Fatalf("removed %v, want exactly %q", removed, orphan)
+	}
+	for _, p := range []string{keepPlain, keepDot} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("janitor removed innocent file %q: %v", p, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".sub.tmp-dir")); err != nil {
+		t.Fatalf("janitor removed a directory: %v", err)
+	}
+}
+
+func TestSweepTempFilesMinAge(t *testing.T) {
+	dir := t.TempDir()
+	fresh := filepath.Join(dir, ".live.lwc.tmp-1")
+	if err := os.WriteFile(fresh, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh temp file may be another process's write in flight: a
+	// min-age sweep must leave it alone.
+	removed, err := SweepTempFiles(dir, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("min-age sweep removed in-flight temp: %v", removed)
+	}
+	old := time.Now().Add(-2 * time.Minute)
+	if err := os.Chtimes(fresh, old, old); err != nil {
+		t.Fatal(err)
+	}
+	removed, err = SweepTempFiles(dir, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 {
+		t.Fatalf("aged temp survived the sweep: %v", removed)
+	}
+}

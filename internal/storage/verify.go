@@ -1,18 +1,20 @@
 package storage
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 
 	"lwcomp/internal/blocked"
 )
 
-// This file is the offline integrity verifier behind `lwc verify`: an
-// fsck for containers. It walks every block extent of every column,
-// re-reads and CRC-checks each payload, decodes and decompresses it,
-// and re-derives the block's [min, max] to compare against the index
-// stats — catching both payload rot (CRC) and index rot that a CRC
-// cannot see (self-consistent but wrong stats would silently turn
-// block skipping into wrong answers).
+// This file is the offline integrity verifier behind `lwc verify` and
+// the background scrubber: an fsck for containers. It walks every
+// block extent of every column, re-reads and CRC-checks each payload,
+// decodes and decompresses it, and re-derives the block's [min, max]
+// to compare against the index stats — catching both payload rot
+// (CRC) and index rot that a CRC cannot see (self-consistent but
+// wrong stats would silently turn block skipping into wrong answers).
 
 // VerifyIssue is one verification finding: a block (or, with Block
 // -1, the container as a whole) that failed a check.
@@ -23,6 +25,12 @@ type VerifyIssue struct {
 	// Block is the affected block index, or -1 for container-level
 	// findings (unopenable file, bad index).
 	Block int
+	// RowStart and RowCount delimit the affected row range
+	// [RowStart, RowStart+RowCount); both are 0 for container-level
+	// findings.
+	RowStart int64
+	// RowCount is the number of rows in the affected range.
+	RowCount int
 	// Err is the failure. Checksum and structural failures satisfy
 	// errors.Is against ErrChecksum / ErrCorrupt.
 	Err error
@@ -33,22 +41,61 @@ func (v VerifyIssue) String() string {
 	if v.Block < 0 {
 		return fmt.Sprintf("container: %v", v.Err)
 	}
-	return fmt.Sprintf("column %q block %d: %v", v.Column, v.Block, v.Err)
+	return fmt.Sprintf("column %q block %d (rows %d-%d): %v",
+		v.Column, v.Block, v.RowStart, v.RowStart+int64(v.RowCount)-1, v.Err)
+}
+
+// MarshalJSON renders the issue for `lwc verify -json` and the
+// scrubber: the error becomes a reason string, everything else keeps
+// its numeric identity.
+func (v VerifyIssue) MarshalJSON() ([]byte, error) {
+	reason := ""
+	if v.Err != nil {
+		reason = v.Err.Error()
+	}
+	return json.Marshal(struct {
+		Column   string `json:"column,omitempty"`
+		Block    int    `json:"block"`
+		RowStart int64  `json:"row_start"`
+		RowCount int    `json:"row_count"`
+		Reason   string `json:"reason"`
+	}{v.Column, v.Block, v.RowStart, v.RowCount, reason})
 }
 
 // VerifyReport is the outcome of verifying one container.
 type VerifyReport struct {
-	// Path is the verified file.
-	Path string
+	// Path is the verified file; empty when the source was a reader.
+	Path string `json:"path,omitempty"`
 	// Columns and Blocks count what the walk covered.
-	Columns, Blocks int
+	Columns int `json:"columns"`
+	// Blocks is the number of blocks walked (tombstones included).
+	Blocks int `json:"blocks"`
 	// Issues lists every failed check, in column-then-block order. A
 	// healthy container has none.
-	Issues []VerifyIssue
+	Issues []VerifyIssue `json:"issues"`
+	// Tombstones lists blocks the container itself declares lost —
+	// known, persisted omissions from an earlier salvage repair. They
+	// are reported for operators but are not failures: a tombstoned
+	// container is in its intended (degraded) state and verifies OK.
+	Tombstones []VerifyIssue `json:"tombstones,omitempty"`
 }
 
-// OK reports whether the container passed every check.
+// OK reports whether the container passed every check. Persisted
+// tombstones do not fail verification; see Tombstones.
 func (r *VerifyReport) OK() bool { return len(r.Issues) == 0 }
+
+// VerifyOptions tunes a verification walk. The zero value matches
+// `lwc verify`: direct uncached reads, no retry, no wrapper.
+type VerifyOptions struct {
+	// Retry re-issues transiently failed reads with capped backoff
+	// when MaxRetries is positive — the scrubber's setting, so a
+	// flaky-but-recoverable read does not condemn a healthy block.
+	Retry RetryPolicy
+	// WrapReader, when non-nil, decorates the reader before any byte
+	// is read — the seam the scrubber uses for byte-rate throttling
+	// and the fault-injection tests use for corruption injection.
+	WrapReader func(ra io.ReaderAt) io.ReaderAt
+}
 
 // VerifyFile fsck-walks the container at path: every block payload is
 // re-read, CRC-checked, decoded and decompressed, and its re-derived
@@ -57,10 +104,19 @@ func (r *VerifyReport) OK() bool { return len(r.Issues) == 0 }
 // environmental failures — the file missing, transport-level I/O
 // errors — return a non-nil error.
 func VerifyFile(path string) (*VerifyReport, error) {
+	return VerifyFileOpts(path, VerifyOptions{})
+}
+
+// VerifyFileOpts is VerifyFile with explicit options.
+func VerifyFileOpts(path string, opts VerifyOptions) (*VerifyReport, error) {
 	r := &VerifyReport{Path: path}
 	// Uncached: verification must touch the bytes on disk, and the
 	// walk reads every block exactly once anyway.
-	cf, err := OpenContainerFile(path, OpenOptions{CacheBytes: -1})
+	cf, err := OpenContainerFile(path, OpenOptions{
+		CacheBytes: -1,
+		Retry:      opts.Retry,
+		WrapReader: opts.WrapReader,
+	})
 	if err != nil {
 		if blocked.IsPermanent(err) {
 			r.Issues = append(r.Issues, VerifyIssue{Block: -1, Err: err})
@@ -69,7 +125,36 @@ func VerifyFile(path string) (*VerifyReport, error) {
 		return nil, err
 	}
 	defer cf.Close()
+	verifyWalk(cf, r)
+	return r, nil
+}
 
+// VerifyReader fsck-walks a container served from ra — the pre-swap
+// candidate gate salvage repair uses on in-memory bytes. Same
+// semantics as VerifyFile: integrity failures land in the report,
+// only environmental failures return an error.
+func VerifyReader(ra io.ReaderAt, size int64, opts VerifyOptions) (*VerifyReport, error) {
+	r := &VerifyReport{}
+	cf, err := OpenContainer(ra, size, OpenOptions{
+		CacheBytes: -1,
+		Retry:      opts.Retry,
+		WrapReader: opts.WrapReader,
+	})
+	if err != nil {
+		if blocked.IsPermanent(err) {
+			r.Issues = append(r.Issues, VerifyIssue{Block: -1, Err: err})
+			return r, nil
+		}
+		return nil, err
+	}
+	defer cf.Close()
+	verifyWalk(cf, r)
+	return r, nil
+}
+
+// verifyWalk runs the per-block checks over an open container,
+// appending findings to r.
+func verifyWalk(cf *ContainerFile, r *VerifyReport) {
 	var buf []int64
 	for _, bc := range cf.Columns() {
 		r.Columns++
@@ -79,6 +164,15 @@ func VerifyFile(path string) (*VerifyReport, error) {
 		for i := range bc.Col.Blocks {
 			r.Blocks++
 			b := &bc.Col.Blocks[i]
+			if b.Tombstone {
+				// The container declares this range lost; that is its
+				// intended degraded state, not a new finding.
+				r.Tombstones = append(r.Tombstones, VerifyIssue{
+					Column: bc.Name, Block: i, RowStart: b.Start, RowCount: b.Count,
+					Err: fmt.Errorf("%w: %s", blocked.ErrTombstone, b.TombstoneReason),
+				})
+				continue
+			}
 			if cap(buf) < b.Count {
 				buf = make([]int64, b.Count)
 			}
@@ -86,7 +180,9 @@ func VerifyFile(path string) (*VerifyReport, error) {
 			// CRC verification, form decode, and decompression in one
 			// pass — exactly the path a query would take.
 			if err := bc.Col.DecompressBlock(i, buf[:b.Count]); err != nil {
-				r.Issues = append(r.Issues, VerifyIssue{Column: bc.Name, Block: i, Err: err})
+				r.Issues = append(r.Issues, VerifyIssue{
+					Column: bc.Name, Block: i, RowStart: b.Start, RowCount: b.Count, Err: err,
+				})
 				continue
 			}
 			if !b.HasStats || b.Count == 0 {
@@ -102,11 +198,11 @@ func VerifyFile(path string) (*VerifyReport, error) {
 				}
 			}
 			if lo != b.Min || hi != b.Max {
-				r.Issues = append(r.Issues, VerifyIssue{Column: bc.Name, Block: i,
+				r.Issues = append(r.Issues, VerifyIssue{
+					Column: bc.Name, Block: i, RowStart: b.Start, RowCount: b.Count,
 					Err: fmt.Errorf("%w: index stats [%d, %d] but data spans [%d, %d]",
 						ErrCorrupt, b.Min, b.Max, lo, hi)})
 			}
 		}
 	}
-	return r, nil
 }
